@@ -1,0 +1,125 @@
+"""Substrate benchmark: the PKI layer every dRBAC operation rides on.
+
+The paper assumes "standard public-key cryptographic protocols"; this
+reproduction builds them from scratch, so their cost is part of every
+measured wallet number. This file isolates it: key generation, signing,
+verification, canonical encoding, and certificate-level operations for
+both algorithms.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Role, create_principal, issue
+from repro.crypto.encoding import canonical_decode, canonical_encode
+from repro.crypto.keys import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def schnorr_keypair():
+    return generate_keypair("schnorr-secp256k1", rng=random.Random(1))
+
+
+@pytest.fixture(scope="module")
+def rsa_keypair():
+    return generate_keypair("rsa-fdh-sha256", rng=random.Random(1),
+                            rsa_bits=1024)
+
+
+class TestReportSubstrate:
+    def test_report_primitive_costs(self, benchmark, schnorr_keypair,
+                                    rsa_keypair, report):
+        import time
+
+        def time_op(op, repeats=20):
+            start = time.perf_counter()
+            for _ in range(repeats):
+                op()
+            return (time.perf_counter() - start) / repeats * 1e3
+
+        def measure():
+            rows = []
+            message = b"benchmark message"
+            for label, keypair in (("schnorr-secp256k1",
+                                    schnorr_keypair),
+                                   ("rsa-fdh-sha256 (1024)",
+                                    rsa_keypair)):
+                signature = keypair.sign(message)
+                keypair.public.verify(message, signature)  # warm tables
+                rows.append((
+                    label,
+                    f"{time_op(lambda: keypair.sign(message)):.2f} ms",
+                    f"{time_op(lambda: keypair.public.verify(message, signature)):.2f} ms",
+                    len(signature),
+                ))
+            return rows
+
+        rows = benchmark.pedantic(measure, rounds=2, iterations=1)
+        report("Substrate -- signature primitives",
+               ["algorithm", "sign", "verify", "signature bytes"], rows)
+        assert rows[0][3] == 65    # schnorr: R (33) + s (32)
+
+
+class TestTimings:
+    def test_bench_schnorr_keygen(self, benchmark):
+        keypair = benchmark(generate_keypair, "schnorr-secp256k1")
+        assert keypair.public is not None
+
+    def test_bench_schnorr_sign(self, benchmark, schnorr_keypair):
+        result = benchmark(schnorr_keypair.sign, b"message")
+        assert len(result) == 65
+
+    def test_bench_schnorr_verify(self, benchmark, schnorr_keypair):
+        signature = schnorr_keypair.sign(b"message")
+        schnorr_keypair.public.verify(b"message", signature)  # warm
+        result = benchmark(schnorr_keypair.public.verify, b"message",
+                           signature)
+        assert result
+
+    def test_bench_rsa_sign(self, benchmark, rsa_keypair):
+        result = benchmark(rsa_keypair.sign, b"message")
+        assert len(result) == 128
+
+    def test_bench_rsa_verify(self, benchmark, rsa_keypair):
+        signature = rsa_keypair.sign(b"message")
+        result = benchmark(rsa_keypair.public.verify, b"message",
+                           signature)
+        assert result
+
+    def test_bench_canonical_encode(self, benchmark, case_study_payload):
+        blob = benchmark(canonical_encode, case_study_payload)
+        assert blob
+
+    def test_bench_canonical_decode(self, benchmark, case_study_payload):
+        blob = canonical_encode(case_study_payload)
+        result = benchmark(canonical_decode, blob)
+        assert result == case_study_payload
+
+    def test_bench_delegation_issue(self, benchmark):
+        org = create_principal("Org")
+        alice = create_principal("Alice")
+        role = Role(org.entity, "r")
+        result = benchmark(issue, org, alice.entity, role)
+        assert result.verify_signature()
+
+    def test_bench_delegation_verify(self, benchmark):
+        org = create_principal("Org")
+        alice = create_principal("Alice")
+        d = issue(org, alice.entity, Role(org.entity, "r"))
+        d.verify_signature()  # warm the issuer's table
+        result = benchmark(d.verify_signature)
+        assert result
+
+
+@pytest.fixture(scope="module")
+def case_study_payload():
+    """A realistic wire payload: the full case-study coalition proof."""
+    from repro.wallet import Wallet
+    from repro.core import SimClock
+    from repro.workloads.scenarios import build_case_study
+    case = build_case_study()
+    wallet = case.populate_wallet(Wallet(owner=case.air_net,
+                                         clock=SimClock()))
+    proof = wallet.query_direct(case.maria.entity, case.airnet_access)
+    return proof.to_dict()

@@ -1,0 +1,130 @@
+"""F1 -- Figure 1: the single dRBAC wallet.
+
+Reproduces the figure's structure (a wallet holding [A -> B.b] B and
+[B.b -> C.c] C answering publish / direct / object / subject queries and
+proof monitoring), then measures each wallet operation as the store
+grows -- the scalability dimension the paper's graph-based wallet design
+targets ("graph-based data structures that allow efficient enumeration
+of delegation chains").
+"""
+
+import pytest
+
+from repro.core import Proof, Role, SimClock, create_principal, issue
+from repro.wallet.wallet import Wallet
+from repro.workloads.topology import make_random_dag
+
+WALLET_SIZES = [100, 1000]
+
+
+@pytest.fixture(scope="module")
+def figure1_wallet():
+    """The exact two-delegation wallet drawn in Figure 1."""
+    a = create_principal("A")
+    b = create_principal("B")
+    c = create_principal("C")
+    b_role = Role(b.entity, "b")
+    c_role = Role(c.entity, "c")
+    wallet = Wallet(owner=c, clock=SimClock())
+    wallet.publish(issue(b, a.entity, b_role))
+    wallet.publish(issue(c, b_role, c_role))
+    return wallet, a, b_role, c_role
+
+
+@pytest.fixture(scope="module", params=WALLET_SIZES)
+def sized_wallet(request):
+    """A wallet holding a random DAG of `size` delegations."""
+    size = request.param
+    workload = make_random_dag(max(size // 10, 4), size, seed=size)
+    wallet = Wallet(owner=workload.principals["user"], clock=SimClock())
+    for delegation, supports in workload.delegations:
+        wallet.publish(delegation, supports)
+    return wallet, workload
+
+
+class TestFigure1Reproduction:
+    def test_report_wallet_operations(self, benchmark, figure1_wallet,
+                                      report):
+        wallet, a, b_role, c_role = figure1_wallet
+
+        def exercise():
+            direct = wallet.query_direct(a.entity, c_role)
+            subject = wallet.query_subject(a.entity)
+            objects = wallet.query_object(c_role)
+            monitor = wallet.monitor(direct)
+            monitor.cancel()
+            return direct, subject, objects
+
+        direct, subject, objects = benchmark(exercise)
+        report("Figure 1 -- single wallet, trust relationship A => C.c",
+               ["operation", "result"],
+               [("publish", f"{len(wallet)} delegations held"),
+                ("direct query A => C.c",
+                 f"proof with {direct.depth()} links"),
+                ("subject query A => *",
+                 f"{len(subject)} sub-proofs: "
+                 f"{sorted(str(p.obj) for p in subject)}"),
+                ("object query * => C.c",
+                 f"{len(objects)} sub-proofs"),
+                ("proof monitoring", "callback registered per delegation")])
+        assert direct.depth() == 2
+        assert {str(p.obj) for p in subject} == {"B.b", "C.c"}
+        assert len(objects) == 2
+
+
+class TestWalletScaling:
+    def test_bench_publish(self, benchmark, sized_wallet):
+        wallet, workload = sized_wallet
+        owner = workload.principals["org0"]
+        fresh = [
+            issue(owner, create_principal(f"newbie{i}").entity,
+                  Role(owner.entity, "r"))
+            for i in range(20)
+        ]
+        counter = {"i": 0}
+
+        def publish_one():
+            d = fresh[counter["i"] % len(fresh)]
+            counter["i"] += 1
+            wallet.store.remove_delegation(d.id)
+            wallet.publish(d)
+
+        benchmark(publish_one)
+
+    def test_bench_direct_query(self, benchmark, sized_wallet):
+        wallet, workload = sized_wallet
+        result = benchmark(wallet.query_direct, workload.subject,
+                           workload.obj)
+        assert result is not None
+
+    def test_bench_direct_query_miss(self, benchmark, sized_wallet):
+        wallet, workload = sized_wallet
+        stranger = create_principal("stranger")
+        result = benchmark(wallet.query_direct, stranger.entity,
+                           workload.obj)
+        assert result is None
+
+    def test_bench_subject_query(self, benchmark, sized_wallet):
+        wallet, workload = sized_wallet
+        result = benchmark(wallet.query_subject, workload.subject)
+        assert result
+
+    def test_bench_object_query(self, benchmark, sized_wallet):
+        wallet, workload = sized_wallet
+        result = benchmark(wallet.query_object, workload.obj)
+        assert result
+
+    def test_bench_monitor_registration(self, benchmark, sized_wallet):
+        wallet, workload = sized_wallet
+        proof = wallet.query_direct(workload.subject, workload.obj)
+
+        def register():
+            monitor = wallet.monitor(proof)
+            monitor.cancel()
+
+        benchmark(register)
+
+    def test_bench_store_serialization(self, benchmark, sized_wallet):
+        wallet, _workload = sized_wallet
+        blob = benchmark(wallet.store.to_bytes)
+        assert len(blob) > 0

@@ -1,0 +1,249 @@
+"""E3 -- coalition administration cost: dRBAC vs the alternatives.
+
+The motivations of Sections 1 and 3.1.3, measured:
+
+* **ACLs** "are difficult to administer, and neither scale well nor
+  permit transitive delegation" -- entries grow as users x resources.
+* **Centralized RBAC** forces every partner user into one authority's
+  policy base.
+* **SPKI/RT0 phantom roles**: enabling a third party to delegate k of an
+  owner's privileges mints k phantom names in the third party's
+  namespace ("namespace pollution"); dRBAC third-party delegation mints
+  zero.
+* **dRBAC**: one delegation per coalition agreement plus one per member,
+  administered where the authority lives.
+"""
+
+import pytest
+
+from repro.baselines.acl import ACLSystem
+from repro.baselines.central_rbac import CentralRBAC
+from repro.baselines.rt0 import RT0System
+from repro.baselines.spki import SPKISystem
+from repro.core import validate_proof
+from repro.graph.search import direct_query
+from repro.workloads.topology import make_coalition
+
+DOMAIN_COUNTS = [2, 4, 8]
+ROLES = 3
+USERS = 10
+PRIVILEGES = 5  # privileges each coalition agreement spans
+
+
+def _acl_cost(domains: int, users: int, resources: int) -> int:
+    """ACL entries for full coalition access."""
+    system = ACLSystem()
+    for d in range(domains):
+        for r in range(resources):
+            system.create_resource(f"D{d}/res{r}")
+    for d in range(domains):
+        partner = (d + 1) % domains
+        for r in range(resources):
+            for u in range(users):
+                system.grant(f"D{d}/res{r}", f"D{partner}-u{u}")
+    return system.total_entries()
+
+
+def _central_rbac_cost(domains: int, users: int) -> int:
+    """Admin operations at ONE central authority for the coalition."""
+    system = CentralRBAC()
+    system.add_role("guest")
+    system.add_permission("use")
+    system.assign_permission("guest", "use")
+    before = system.admin_operations
+    for d in range(domains):
+        for u in range(users):
+            system.add_user(f"D{d}-u{u}")
+            system.assign_user(f"D{d}-u{u}", "guest")
+    return system.admin_operations - before
+
+
+def _phantom_names(system, domains: int) -> int:
+    """Phantom names minted when each domain lets its partner's admin
+    hand out PRIVILEGES of its privileges (SPKI/RT0 idiom)."""
+    for d in range(domains):
+        partner = (d + 1) % domains
+        for p in range(PRIVILEGES):
+            system.grant_via_phantom(f"D{d}", f"priv{p}",
+                                     f"D{partner}-admin", f"D{partner}-u0")
+    return sum(system.namespace_size(f"D{d}-admin")
+               for d in range(domains))
+
+
+class TestScalabilityComparison:
+    def test_report_admin_cost_table(self, benchmark, report):
+        def measure():
+            rows = []
+            for domains in DOMAIN_COUNTS:
+                coalition = make_coalition(domains, ROLES, USERS,
+                                           seed=domains)
+                drbac_creds = len(coalition)
+                acl = _acl_cost(domains, USERS, ROLES)
+                rbac = _central_rbac_cost(domains, USERS)
+                spki = _phantom_names(SPKISystem(), domains)
+                rt0 = _phantom_names(RT0System(), domains)
+                rows.append((domains, drbac_creds, 0, spki, rt0, acl,
+                             rbac))
+            return rows
+
+        rows = benchmark(measure)
+        report(f"E3 -- coalition administration cost "
+               f"({ROLES} roles, {USERS} users per domain, "
+               f"{PRIVILEGES}-privilege agreements)",
+               ["domains", "dRBAC credentials",
+                "dRBAC new third-party names", "SPKI phantom names",
+                "RT0 phantom names", "ACL entries",
+                "central-RBAC admin ops"], rows)
+        for domains, drbac, new_names, spki, rt0, acl, rbac in rows:
+            # dRBAC third-party delegation pollutes nothing.
+            assert new_names == 0
+            # Phantom-role systems mint one name per (privilege, party).
+            assert spki == domains * PRIVILEGES
+            assert rt0 == domains * PRIVILEGES
+            # ACLs pay per user x resource x domain pair.
+            assert acl == domains * USERS * ROLES
+            # Central RBAC enrolls every foreign user centrally.
+            assert rbac == 2 * domains * USERS
+        # dRBAC grows linearly in members + agreements.
+        firsts, lasts = rows[0], rows[-1]
+        growth = lasts[1] / firsts[1]
+        assert growth <= (lasts[0] / firsts[0]) * 1.5
+
+    def test_report_separability(self, benchmark, report):
+        """Section 3.1.3: third-party delegation keeps aggregate admin
+        roles decomposable; phantom-role systems alias privileges."""
+        def measure():
+            spki = SPKISystem()
+            # One phantom reused for two privileges = aliasing hazard.
+            from repro.baselines.spki import key_name, local_name
+            spki.define("K_o", "secret", local_name("K_t", "phantom"))
+            spki.define("K_o", "public", local_name("K_t", "phantom"))
+            spki.define("K_t", "phantom", key_name("K_user"))
+            aliased = (spki.is_member("K_user", "K_o", "secret")
+                       and spki.is_member("K_user", "K_o", "public"))
+
+            # dRBAC: the admin role's privileges stay separable -- the
+            # coalition bridge delegates exactly one role.
+            coalition = make_coalition(2, ROLES, 2, seed=7)
+            graph = coalition.graph()
+            proof = direct_query(graph, coalition.subject, coalition.obj,
+                                 support_provider=
+                                 coalition.support_provider())
+            validate_proof(proof, at=0.0)
+            granted_roles = {str(d.obj) for d in proof.chain}
+            return aliased, sorted(granted_roles)
+
+        aliased, granted = benchmark(measure)
+        report("Section 3.1.3 -- separability",
+               ["system", "behavior"],
+               [("SPKI shared phantom",
+                 f"one grant aliased into BOTH privileges: {aliased}"),
+                ("dRBAC third-party",
+                 f"proof grants exactly the delegated roles: {granted}")])
+        assert aliased  # the hazard dRBAC's design removes
+
+
+class TestDistributedFederationScale:
+    """Cross-domain authorization cost as the trust path lengthens.
+
+    Complements F2: the case study's 2-wallet discovery, generalized to
+    an n-domain ring where ring distance = number of home wallets a cold
+    authorization must walk.
+    """
+
+    def test_report_cost_vs_distance(self, benchmark, report):
+        from repro.discovery.engine import DiscoveryStats
+        from repro.workloads.scenarios import build_distributed_federation
+
+        def measure():
+            rows = []
+            for distance in (1, 2, 3, 5):
+                fed = build_distributed_federation(
+                    domains=distance + 1, users_per_domain=1)
+                fed.network.reset_counters()
+                stats = DiscoveryStats()
+                proof = fed.authorize(distance, 0, 0, stats=stats)
+                assert proof is not None
+                cold = fed.network.totals.messages
+                fed.network.reset_counters()
+                warm_stats = DiscoveryStats()
+                fed.authorize(distance, 0, 0, stats=warm_stats)
+                rows.append((distance, proof.depth(),
+                             len(stats.wallets_contacted), cold,
+                             fed.network.totals.messages,
+                             warm_stats.local_hit))
+            return rows
+
+        rows = benchmark(measure)
+        report("E3b -- distributed authorization vs trust-path length",
+               ["ring distance", "proof links", "wallets walked",
+                "cold messages", "warm messages", "warm local hit"],
+               rows)
+        # Cost is linear in distance when cold, zero when warm.
+        messages = [row[3] for row in rows]
+        assert all(b > a for a, b in zip(messages, messages[1:]))
+        for row in rows:
+            assert row[4] == 0 and row[5]
+
+
+class TestScalabilityTimings:
+    def test_bench_coalition_generation(self, benchmark):
+        workload = benchmark(make_coalition, 4, ROLES, 5, 99)
+        assert len(workload) > 0
+
+    def test_bench_coalition_authorization(self, benchmark):
+        workload = make_coalition(4, ROLES, 5, seed=3)
+        graph = workload.graph()
+        provider = workload.support_provider()
+        proof = benchmark(direct_query, graph, workload.subject,
+                          workload.obj, 0.0, None, (), None,
+                          __import__("repro.graph.search",
+                                     fromlist=["Strategy"]
+                                     ).Strategy.BIDIRECTIONAL,
+                          provider)
+        assert proof is not None
+
+    def test_bench_spki_membership(self, benchmark):
+        spki = SPKISystem()
+        _phantom_names(spki, 4)
+        result = benchmark(spki.is_member, "D1-u0", "D0", "priv0")
+        assert result
+
+    def test_bench_rt0_membership(self, benchmark):
+        rt0 = RT0System()
+        _phantom_names(rt0, 4)
+        result = benchmark(rt0.is_member, "D1-u0", ("D0", "priv0"))
+        assert result
+
+    def test_bench_acl_check(self, benchmark):
+        system = ACLSystem()
+        system.create_resource("r")
+        system.grant("r", "u")
+        result = benchmark(system.check, "r", "u")
+        assert result
+
+    def test_bench_entitlement_report(self, benchmark):
+        from repro.analysis.audit import entitlements
+        workload = make_coalition(4, ROLES, 5, seed=21)
+        graph = workload.graph()
+        provider = workload.support_provider()
+        report = benchmark(entitlements, graph, workload.subject, 0.0,
+                           None, provider)
+        assert len(report) > 0
+
+    def test_bench_exposure_report(self, benchmark):
+        from repro.analysis.audit import exposure
+        workload = make_coalition(4, ROLES, 5, seed=22)
+        graph = workload.graph()
+        provider = workload.support_provider()
+        proofs = benchmark(exposure, graph, workload.obj, 0.0, None,
+                           provider)
+        assert proofs
+
+    def test_bench_minimal_revocation_set(self, benchmark):
+        from repro.analysis.cut import minimal_revocation_set
+        workload = make_coalition(4, ROLES, 5, seed=23)
+        graph = workload.graph()
+        cut = benchmark(minimal_revocation_set, graph, workload.subject,
+                        workload.obj)
+        assert len(cut) >= 1

@@ -1,0 +1,95 @@
+"""T1 -- Table 1: the base delegation model.
+
+Regenerates Table 1's three numbered delegations (self-certified,
+assignment, third-party) with real keys, reproduces the Mark =>
+BigISP.member' support proof and the Maria => BigISP.member proof, and
+times the operations each row implies: parsing the concrete syntax,
+issuing (signing), proof construction, and full validation.
+"""
+
+import pytest
+
+from repro.core import (
+    Proof,
+    format_delegation,
+    parse_and_issue,
+    parse_delegation,
+    validate_proof,
+)
+from repro.workloads.scenarios import build_table1
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_table1()
+
+
+class TestTable1Reproduction:
+    def test_report_table1_rows(self, benchmark, scenario, report):
+        """Regenerate Table 1's example rows from live objects."""
+        def build():
+            return [
+                ("(1) self-certified", str(scenario.d1_mark_services)),
+                ("(2) assignment", str(scenario.d2_services_assign)),
+                ("(3) third-party", str(scenario.d3_maria_member)),
+            ]
+
+        rows = benchmark(build)
+        report("Table 1 -- base dRBAC delegation model (regenerated)",
+               ["form", "delegation"], rows)
+        assert rows[0][1] == "[Mark -> BigISP.memberServices] BigISP"
+        assert rows[1][1] == "[BigISP.memberServices -> BigISP.member'] BigISP"
+        assert rows[2][1] == "[Maria -> BigISP.member] Mark"
+
+    def test_report_proof_composition(self, benchmark, scenario, report):
+        """(1) + (2) support (3): together they prove Maria => member."""
+        def compose_and_validate():
+            support = Proof.single(scenario.d1_mark_services).extend(
+                scenario.d2_services_assign)
+            proof = Proof.single(scenario.d3_maria_member,
+                                 supports=[support])
+            validate_proof(proof, at=0.0)
+            return proof
+
+        proof = benchmark(compose_and_validate)
+        report("Table 1 -- proof composition",
+               ["claim", "value"],
+               [("support proof", f"{proof.supports_for(scenario.d3_maria_member)[0].subject} => "
+                                  f"{proof.supports_for(scenario.d3_maria_member)[0].obj}"),
+                ("final proof", f"{proof.subject} => {proof.obj}"),
+                ("chain length", proof.depth()),
+                ("delegations total",
+                 len(list(proof.all_delegations())))])
+        assert proof.depth() == 1
+        assert len(list(proof.all_delegations())) == 3
+
+
+class TestTable1Timings:
+    def test_bench_parse(self, benchmark, scenario):
+        text = "[Maria -> BigISP.member] Mark"
+        result = benchmark(parse_delegation, text, scenario.directory)
+        assert result.is_third_party
+
+    def test_bench_issue_and_sign(self, benchmark, scenario):
+        text = "[Maria -> BigISP.member] Mark"
+        result = benchmark(parse_and_issue, text, scenario.mark,
+                           scenario.directory)
+        assert result.verify_signature()
+
+    def test_bench_format(self, benchmark, scenario):
+        result = benchmark(format_delegation, scenario.d3_maria_member)
+        assert result == "[Maria -> BigISP.member] Mark"
+
+    def test_bench_signature_verification(self, benchmark, scenario):
+        result = benchmark(scenario.d3_maria_member.verify_signature)
+        assert result
+
+    def test_bench_validate_full_proof(self, benchmark, scenario):
+        proof = scenario.full_proof()
+        benchmark(validate_proof, proof, 0.0)
+
+    def test_bench_missing_support_detected(self, benchmark, scenario):
+        from repro.core import is_valid_proof
+        bare = Proof.single(scenario.d3_maria_member)
+        result = benchmark(is_valid_proof, bare, 0.0)
+        assert result is False

@@ -1,0 +1,120 @@
+"""T3 -- Table 3 / Section 5: the full Maria-AirNet case study.
+
+Regenerates the Table 3 delegation set, runs the single-wallet
+authorization end to end, and asserts the paper's exact Step-5
+aggregation: **BW 100 (<= 200), storage 30 (= 50 - 20), hours 18
+(= 60 * 0.3)**.
+"""
+
+import pytest
+
+from repro.core import SimClock, format_delegation
+from repro.wallet.wallet import Wallet
+from repro.workloads.scenarios import (
+    BASE_BW,
+    BASE_HOURS,
+    BASE_STORAGE,
+    EXPECTED_BW,
+    EXPECTED_HOURS,
+    EXPECTED_STORAGE,
+    build_case_study,
+)
+
+
+@pytest.fixture(scope="module")
+def case():
+    return build_case_study()
+
+
+@pytest.fixture()
+def wallet(case):
+    return case.populate_wallet(Wallet(owner=case.air_net,
+                                       clock=SimClock()))
+
+
+class TestTable3Reproduction:
+    def test_report_delegation_set(self, benchmark, case, report):
+        def render():
+            return [
+                ("(1)", format_delegation(case.d1_maria_member)),
+                ("(2)", format_delegation(case.d2_coalition)),
+                ("(3)", format_delegation(case.d3_sheila_mktg)),
+                ("(4)", format_delegation(case.d4_mktg_assign)),
+                ("(5a)", format_delegation(case.d5_attr_rights[0])),
+                ("(5b)", format_delegation(case.d5_attr_rights[1])),
+                ("(5c)", format_delegation(case.d5_attr_rights[2])),
+                ("(6)", format_delegation(case.d6_member_access)),
+            ]
+
+        rows = benchmark(render)
+        report("Table 3 -- delegations supporting Maria's AirNet access",
+               ["#", "delegation"], rows)
+        assert rows[0][1] == "[Maria -> BigISP.member] BigISP"
+        assert rows[7][1] == "[AirNet.member -> AirNet.access] AirNet"
+
+    def test_report_step5_aggregation(self, benchmark, case, wallet,
+                                      report):
+        """The headline numbers of the reproduction."""
+        def authorize():
+            proof = wallet.query_direct(case.maria.entity,
+                                        case.airnet_access)
+            assert proof is not None
+            return proof.grants(case.base_allocations())
+
+        grants = benchmark(authorize)
+        rows = [
+            ("AirNet.BW", BASE_BW, "<= 100", grants[case.bw],
+             EXPECTED_BW),
+            ("AirNet.storage", BASE_STORAGE, "-= 20",
+             grants[case.storage], EXPECTED_STORAGE),
+            ("AirNet.hours", BASE_HOURS, "*= 0.3",
+             round(grants[case.hours], 6), EXPECTED_HOURS),
+        ]
+        report("Section 5, Step 5 -- aggregated valued attributes",
+               ["attribute", "base", "chain modifier", "measured",
+                "paper"], rows)
+        assert grants[case.bw] == EXPECTED_BW
+        assert grants[case.storage] == EXPECTED_STORAGE
+        assert grants[case.hours] == pytest.approx(EXPECTED_HOURS)
+
+
+class TestTable3Timings:
+    def test_bench_populate_wallet(self, benchmark, case):
+        def populate():
+            return case.populate_wallet(Wallet(owner=case.air_net,
+                                               clock=SimClock()))
+
+        wallet = benchmark(populate)
+        assert len(wallet) == 8
+
+    def test_bench_end_to_end_authorization(self, benchmark, case, wallet):
+        def authorize():
+            proof = wallet.query_direct(case.maria.entity,
+                                        case.airnet_access)
+            wallet.validate(proof)
+            return proof
+
+        proof = benchmark(authorize)
+        assert proof.depth() == 3
+
+    def test_bench_monitored_authorization(self, benchmark, case, wallet):
+        def authorize_and_monitor():
+            monitor = wallet.authorize(case.maria.entity,
+                                       case.airnet_access)
+            monitor.cancel()
+            return monitor
+
+        monitor = benchmark(authorize_and_monitor)
+        assert monitor is not None
+
+    def test_bench_revocation_round(self, benchmark, case):
+        def revoke_cycle():
+            wallet = case.populate_wallet(
+                Wallet(owner=case.air_net, clock=SimClock()))
+            monitor = wallet.authorize(case.maria.entity,
+                                       case.airnet_access)
+            wallet.revoke(case.sheila, case.d2_coalition.id)
+            return monitor.valid
+
+        still_valid = benchmark(revoke_cycle)
+        assert still_valid is False

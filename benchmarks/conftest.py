@@ -1,0 +1,42 @@
+"""Shared benchmark plumbing.
+
+Every benchmark file reproduces one paper artifact (see DESIGN.md,
+Section 1) and follows the same pattern:
+
+* timing tests via the ``benchmark`` fixture;
+* a ``test_report_*`` that regenerates the paper's rows/series, prints
+  them (visible with ``-s``; always recorded in ``benchmark.extra_info``),
+  and asserts the *shape* claims -- who wins, by roughly what factor.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import sys
+
+import pytest
+
+
+def print_table(title: str, headers, rows) -> str:
+    """Render and print an aligned text table; returns the rendering."""
+    columns = [str(h) for h in headers]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in str_rows))
+        if str_rows else len(columns[i])
+        for i in range(len(columns))
+    ]
+    lines = [title]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    rendering = "\n".join(lines)
+    print("\n" + rendering, file=sys.stderr)
+    return rendering
+
+
+@pytest.fixture(scope="session")
+def report():
+    return print_table

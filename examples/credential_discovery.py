@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Distributed credential discovery across a chain of wallets.
+
+Builds a four-organization federation whose delegations are scattered
+across four home wallets (each delegation stored in its subject's home,
+per Section 4.2.1), annotates every role with discovery tags of subject
+type 'S', and watches the tag-directed search assemble a proof hop by
+hop. Then demonstrates the cache economics: the second query is free,
+TTL leases lapse without confirmation, and a remote revocation arrives
+by push.
+
+Run:  python examples/credential_discovery.py
+"""
+
+from repro.core import (
+    DiscoveryTag,
+    ObjectFlag,
+    Role,
+    SimClock,
+    SubjectFlag,
+    create_principal,
+    format_delegation,
+    issue,
+)
+from repro.discovery import DiscoveryEngine, DiscoveryStats, WalletServer
+from repro.net import Network
+from repro.wallet import Wallet
+
+TTL = 60.0
+
+
+def tag(home: str) -> DiscoveryTag:
+    return DiscoveryTag(home=home, auth_role_name="", ttl=TTL,
+                        subject_flag=SubjectFlag.SEARCH,
+                        object_flag=ObjectFlag.NONE)
+
+
+def main() -> None:
+    clock = SimClock()
+    network = Network(clock=clock)
+
+    # Four organizations, each with a home wallet; a chain of coalition
+    # delegations: uni.student -> lib.reader -> archive.viewer ->
+    # museum.guest.
+    orgs = {name: create_principal(name)
+            for name in ("Uni", "Lib", "Archive", "Museum")}
+    homes = {name: f"wallet.{name.lower()}.example" for name in orgs}
+    roles = {
+        "Uni": Role(orgs["Uni"].entity, "student"),
+        "Lib": Role(orgs["Lib"].entity, "reader"),
+        "Archive": Role(orgs["Archive"].entity, "viewer"),
+        "Museum": Role(orgs["Museum"].entity, "guest"),
+    }
+    student = create_principal("Ada")
+
+    wallets = {}
+    servers = {}
+    for name, org in orgs.items():
+        wallets[name] = Wallet(owner=org, address=homes[name],
+                               clock=clock)
+        servers[name] = WalletServer(network, wallets[name],
+                                     principal=org)
+
+    # The querying access server (the museum's gate).
+    gate_wallet = Wallet(owner=orgs["Museum"],
+                         address="gate.museum.example", clock=clock)
+    gate = WalletServer(network, gate_wallet, principal=orgs["Museum"])
+    engine = DiscoveryEngine(gate, default_ttl=TTL)
+
+    # Delegations, each stored at its subject's home wallet, each link
+    # tagged so the search knows where to go next.
+    chain = [
+        ("Uni", issue(orgs["Uni"], student.entity, roles["Uni"],
+                      object_tag=tag(homes["Uni"]))),
+        ("Uni", issue(orgs["Lib"], roles["Uni"], roles["Lib"],
+                      subject_tag=tag(homes["Uni"]),
+                      object_tag=tag(homes["Lib"]))),
+        ("Lib", issue(orgs["Archive"], roles["Lib"], roles["Archive"],
+                      subject_tag=tag(homes["Lib"]),
+                      object_tag=tag(homes["Archive"]))),
+        ("Archive", issue(orgs["Museum"], roles["Archive"],
+                          roles["Museum"],
+                          subject_tag=tag(homes["Archive"]))),
+    ]
+    print("Delegations and their home wallets:")
+    for home_name, delegation in chain:
+        wallets[home_name].publish(delegation)
+        print(f"  [{homes[home_name]:24s}] "
+              f"{format_delegation(delegation)}")
+
+    # Ada presents her student credential at the museum gate.
+    gate_wallet.publish(chain[0][1])
+
+    print("\nCold discovery: Ada => Museum.guest")
+    stats = DiscoveryStats()
+    proof = engine.discover(student.entity, roles["Museum"], stats=stats)
+    assert proof is not None
+    gate_wallet.validate(proof)
+    print(f"  proof found: {proof.depth()} links")
+    print(f"  wallets contacted: {sorted(stats.wallets_contacted)}")
+    print(f"  remote queries: {stats.remote_direct_queries} direct, "
+          f"{stats.remote_subject_queries} subject")
+    print(f"  delegations cached: {stats.delegations_cached}, "
+          f"subscriptions: {stats.subscriptions_established}")
+    print(f"  network: {network.totals.messages} messages, "
+          f"{network.totals.bytes} bytes")
+
+    print("\nWarm repeat (everything cached):")
+    network.reset_counters()
+    stats2 = DiscoveryStats()
+    proof2 = engine.discover(student.entity, roles["Museum"],
+                             stats=stats2)
+    assert proof2 is not None and stats2.local_hit
+    print(f"  local hit, {network.totals.messages} network messages")
+
+    print("\nLease maintenance:")
+    monitor = gate_wallet.monitor(proof)
+    clock.advance(TTL / 2)
+    confirmed = sum(
+        1 for _home_name, d in chain[1:]
+        if gate.remote_confirm(_home_for(d, homes), d.id)
+    )
+    print(f"  at t={clock.now():.0f}s: {confirmed} leases reconfirmed "
+          f"with home wallets")
+    clock.advance(TTL * 0.75)
+    evicted = gate.cache.sweep()
+    print(f"  at t={clock.now():.0f}s: {len(evicted)} leases lapsed "
+          f"(confirmations kept the rest alive) -> monitor.valid="
+          f"{monitor.valid}")
+
+    print("\nPush revocation:")
+    monitor.revalidate() if monitor.valid else None
+    fresh = engine.discover(student.entity, roles["Museum"])
+    if fresh is not None:
+        monitor = gate_wallet.monitor(fresh)
+    network.reset_counters()
+    wallets["Lib"].revoke(orgs["Archive"], chain[2][1].id)
+    print(f"  Archive revoked Lib.reader -> Archive.viewer at "
+          f"{homes['Lib']}")
+    print(f"  push messages: {network.totals.messages}, "
+          f"gate knows: "
+          f"{gate_wallet.is_revoked(chain[2][1].id)}, "
+          f"monitor.valid={monitor.valid}")
+    assert not monitor.valid
+
+    print("\nExample complete.")
+
+
+def _home_for(delegation, homes) -> str:
+    if delegation.subject_tag is not None:
+        return delegation.subject_tag.home
+    return next(iter(homes.values()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""A commercial coalition: third-party delegation at enterprise scale.
+
+Models the paper's motivating setting ("corporations form a
+partnership") with three companies. Acme exposes a build farm to its
+partners; each partner's admin -- not Acme -- decides which of their
+engineers get access, using dRBAC third-party delegation with rights of
+assignment. Valued attributes modulate each partner's CPU quota.
+
+Highlights, mapped to the paper:
+
+* separability (Section 3.1.3): Acme hands its partners a single admin
+  role carrying rights of assignment for two distinct privileges, and
+  each partner delegates only the ones it needs;
+* no namespace pollution: partners never mint 'phantom' copies of
+  Acme's roles (contrast with the SPKI/RT0 idiom, Section 6);
+* modulation: sub-delegations can only shrink quotas, never grow them.
+
+Run:  python examples/enterprise_coalition.py
+"""
+
+from repro.core import (
+    AttributeRef,
+    AuthorizationDenied,
+    Constraint,
+    Modifier,
+    Operator,
+    Proof,
+    Role,
+    SimClock,
+    attribute_right,
+    create_principal,
+    format_delegation,
+    issue,
+)
+from repro.disco import DiscoService
+from repro.wallet import Wallet
+
+
+def main() -> None:
+    clock = SimClock()
+
+    # -- The coalition cast.
+    acme = create_principal("Acme")
+    partners = {name: create_principal(name)
+                for name in ("Bolt", "Crank")}
+    engineers = {
+        "Bolt": [create_principal(f"bolt-eng{i}") for i in range(2)],
+        "Crank": [create_principal(f"crank-eng{i}") for i in range(2)],
+    }
+    admins = {name: create_principal(f"{name}-admin")
+              for name in partners}
+
+    # -- Acme's protected roles and attributes.
+    build = Role(acme.entity, "buildFarm")
+    artifacts = Role(acme.entity, "artifactStore")
+    cpu = AttributeRef(acme.entity, "cpuHours")
+
+    wallet = Wallet(owner=acme, address="wallet.acme.example",
+                    clock=clock)
+    service = DiscoService(wallet)
+    service.register_resource("build-farm", build, bases={cpu: 1000.0},
+                              constraints=[Constraint(cpu, 10.0)])
+
+    # -- Acme grants each partner admin ONE aggregate role that carries
+    #    rights of assignment on both privileges + the quota attribute.
+    partner_admin = Role(acme.entity, "partnerAdmin")
+    grants = [
+        issue(acme, partner_admin, build.with_tick()),
+        issue(acme, partner_admin, artifacts.with_tick()),
+        issue(acme, partner_admin,
+              attribute_right(cpu, Operator.MIN)),
+    ]
+    for delegation in grants:
+        wallet.publish(delegation)
+    admin_grants = {}
+    for name, admin in admins.items():
+        quota = 400.0 if name == "Bolt" else 150.0
+        d = issue(acme, admin.entity, partner_admin,
+                  modifiers=[Modifier(cpu, Operator.MIN, quota)])
+        wallet.publish(d)
+        admin_grants[name] = d
+        print(f"Acme -> {name}: {format_delegation(d)}")
+
+    # -- Each partner delegates ONLY the build farm (separability: the
+    #    aggregate role decomposes; artifacts stay undelegated).
+    print("\nPartner admins authorize their engineers (third-party "
+          "delegations):")
+    for name, admin in admins.items():
+        support_base = Proof.single(admin_grants[name])
+        for index, engineer in enumerate(engineers[name]):
+            per_engineer = 100.0 if index == 0 else 30.0
+            d = issue(admin, engineer.entity, build,
+                      modifiers=[Modifier(cpu, Operator.MIN,
+                                          per_engineer)])
+            supports = [
+                support_base.extend(grants[0]),   # admin => build'
+                support_base.extend(grants[2]),   # admin => cpu <= '
+            ]
+            wallet.publish(d, supports=supports)
+            print(f"  {format_delegation(d)}")
+
+    # -- Sessions: quotas compose monotonically down the chain.
+    print("\nAccess decisions:")
+    for name in partners:
+        for engineer in engineers[name]:
+            try:
+                session = service.request_access(engineer.entity,
+                                                 "build-farm")
+                quota = session.grants()[cpu]
+                print(f"  {engineer.nickname:11s} GRANTED "
+                      f"{quota:6.0f} cpu-hours")
+            except AuthorizationDenied:
+                print(f"  {engineer.nickname:11s} DENIED")
+
+    # Crank's second engineer got min(150, 30) = 30; nobody can exceed
+    # their partner's ceiling:
+    for name in partners:
+        ceiling = 400.0 if name == "Bolt" else 150.0
+        for session in service.sessions:
+            if session.principal.nickname.startswith(name.lower()):
+                assert session.grants()[cpu] <= ceiling
+
+    # -- Artifacts were never delegated onward: separability held.
+    print("\nSeparability check: can engineers reach the artifact store?")
+    for engineer in engineers["Bolt"]:
+        proof = wallet.query_direct(engineer.entity, artifacts)
+        print(f"  {engineer.nickname:11s} artifactStore: "
+              f"{'YES' if proof else 'no (never delegated)'}")
+        assert proof is None
+
+    # -- A partner leaves: Acme revokes ONE delegation; every session
+    #    of that partner's engineers dies.
+    print("\nCrank exits the coalition; Acme revokes its admin grant:")
+    wallet.revoke(acme, admin_grants["Crank"].id)
+    for session in service.sessions:
+        flag = "active" if session.active else "TERMINATED"
+        print(f"  session {session.principal.nickname:11s} {flag}")
+    crank_sessions = [s for s in service.sessions
+                      if s.principal.nickname.startswith("crank")]
+    assert all(not s.active for s in crank_sessions)
+    bolt_sessions = [s for s in service.sessions
+                     if s.principal.nickname.startswith("bolt")]
+    assert all(s.active for s in bolt_sessions)
+
+    print("\nExample complete: one revocation cleanly severed one "
+          "partner, zero phantom roles were minted.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The whole case study through the high-level facade.
+
+The other examples drive the full library surface; this one shows the
+few-lines-of-code path an application developer takes with
+:mod:`repro.api`.
+
+Run:  python examples/facade_quickstart.py
+"""
+
+from repro.api import Domain
+
+
+def main() -> None:
+    isp = Domain.create("BigISP")
+    maria = Domain.create("Maria")
+    airnet = Domain.create("AirNet")
+
+    # BigISP enrolls Maria.
+    membership = isp.grant(maria, "member")
+
+    # AirNet configures its resource and the coalition in four calls.
+    airnet.set_base("BW", 200)
+    airnet.set_base("storage", 50)
+    airnet.set_base("hours", 60)
+    airnet.trust(isp.role("member"), "member",
+                 attrs={"BW": ("<", 100), "storage": ("-", 20),
+                        "hours": ("*", 0.3)})
+    airnet.grant_role_to_role("member", "access")
+
+    # Maria shows up with her BigISP credential.
+    monitor = airnet.authorize(maria, "access",
+                               evidence=isp.wallet_of(maria),
+                               require={"BW": 50})
+    grants = airnet.grants_for(maria, "access")
+    print("authorized:", monitor is not None and monitor.valid)
+    print("allocations:",
+          {attr.name: value for attr, value in grants.items()})
+
+    print("\nproof tree:")
+    print(airnet.explain(maria, "access"))
+
+    # The partnership sours; one revocation ends it.
+    print("\nBigISP revokes Maria's membership...")
+    # AirNet's wallet holds the membership copy; revocation is issued by
+    # its signer (BigISP) against that wallet.
+    airnet.wallet.revoke(isp.principal, membership.id)
+    print("monitor valid:", monitor.valid)
+    print("re-check:", airnet.check(maria, "access"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""dRBAC: Distributed Role-based Access Control for Dynamic Coalition
+Environments -- a complete reproduction of Freudenthal, Pesin, Port,
+Keenan & Karamcheti (ICDCS 2002).
+
+Layers (bottom up):
+
+* :mod:`repro.crypto` -- from-scratch PKI: Schnorr/secp256k1 and RSA
+  signatures, canonical encoding, hashing.
+* :mod:`repro.core` -- entities, roles (with rights of assignment),
+  valued attributes with the monotone modulation algebra, delegation
+  certificates, the concrete syntax of Tables 1-2, and proofs with
+  recursive support-proof validation.
+* :mod:`repro.graph` -- the delegation graph and the direct / subject /
+  object queries with forward, reverse, and bidirectional search plus
+  attribute-constraint pruning.
+* :mod:`repro.wallet` -- credential repositories: publication rules,
+  queries, revocation, coherent caching.
+* :mod:`repro.pubsub` / :mod:`repro.monitor` -- delegation subscriptions
+  and proof monitors for continuous trust monitoring.
+* :mod:`repro.net` -- the simulated network: discrete-event scheduler,
+  counted transport, RPC, and Switchboard-style authenticated channels.
+* :mod:`repro.discovery` -- discovery tags and the tag-directed
+  multi-wallet proof discovery engine.
+* :mod:`repro.disco` -- the application-facing service layer (resources
+  and monitored access sessions).
+* :mod:`repro.baselines` -- ACL, centralized RBAC, SDSI/SPKI, RT0, and
+  OCSP/CRL revocation baselines.
+* :mod:`repro.workloads` -- topology generators and the paper's worked
+  scenarios (Table 1, Table 3 / Figure 2).
+
+Quickstart: see ``examples/quickstart.py`` or the README.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,43 @@
+"""Policy analysis over delegation graphs.
+
+The paper closes by noting that public registration of delegations
+(via 'S'/'O' tags) "may provide an alternative mechanism to audit and
+restrict re-delegation" (Section 6). This package provides the audit
+side of that idea as first-class tooling over a wallet's delegation
+graph:
+
+* :mod:`repro.analysis.audit` -- entitlement reports (who can reach
+  which roles, through which chains), per-namespace exposure, and
+  delegation-registry completeness checks against discovery-tag
+  promises;
+* :mod:`repro.analysis.whatif` -- counterfactual queries: what would
+  issuing or revoking a given delegation change?
+* :mod:`repro.analysis.cut` -- minimal revocation sets: the smallest
+  set of delegations whose revocation severs a subject from an object
+  (max-flow/min-cut over the delegation graph).
+"""
+
+from repro.analysis.audit import (
+    EntitlementReport,
+    entitlements,
+    exposure,
+    registry_gaps,
+)
+from repro.analysis.whatif import WhatIfDelta, what_if_issued, what_if_revoked
+from repro.analysis.cut import RevocationCut, minimal_revocation_set
+from repro.analysis.explain import explain_proof, graph_to_dot, proof_to_dot
+
+__all__ = [
+    "RevocationCut",
+    "explain_proof",
+    "graph_to_dot",
+    "proof_to_dot",
+    "EntitlementReport",
+    "entitlements",
+    "exposure",
+    "registry_gaps",
+    "WhatIfDelta",
+    "what_if_issued",
+    "what_if_revoked",
+    "minimal_revocation_set",
+]

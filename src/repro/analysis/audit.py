@@ -1,0 +1,152 @@
+"""Entitlement and exposure reports.
+
+An administrator's questions, answered from a delegation graph:
+
+* *what can this principal reach?* -- :func:`entitlements`;
+* *who can reach this role, and how?* -- :func:`exposure`;
+* *do the stored delegations honor the discovery tags' storage
+  promises?* -- :func:`registry_gaps` (the audit half of Section 6's
+  "require public registry of further delegation").
+
+All reports run against the same search machinery the wallet trusts, so
+a report row is exactly an authorization the wallet would grant.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.delegation import Delegation
+from repro.core.identity import Entity
+from repro.core.proof import Proof, RevokedSet
+from repro.core.roles import Role, Subject, subject_key
+from repro.graph.delegation_graph import DelegationGraph
+from repro.graph.search import SupportProvider, object_query, subject_query
+
+
+@dataclass
+class EntitlementReport:
+    """Everything one subject can be proven to hold."""
+
+    subject: Subject
+    proofs: List[Proof]
+
+    def roles(self) -> List[Role]:
+        """Reached roles (assignment rights included), deduplicated."""
+        seen = set()
+        result = []
+        for proof in self.proofs:
+            key = subject_key(proof.obj)
+            if key not in seen:
+                seen.add(key)
+                result.append(proof.obj)
+        return result
+
+    def plain_roles(self) -> List[Role]:
+        """Reached tick-free roles only (direct privileges)."""
+        return [role for role in self.roles()
+                if not role.is_assignment_right]
+
+    def assignment_rights(self) -> List[Role]:
+        """Rights of assignment the subject could exercise."""
+        return [role for role in self.roles() if role.is_assignment_right]
+
+    def chain_for(self, role: Role) -> Optional[Proof]:
+        for proof in self.proofs:
+            if proof.obj == role:
+                return proof
+        return None
+
+    def __len__(self) -> int:
+        return len(self.proofs)
+
+
+def entitlements(graph: DelegationGraph, subject: Subject,
+                 at: float = 0.0,
+                 revoked: Optional[RevokedSet] = None,
+                 support_provider: Optional[SupportProvider] = None
+                 ) -> EntitlementReport:
+    """Full entitlement report for ``subject``."""
+    proofs = subject_query(graph, subject, at=at, revoked=revoked,
+                           support_provider=support_provider)
+    return EntitlementReport(subject=subject, proofs=proofs)
+
+
+def exposure(graph: DelegationGraph, role: Role,
+             at: float = 0.0,
+             revoked: Optional[RevokedSet] = None,
+             support_provider: Optional[SupportProvider] = None
+             ) -> List[Proof]:
+    """Who holds ``role``: one proof per (subject, non-dominated label).
+
+    The audit counterpart of the wallet's object query; entity subjects
+    in the result are concrete principals with access, role subjects are
+    indirection points whose own membership should be audited next.
+    """
+    return object_query(graph, role, at=at, revoked=revoked,
+                        support_provider=support_provider)
+
+
+def principals_with_access(graph: DelegationGraph, role: Role,
+                           at: float = 0.0,
+                           revoked: Optional[RevokedSet] = None,
+                           support_provider: Optional[SupportProvider]
+                           = None) -> List[Entity]:
+    """The entity subjects (actual principals) that can reach ``role``."""
+    seen: Set[str] = set()
+    result: List[Entity] = []
+    for proof in exposure(graph, role, at=at, revoked=revoked,
+                          support_provider=support_provider):
+        subject = proof.subject
+        if isinstance(subject, Entity) and subject.id not in seen:
+            seen.add(subject.id)
+            result.append(subject)
+    return result
+
+
+@dataclass
+class RegistryGap:
+    """A delegation stored in violation of a discovery-tag promise."""
+
+    delegation: Delegation
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.delegation}: {self.reason}"
+
+
+def registry_gaps(graph: DelegationGraph,
+                  home_of: Dict[tuple, str],
+                  stored_at: Dict[str, str]) -> List[RegistryGap]:
+    """Check the storage promises of 'S'/'s' (subject) and 'O'/'o'
+    (object) flags.
+
+    ``home_of`` maps node keys to the wallet address their tags name;
+    ``stored_at`` maps delegation ids to the wallet address actually
+    holding them. A delegation whose tagged subject (object) promises
+    home storage but which is held elsewhere is a gap -- exactly the
+    situation that breaks the completeness guarantee of directed search.
+    """
+    gaps: List[RegistryGap] = []
+    for delegation in graph:
+        actual = stored_at.get(delegation.id)
+        if actual is None:
+            gaps.append(RegistryGap(
+                delegation, "not stored in any known wallet"))
+            continue
+        tag = delegation.subject_tag
+        if tag is not None and tag.subject_flag.stores_at_home:
+            promised = home_of.get(delegation.subject_node, tag.home)
+            if actual != promised:
+                gaps.append(RegistryGap(
+                    delegation,
+                    f"subject flag '{tag.subject_flag.value}' promises "
+                    f"storage at {promised}, found at {actual}"))
+        tag = delegation.object_tag
+        if tag is not None and tag.object_flag.stores_at_home:
+            promised = home_of.get(delegation.object_node, tag.home)
+            if actual != promised:
+                gaps.append(RegistryGap(
+                    delegation,
+                    f"object flag '{tag.object_flag.value}' promises "
+                    f"storage at {promised}, found at {actual}"))
+    return gaps

@@ -1,0 +1,141 @@
+"""Minimal revocation sets via max-flow/min-cut.
+
+"Which delegations must I revoke to sever this principal from this
+role?" is a min-cut question: delegations are unit-capacity edges of the
+delegation graph, and the smallest set of edges disconnecting subject
+from object is, by Menger's theorem, found with max-flow (Edmonds-Karp;
+the graph is small and integral).
+
+Scope: the cut severs every *primary chain*. Support proofs offer
+additional (sometimes even smaller) revocation levers -- revoking one
+assignment delegation can kill many third-party delegations at once --
+but computing that generalized cut is a hypergraph problem; this module
+reports the chain-level optimum and lists which cut members are
+third-party (whose supports an administrator might target instead).
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.delegation import Delegation
+from repro.core.proof import RevokedSet, _revocation_test
+from repro.core.roles import Role, Subject, subject_key
+from repro.graph.delegation_graph import DelegationGraph
+
+
+@dataclass
+class _FlowEdge:
+    source: tuple
+    target: tuple
+    delegation_id: str
+    capacity: int = 1
+    flow: int = 0
+    reverse: Optional["_FlowEdge"] = field(default=None, repr=False)
+
+    @property
+    def residual(self) -> int:
+        return self.capacity - self.flow
+
+
+@dataclass
+class RevocationCut:
+    """The result: delegations whose revocation severs the relationship."""
+
+    delegations: List[Delegation]
+    max_disjoint_chains: int
+
+    @property
+    def ids(self) -> Set[str]:
+        return {d.id for d in self.delegations}
+
+    def third_party_members(self) -> List[Delegation]:
+        return [d for d in self.delegations if d.is_third_party]
+
+    def __len__(self) -> int:
+        return len(self.delegations)
+
+
+def minimal_revocation_set(graph: DelegationGraph, subject: Subject,
+                           obj: Role,
+                           at: float = 0.0,
+                           revoked: Optional[RevokedSet] = None
+                           ) -> RevocationCut:
+    """Smallest delegation set severing every chain ``subject => obj``.
+
+    Returns an empty cut when no chain exists. Already revoked or
+    expired delegations are treated as absent.
+    """
+    is_revoked = _revocation_test(revoked)
+    source = subject_key(subject)
+    sink = subject_key(obj)
+    if source == sink:
+        return RevocationCut(delegations=[], max_disjoint_chains=0)
+
+    # Build the unit-capacity flow network with residual edges.
+    adjacency: Dict[tuple, List[_FlowEdge]] = {}
+    edge_index: Dict[str, _FlowEdge] = {}
+    for delegation in graph:
+        if delegation.is_expired(at) or is_revoked(delegation.id):
+            continue
+        forward = _FlowEdge(source=delegation.subject_node,
+                            target=delegation.object_node,
+                            delegation_id=delegation.id)
+        backward = _FlowEdge(source=delegation.object_node,
+                             target=delegation.subject_node,
+                             delegation_id=delegation.id, capacity=0)
+        forward.reverse = backward
+        backward.reverse = forward
+        adjacency.setdefault(forward.source, []).append(forward)
+        adjacency.setdefault(backward.source, []).append(backward)
+        edge_index[delegation.id] = forward
+
+    def bfs_augment() -> bool:
+        parents: Dict[tuple, _FlowEdge] = {}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for edge in adjacency.get(node, ()):
+                if edge.residual <= 0 or edge.target in parents \
+                        or edge.target == source:
+                    continue
+                parents[edge.target] = edge
+                if edge.target == sink:
+                    # Augment by 1 along the path.
+                    current = sink
+                    while current != source:
+                        path_edge = parents[current]
+                        path_edge.flow += 1
+                        path_edge.reverse.flow -= 1
+                        current = path_edge.source
+                    return True
+                queue.append(edge.target)
+        return False
+
+    max_flow = 0
+    while bfs_augment():
+        max_flow += 1
+
+    if max_flow == 0:
+        return RevocationCut(delegations=[], max_disjoint_chains=0)
+
+    # Min cut: saturated forward edges from the residual-reachable side.
+    reachable: Set[tuple] = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for edge in adjacency.get(node, ()):
+            if edge.residual > 0 and edge.target not in reachable:
+                reachable.add(edge.target)
+                queue.append(edge.target)
+
+    cut_delegations = []
+    for delegation in graph:
+        edge = edge_index.get(delegation.id)
+        if edge is None:
+            continue
+        if edge.source in reachable and edge.target not in reachable \
+                and edge.flow == edge.capacity:
+            cut_delegations.append(delegation)
+    return RevocationCut(delegations=cut_delegations,
+                         max_disjoint_chains=max_flow)

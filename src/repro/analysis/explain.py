@@ -1,0 +1,130 @@
+"""Human-readable renderings of proofs and delegation graphs.
+
+Release-grade tooling: administrators debugging an authorization want to
+*see* the chain and its support structure; auditors want a picture of
+the whole graph. Provides:
+
+* :func:`explain_proof` -- an indented text tree of the primary chain
+  with every support proof nested beneath the delegation it authorizes,
+  plus the composed attribute modulation;
+* :func:`proof_to_dot` / :func:`graph_to_dot` -- Graphviz DOT renderings
+  (entities as ellipses, roles as boxes, third-party delegations dashed,
+  revoked edges struck in red).
+"""
+
+from typing import Iterable, List, Optional, Set
+
+from repro.core.delegation import Delegation
+from repro.core.identity import Entity
+from repro.core.proof import Proof, RevokedSet, _revocation_test
+from repro.core.roles import Role, Subject, subject_key
+from repro.graph.delegation_graph import DelegationGraph
+
+
+def explain_proof(proof: Proof, indent: str = "") -> str:
+    """Render a proof as an indented text tree.
+
+    Example output::
+
+        Maria => AirNet.access
+          [1] [Maria -> BigISP.member] BigISP
+          [2] [BigISP.member -> AirNet.member with ...] Sheila (third-party)
+              requires Sheila => AirNet.member'
+                [1] [Sheila -> AirNet.mktg] AirNet
+                [2] [AirNet.mktg -> AirNet.member'] AirNet
+          ...
+    """
+    lines: List[str] = []
+    lines.append(f"{indent}{proof.subject} => {proof.obj}")
+    body = indent + "  "
+    for index, delegation in enumerate(proof.chain, start=1):
+        marker = " (third-party)" if delegation.is_third_party else ""
+        lines.append(f"{body}[{index}] {delegation}{marker}")
+        for support in proof.supports_for(delegation):
+            lines.append(f"{body}    requires {support.subject} => "
+                         f"{support.obj}")
+            nested = explain_proof(support, indent=body + "      ")
+            # Drop the duplicate header line of the nested rendering.
+            lines.extend(nested.splitlines()[1:])
+    if len(proof.modifiers):
+        lines.append(f"{body}modulation: {proof.modifiers}")
+    if proof.depth_budget is not None:
+        lines.append(f"{body}re-delegation budget remaining: "
+                     f"{proof.depth_budget}")
+    return "\n".join(lines)
+
+
+def _node_id(key: tuple) -> str:
+    return "n" + "_".join(
+        str(part)[:12].replace("-", "") for part in key
+    ).replace(" ", "")
+
+
+def _node_label(subject: Subject) -> str:
+    return str(subject).replace('"', "'")
+
+
+def _dot_nodes(subjects: Iterable[Subject]) -> List[str]:
+    lines = []
+    seen: Set[tuple] = set()
+    for subject in subjects:
+        key = subject_key(subject)
+        if key in seen:
+            continue
+        seen.add(key)
+        shape = "ellipse" if isinstance(subject, Entity) else "box"
+        lines.append(
+            f'  {_node_id(key)} [label="{_node_label(subject)}", '
+            f'shape={shape}];'
+        )
+    return lines
+
+
+def _dot_edge(delegation: Delegation, revoked: bool = False) -> str:
+    attrs = [f'label="{delegation.issuer.display_name}"']
+    if delegation.is_third_party:
+        attrs.append("style=dashed")
+    if revoked:
+        attrs.append('color=red')
+        attrs.append('label="REVOKED"')
+    return (f"  {_node_id(delegation.subject_node)} -> "
+            f"{_node_id(delegation.object_node)} "
+            f"[{', '.join(attrs)}];")
+
+
+def proof_to_dot(proof: Proof, include_supports: bool = True) -> str:
+    """Graphviz DOT for one proof (supports as a dashed subcluster)."""
+    lines = ["digraph proof {", "  rankdir=LR;"]
+    subjects: List[Subject] = []
+    edges: List[str] = []
+    for delegation in proof.chain:
+        subjects.extend([delegation.subject, delegation.obj])
+        edges.append(_dot_edge(delegation))
+    if include_supports:
+        chain_ids = {d.id for d in proof.chain}
+        for delegation in proof.all_delegations():
+            if delegation.id in chain_ids:
+                continue
+            subjects.extend([delegation.subject, delegation.obj])
+            edges.append(_dot_edge(delegation))
+    lines.extend(_dot_nodes(subjects))
+    lines.extend(edges)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_to_dot(graph: DelegationGraph,
+                 revoked: Optional[RevokedSet] = None) -> str:
+    """Graphviz DOT for a whole delegation graph."""
+    is_revoked = _revocation_test(revoked)
+    lines = ["digraph delegations {", "  rankdir=LR;"]
+    subjects: List[Subject] = []
+    edges: List[str] = []
+    for delegation in graph:
+        subjects.extend([delegation.subject, delegation.obj])
+        edges.append(_dot_edge(delegation,
+                               revoked=is_revoked(delegation.id)))
+    lines.extend(_dot_nodes(subjects))
+    lines.extend(edges)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Counterfactual policy queries.
+
+Before issuing a delegation (or revoking one), an administrator wants
+the blast radius: which (principal, role) authorizations appear or
+disappear? These helpers compute the exact delta over a set of audited
+principals and roles, using scratch copies of the graph -- the live
+wallet is never touched.
+"""
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.core.delegation import Delegation
+from repro.core.identity import Entity
+from repro.core.proof import RevokedSet
+from repro.core.roles import Role, Subject, subject_key
+from repro.graph.delegation_graph import DelegationGraph
+from repro.graph.search import (
+    SupportProvider,
+    build_support_provider,
+    direct_query,
+)
+
+
+@dataclass
+class WhatIfDelta:
+    """Authorization changes caused by a hypothetical action."""
+
+    gained: List[Tuple[Subject, Role]] = field(default_factory=list)
+    lost: List[Tuple[Subject, Role]] = field(default_factory=list)
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.gained and not self.lost
+
+    def __str__(self) -> str:
+        lines = []
+        for subject, role in self.gained:
+            lines.append(f"+ {subject} => {role}")
+        for subject, role in self.lost:
+            lines.append(f"- {subject} => {role}")
+        return "\n".join(lines) if lines else "(no change)"
+
+
+def _authorization_matrix(graph: DelegationGraph,
+                          subjects: Iterable[Subject],
+                          roles: Iterable[Role],
+                          at: float,
+                          revoked: Optional[RevokedSet]
+                          ) -> Set[Tuple[tuple, tuple]]:
+    provider = build_support_provider(graph, at=at, revoked=revoked)
+    matrix: Set[Tuple[tuple, tuple]] = set()
+    for subject in subjects:
+        for role in roles:
+            if direct_query(graph, subject, role, at=at, revoked=revoked,
+                            support_provider=provider) is not None:
+                matrix.add((subject_key(subject), subject_key(role)))
+    return matrix
+
+
+def _delta(graph_before: DelegationGraph, graph_after: DelegationGraph,
+           subjects: List[Subject], roles: List[Role], at: float,
+           revoked_before: Optional[RevokedSet],
+           revoked_after: Optional[RevokedSet]) -> WhatIfDelta:
+    before = _authorization_matrix(graph_before, subjects, roles, at,
+                                   revoked_before)
+    after = _authorization_matrix(graph_after, subjects, roles, at,
+                                  revoked_after)
+    by_key = {subject_key(s): s for s in subjects}
+    role_by_key = {subject_key(r): r for r in roles}
+    delta = WhatIfDelta()
+    for skey, rkey in sorted(after - before):
+        delta.gained.append((by_key[skey], role_by_key[rkey]))
+    for skey, rkey in sorted(before - after):
+        delta.lost.append((by_key[skey], role_by_key[rkey]))
+    return delta
+
+
+def what_if_issued(graph: DelegationGraph, candidate: Delegation,
+                   subjects: Iterable[Subject], roles: Iterable[Role],
+                   at: float = 0.0,
+                   revoked: Optional[RevokedSet] = None) -> WhatIfDelta:
+    """The authorization delta if ``candidate`` were published.
+
+    ``subjects`` x ``roles`` is the audited scope (what-if analysis is
+    exact over this scope, silent outside it).
+    """
+    subjects = list(subjects)
+    roles = list(roles)
+    scratch = graph.copy()
+    scratch.add(candidate)
+    return _delta(graph, scratch, subjects, roles, at, revoked, revoked)
+
+
+def what_if_revoked(graph: DelegationGraph, delegation_id: str,
+                    subjects: Iterable[Subject], roles: Iterable[Role],
+                    at: float = 0.0,
+                    revoked: Optional[RevokedSet] = None) -> WhatIfDelta:
+    """The authorization delta if ``delegation_id`` were revoked."""
+    subjects = list(subjects)
+    roles = list(roles)
+    base = set()
+    if revoked is not None and not callable(revoked):
+        base = set(revoked)
+    elif callable(revoked):
+        # Materialize the callable over the graph's delegations.
+        base = {d.id for d in graph if revoked(d.id)}
+    return _delta(graph, graph, subjects, roles, at,
+                  base, base | {delegation_id})

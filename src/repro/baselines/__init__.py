@@ -1,0 +1,46 @@
+"""Baseline systems the paper positions dRBAC against (Sections 1 and 6).
+
+Implemented as real (small) systems, not stubs, so the E2/E3 benchmarks
+compare measured behavior:
+
+* :mod:`repro.baselines.acl` -- per-resource access control lists
+  ("difficult to administer, and neither scale well nor permit transitive
+  delegation");
+* :mod:`repro.baselines.central_rbac` -- RBAC96-style centralized RBAC
+  ("depend upon a central trusted computing base administered by a single
+  authority");
+* :mod:`repro.baselines.spki` -- SDSI/SPKI name certificates with
+  Clarke-style chain discovery, including the *phantom role* idiom dRBAC's
+  third-party delegation removes;
+* :mod:`repro.baselines.rt0` -- RT0 credentials with the Li-Winsborough
+  backward chain-discovery algorithm;
+* :mod:`repro.baselines.revocation` -- OCSP-style polling and CRL-style
+  broadcast, the schemes delegation subscriptions are compared to.
+"""
+
+from repro.baselines.acl import ACLSystem
+from repro.baselines.central_rbac import CentralRBAC
+from repro.baselines.keynote import KeyNoteAssertion, KeyNoteSystem
+from repro.baselines.spki import NameCert, SPKISystem
+from repro.baselines.rt0 import RT0Credential, RT0System
+from repro.baselines.revocation import (
+    CRLBroadcast,
+    OCSPPolling,
+    RevocationWorkload,
+    SubscriptionPush,
+)
+
+__all__ = [
+    "ACLSystem",
+    "CentralRBAC",
+    "KeyNoteAssertion",
+    "KeyNoteSystem",
+    "NameCert",
+    "SPKISystem",
+    "RT0Credential",
+    "RT0System",
+    "CRLBroadcast",
+    "OCSPPolling",
+    "RevocationWorkload",
+    "SubscriptionPush",
+]

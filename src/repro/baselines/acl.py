@@ -1,0 +1,72 @@
+"""Access control lists: the Section 1 strawman, made concrete.
+
+An ACL system binds principals directly to resources. Its administration
+cost for a coalition is what the paper's motivation says it is: every
+(user, resource) pair the coalition enables requires an explicit entry,
+maintained by the resource's administrator, and nothing can be delegated
+transitively. ``admin_operations`` counts every mutation so the E3
+benchmark can chart the cost against dRBAC's delegation count.
+"""
+
+from typing import Dict, Set
+
+
+class ACLSystem:
+    """Per-resource principal lists with full admin-cost accounting."""
+
+    def __init__(self) -> None:
+        self._acls: Dict[str, Set[str]] = {}
+        self.admin_operations = 0
+        self.checks_performed = 0
+
+    # -- administration --------------------------------------------------
+
+    def create_resource(self, resource: str) -> None:
+        if resource in self._acls:
+            raise ValueError(f"resource {resource!r} already exists")
+        self._acls[resource] = set()
+        self.admin_operations += 1
+
+    def grant(self, resource: str, principal: str) -> None:
+        """Add one principal to one resource's list (one admin op)."""
+        self._require(resource)
+        self._acls[resource].add(principal)
+        self.admin_operations += 1
+
+    def deny(self, resource: str, principal: str) -> None:
+        """Remove an entry (revocation costs an admin op per resource)."""
+        self._require(resource)
+        self._acls[resource].discard(principal)
+        self.admin_operations += 1
+
+    def revoke_principal_everywhere(self, principal: str) -> int:
+        """Remove a principal from every list; returns lists touched.
+
+        This is the ACL cost of 'fire one user': linear in resources,
+        each an administrative action on a different list.
+        """
+        touched = 0
+        for entries in self._acls.values():
+            if principal in entries:
+                entries.discard(principal)
+                self.admin_operations += 1
+                touched += 1
+        return touched
+
+    # -- decision ---------------------------------------------------------
+
+    def check(self, resource: str, principal: str) -> bool:
+        self.checks_performed += 1
+        return principal in self._acls.get(resource, set())
+
+    # -- metrics -----------------------------------------------------------
+
+    def total_entries(self) -> int:
+        return sum(len(entries) for entries in self._acls.values())
+
+    def resources(self) -> int:
+        return len(self._acls)
+
+    def _require(self, resource: str) -> None:
+        if resource not in self._acls:
+            raise KeyError(f"unknown resource {resource!r}")

@@ -1,0 +1,137 @@
+"""Centralized role-based access control (RBAC96-flavored).
+
+The paper's framing: "traditional role-based access control (RBAC)
+systems depend upon a central trusted computing base administered by a
+single authority, which contains the entire organization's security
+policy. This approach does not scale to the large numbers of mutually
+anonymous users one might encounter in coalition settings."
+
+This implementation provides the RBAC96 core relations -- user assignment
+(UA), permission assignment (PA), and a role hierarchy (RH) with
+permission inheritance -- inside a single administrative domain. Every
+user, role, and assignment must be registered with this one authority;
+there is no cross-domain delegation. The E3 benchmark measures what that
+costs a coalition: every partner's users must be enrolled centrally.
+"""
+
+from typing import Dict, Set
+
+
+class CentralRBAC:
+    """One trusted computing base holding the entire policy."""
+
+    def __init__(self, authority: str = "central") -> None:
+        self.authority = authority
+        self._roles: Set[str] = set()
+        self._users: Set[str] = set()
+        self._permissions: Set[str] = set()
+        # role -> directly senior roles (senior inherits junior's perms;
+        # edges point junior -> senior is the usual drawing, we store
+        # senior -> juniors for inheritance walks).
+        self._juniors: Dict[str, Set[str]] = {}
+        self._user_assignment: Dict[str, Set[str]] = {}
+        self._permission_assignment: Dict[str, Set[str]] = {}
+        self.admin_operations = 0
+        self.checks_performed = 0
+
+    # -- administration (all at the single authority) -----------------------
+
+    def add_role(self, role: str) -> None:
+        if role in self._roles:
+            raise ValueError(f"role {role!r} exists")
+        self._roles.add(role)
+        self._juniors[role] = set()
+        self._permission_assignment[role] = set()
+        self.admin_operations += 1
+
+    def add_user(self, user: str) -> None:
+        if user in self._users:
+            raise ValueError(f"user {user!r} exists")
+        self._users.add(user)
+        self._user_assignment[user] = set()
+        self.admin_operations += 1
+
+    def add_permission(self, permission: str) -> None:
+        if permission in self._permissions:
+            raise ValueError(f"permission {permission!r} exists")
+        self._permissions.add(permission)
+        self.admin_operations += 1
+
+    def add_inheritance(self, senior: str, junior: str) -> None:
+        """``senior`` inherits all permissions of ``junior``."""
+        self._require_role(senior)
+        self._require_role(junior)
+        if senior == junior or self._inherits(junior, senior):
+            raise ValueError("role hierarchy must stay acyclic")
+        self._juniors[senior].add(junior)
+        self.admin_operations += 1
+
+    def assign_user(self, user: str, role: str) -> None:
+        if user not in self._users:
+            raise KeyError(f"unknown user {user!r}")
+        self._require_role(role)
+        self._user_assignment[user].add(role)
+        self.admin_operations += 1
+
+    def assign_permission(self, role: str, permission: str) -> None:
+        self._require_role(role)
+        if permission not in self._permissions:
+            raise KeyError(f"unknown permission {permission!r}")
+        self._permission_assignment[role].add(permission)
+        self.admin_operations += 1
+
+    def deassign_user(self, user: str, role: str) -> None:
+        self._user_assignment.get(user, set()).discard(role)
+        self.admin_operations += 1
+
+    # -- decision ------------------------------------------------------------
+
+    def check(self, user: str, permission: str) -> bool:
+        """Does ``user`` hold ``permission`` through any assigned role?"""
+        self.checks_performed += 1
+        for role in self._user_assignment.get(user, ()):
+            if permission in self.effective_permissions(role):
+                return True
+        return False
+
+    def effective_permissions(self, role: str) -> Set[str]:
+        """Permissions of ``role`` plus everything inherited."""
+        self._require_role(role)
+        result: Set[str] = set()
+        stack = [role]
+        seen = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            result |= self._permission_assignment[current]
+            stack.extend(self._juniors[current])
+        return result
+
+    # -- metrics ----------------------------------------------------------
+
+    def policy_size(self) -> int:
+        """Total facts the central authority must hold."""
+        return (len(self._roles) + len(self._users)
+                + len(self._permissions)
+                + sum(len(v) for v in self._juniors.values())
+                + sum(len(v) for v in self._user_assignment.values())
+                + sum(len(v) for v in self._permission_assignment.values()))
+
+    def _inherits(self, senior: str, junior: str) -> bool:
+        stack = [senior]
+        seen = set()
+        while stack:
+            current = stack.pop()
+            if current == junior:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._juniors.get(current, ()))
+        return False
+
+    def _require_role(self, role: str) -> None:
+        if role not in self._roles:
+            raise KeyError(f"unknown role {role!r}")

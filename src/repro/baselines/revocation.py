@@ -1,0 +1,190 @@
+"""Revocation-scheme cost models: OCSP polling, CRL broadcast, and
+delegation subscriptions (paper, Section 6).
+
+The paper's claims, which the E2 benchmark measures with these models:
+
+* "Unlike OCSP, where a client monitoring the status of a certificate
+  must continuously poll an authorized server (even when the credential
+  has not changed), delegation subscriptions only require server and
+  network resources when a credential has been updated."
+* "Revocation-based schemes [CRLs] transmit information regarding all
+  revoked certificates to all subscribers. In contrast, delegation
+  subscriptions ... avoid communication of updates irrelevant to
+  particular caches."
+
+All three schemes run the same :class:`RevocationWorkload`: N monitored
+credentials, each watched by one client, over E epochs with a seeded
+per-epoch revocation process. Costs are messages and bytes, with one
+status record = ``RECORD_BYTES``. Correctness is also tracked: the epoch
+lag between a revocation and the watching client learning of it.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+# Nominal size of one status/credential record on the wire.
+RECORD_BYTES = 64
+
+
+@dataclass
+class RevocationWorkload:
+    """A seeded schedule of revocations over monitored credentials."""
+
+    credentials: int
+    epochs: int
+    revocation_rate: float
+    seed: int = 0
+    # epoch -> credential ids revoked at that epoch
+    schedule: Dict[int, List[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.revocation_rate <= 1.0):
+            raise ValueError("revocation rate must be in [0, 1]")
+        rng = random.Random(self.seed)
+        alive = set(range(self.credentials))
+        for epoch in range(self.epochs):
+            revoked_now = [
+                credential for credential in sorted(alive)
+                if rng.random() < self.revocation_rate
+            ]
+            if revoked_now:
+                self.schedule[epoch] = revoked_now
+                alive -= set(revoked_now)
+
+    @property
+    def total_revocations(self) -> int:
+        return sum(len(ids) for ids in self.schedule.values())
+
+
+@dataclass
+class SchemeResult:
+    """Measured cost and freshness of one scheme on one workload."""
+
+    scheme: str
+    messages: int = 0
+    bytes: int = 0
+    # Sum over revocations of (notification epoch - revocation epoch).
+    total_notification_lag: float = 0.0
+    notifications_delivered: int = 0
+
+    @property
+    def mean_lag(self) -> float:
+        if self.notifications_delivered == 0:
+            return 0.0
+        return self.total_notification_lag / self.notifications_delivered
+
+
+class OCSPPolling:
+    """Each client polls the status server every ``poll_interval`` epochs.
+
+    Cost: one request + one response per monitored credential per poll,
+    regardless of whether anything changed. Freshness: a revocation is
+    noticed at the next poll after it happens (mean lag ~ interval / 2).
+    """
+
+    def __init__(self, poll_interval: int = 1) -> None:
+        if poll_interval < 1:
+            raise ValueError("poll interval must be >= 1 epoch")
+        self.poll_interval = poll_interval
+
+    def run(self, workload: RevocationWorkload) -> SchemeResult:
+        result = SchemeResult(scheme=f"ocsp(poll={self.poll_interval})")
+        revoked_at: Dict[int, int] = {}
+        notified: Set[int] = set()
+        alive = set(range(workload.credentials))
+        for epoch in range(workload.epochs):
+            for credential in workload.schedule.get(epoch, ()):
+                revoked_at[credential] = epoch
+                alive.discard(credential)
+            if epoch % self.poll_interval != 0:
+                continue
+            # Every client polls for every credential it still monitors
+            # (clients stop monitoring once they learn of revocation).
+            monitored = (alive | set(revoked_at)) - notified
+            for credential in monitored:
+                result.messages += 2  # request + response
+                result.bytes += 2 * RECORD_BYTES
+                if credential in revoked_at and credential not in notified:
+                    notified.add(credential)
+                    result.notifications_delivered += 1
+                    result.total_notification_lag += (
+                        epoch - revoked_at[credential])
+        return result
+
+
+class CRLBroadcast:
+    """The authority pushes its full revocation list every epoch.
+
+    Cost: one message per subscriber per epoch whose size grows with the
+    cumulative revocation list ("transmit information regarding all
+    revoked certificates to all subscribers"). Every client receives every
+    entry, relevant or not.
+    """
+
+    def __init__(self, publish_interval: int = 1) -> None:
+        if publish_interval < 1:
+            raise ValueError("publish interval must be >= 1 epoch")
+        self.publish_interval = publish_interval
+
+    def run(self, workload: RevocationWorkload) -> SchemeResult:
+        result = SchemeResult(
+            scheme=f"crl(publish={self.publish_interval})")
+        revoked_at: Dict[int, int] = {}
+        notified: Set[int] = set()
+        crl: List[int] = []
+        subscribers = workload.credentials  # one watching client each
+        for epoch in range(workload.epochs):
+            for credential in workload.schedule.get(epoch, ()):
+                revoked_at[credential] = epoch
+                crl.append(credential)
+            if epoch % self.publish_interval != 0:
+                continue
+            # Full list to every subscriber.
+            result.messages += subscribers
+            result.bytes += subscribers * max(len(crl), 1) * RECORD_BYTES
+            for credential in crl:
+                if credential not in notified:
+                    notified.add(credential)
+                    result.notifications_delivered += 1
+                    result.total_notification_lag += (
+                        epoch - revoked_at[credential])
+        return result
+
+
+class SubscriptionPush:
+    """dRBAC delegation subscriptions: push only on change, only to the
+    interested party.
+
+    Cost: one subscription registration per credential up front, then one
+    push per revocation to exactly the client watching that credential.
+    Freshness: same-epoch notification (lag 0).
+    """
+
+    def __init__(self, count_registration: bool = True) -> None:
+        self.count_registration = count_registration
+
+    def run(self, workload: RevocationWorkload) -> SchemeResult:
+        result = SchemeResult(scheme="subscription")
+        if self.count_registration:
+            # register + ack per monitored credential, once.
+            result.messages += 2 * workload.credentials
+            result.bytes += 2 * workload.credentials * RECORD_BYTES
+        for epoch, revoked in workload.schedule.items():
+            for _credential in revoked:
+                result.messages += 1
+                result.bytes += RECORD_BYTES
+                result.notifications_delivered += 1
+                result.total_notification_lag += 0.0
+        return result
+
+
+def compare_schemes(workload: RevocationWorkload,
+                    poll_interval: int = 1,
+                    crl_interval: int = 1) -> List[SchemeResult]:
+    """Run all three schemes on one workload (the E2 benchmark body)."""
+    return [
+        SubscriptionPush().run(workload),
+        OCSPPolling(poll_interval=poll_interval).run(workload),
+        CRLBroadcast(publish_interval=crl_interval).run(workload),
+    ]

@@ -1,0 +1,412 @@
+"""A command-line front end for a local dRBAC wallet workspace.
+
+Gives the library the operational surface a downstream user expects from
+an open-source release: create identities, issue delegations in the
+paper's concrete syntax, query trust relationships, revoke, renew, and
+inspect -- all against a wallet persisted in a workspace directory.
+
+Usage::
+
+    python -m repro.cli -w ws entity create BigISP
+    python -m repro.cli -w ws entity create Maria
+    python -m repro.cli -w ws entity create Mark
+    python -m repro.cli -w ws issue "[Mark -> BigISP.memberServices] BigISP"
+    python -m repro.cli -w ws issue "[BigISP.memberServices -> BigISP.member'] BigISP"
+    python -m repro.cli -w ws issue "[Maria -> BigISP.member] Mark"
+    python -m repro.cli -w ws query direct Maria BigISP.member
+    python -m repro.cli -w ws revoke <delegation-id>
+    python -m repro.cli -w ws show
+
+The workspace stores private keys in plaintext (it is a demo/ops tool for
+the simulated system, not a production secret store); the wallet state
+itself rides the same canonical encoding used on the wire.
+"""
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.core import (
+    DRBACError,
+    EntityDirectory,
+    Principal,
+    Role,
+    WallClock,
+    create_principal,
+    format_delegation,
+    parse_and_issue,
+    parse_role,
+    renew as renew_delegation,
+)
+from repro.core.identity import Entity
+from repro.crypto.encoding import canonical_decode, canonical_encode
+from repro.crypto.keys import deserialize_keypair, serialize_keypair
+from repro.wallet import Wallet, WalletStore
+
+PRINCIPALS_FILE = "principals.bin"
+WALLET_FILE = "wallet.bin"
+
+
+class Workspace:
+    """On-disk state: principals (with keys) plus one wallet store."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.principals: dict = {}
+        self.store = WalletStore()
+        self._load()
+
+    # -- persistence -----------------------------------------------------
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def _load(self) -> None:
+        principals_path = self._path(PRINCIPALS_FILE)
+        if os.path.exists(principals_path):
+            with open(principals_path, "rb") as handle:
+                records = canonical_decode(handle.read())
+            for record in records:
+                keypair = deserialize_keypair(record["keypair"])
+                entity = Entity(public_key=keypair.public,
+                                nickname=record["nickname"])
+                self.principals[record["nickname"]] = Principal(
+                    entity=entity, keypair=keypair)
+        wallet_path = self._path(WALLET_FILE)
+        if os.path.exists(wallet_path):
+            self.store = WalletStore.load(wallet_path)
+
+    def save(self) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        records = [
+            {"nickname": name,
+             "keypair": serialize_keypair(principal.keypair)}
+            for name, principal in sorted(self.principals.items())
+        ]
+        with open(self._path(PRINCIPALS_FILE), "wb") as handle:
+            handle.write(canonical_encode(records))
+        self.store.save(self._path(WALLET_FILE))
+
+    # -- derived objects ---------------------------------------------------
+
+    def directory(self) -> EntityDirectory:
+        return EntityDirectory(
+            [p.entity for p in self.principals.values()])
+
+    def wallet(self) -> Wallet:
+        return Wallet(owner=None, address="cli", clock=WallClock(),
+                      store=self.store)
+
+    def principal(self, name: str) -> Principal:
+        try:
+            return self.principals[name]
+        except KeyError:
+            raise DRBACError(
+                f"no entity named {name!r} in this workspace "
+                f"(create it with: entity create {name})"
+            ) from None
+
+
+def _resolve_subject(workspace: Workspace, text: str):
+    """A CLI subject argument: an entity nickname or a Role string."""
+    if "." in text:
+        return parse_role(text, workspace.directory())
+    return workspace.principal(text).entity
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def cmd_entity_create(workspace: Workspace, args) -> int:
+    if args.name in workspace.principals:
+        print(f"entity {args.name!r} already exists", file=sys.stderr)
+        return 1
+    principal = create_principal(args.name, algorithm=args.algorithm)
+    workspace.principals[args.name] = principal
+    workspace.save()
+    print(f"created {args.name} "
+          f"({principal.entity.public_key.short_fingerprint})")
+    return 0
+
+
+def cmd_entity_list(workspace: Workspace, _args) -> int:
+    if not workspace.principals:
+        print("(no entities)")
+        return 0
+    for name, principal in sorted(workspace.principals.items()):
+        print(f"{name:20s} {principal.entity.public_key.fingerprint}")
+    return 0
+
+
+def cmd_issue(workspace: Workspace, args) -> int:
+    directory = workspace.directory()
+    from repro.core import parse_delegation
+    template = parse_delegation(args.delegation, directory)
+    issuer = workspace.principal(template.issuer.nickname)
+    delegation = parse_and_issue(args.delegation, issuer, directory,
+                                 issued_at=time.time())
+    wallet = workspace.wallet()
+    supports = []
+    if delegation.required_supports():
+        provider = wallet.support_provider()
+        supports = list(provider(delegation))
+    wallet.publish(delegation, supports)
+    workspace.save()
+    print(f"issued {delegation.short_id}: "
+          f"{format_delegation(delegation)}")
+    return 0
+
+
+def cmd_show(workspace: Workspace, _args) -> int:
+    wallet = workspace.wallet()
+    count = 0
+    for delegation in workspace.store.delegations():
+        flags = []
+        if workspace.store.is_revoked(delegation.id):
+            flags.append("REVOKED")
+        if delegation.is_expired(wallet.clock.now()):
+            flags.append("EXPIRED")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"{delegation.short_id}  "
+              f"{format_delegation(delegation)}{suffix}")
+        count += 1
+    if count == 0:
+        print("(wallet is empty)")
+    return 0
+
+
+def cmd_query(workspace: Workspace, args) -> int:
+    wallet = workspace.wallet()
+    directory = workspace.directory()
+    if args.form == "direct":
+        subject = _resolve_subject(workspace, args.subject)
+        obj = parse_role(args.object, directory)
+        proof = wallet.query_direct(subject, obj)
+        if proof is None:
+            print("NO PROOF")
+            return 2
+        print(f"PROOF ({proof.depth()} links):")
+        for delegation in proof.chain:
+            print(f"  {format_delegation(delegation)}")
+        return 0
+    if args.form == "subject":
+        subject = _resolve_subject(workspace, args.subject)
+        proofs = wallet.query_subject(subject)
+        for proof in proofs:
+            print(f"{subject} => {proof.obj}  ({proof.depth()} links)")
+        if not proofs:
+            print("(nothing reachable)")
+        return 0
+    obj = parse_role(args.subject, directory)
+    proofs = wallet.query_object(obj)
+    for proof in proofs:
+        print(f"{proof.subject} => {obj}  ({proof.depth()} links)")
+    if not proofs:
+        print("(no grantees)")
+    return 0
+
+
+def cmd_revoke(workspace: Workspace, args) -> int:
+    matches = [d for d in workspace.store.delegations()
+               if d.id.startswith(args.delegation_id)]
+    if len(matches) != 1:
+        print(f"{len(matches)} delegations match "
+              f"{args.delegation_id!r}", file=sys.stderr)
+        return 1
+    delegation = matches[0]
+    issuer = workspace.principal(delegation.issuer.nickname)
+    wallet = workspace.wallet()
+    wallet.revoke(issuer, delegation.id)
+    workspace.save()
+    print(f"revoked {delegation.short_id}")
+    return 0
+
+
+def cmd_explain(workspace: Workspace, args) -> int:
+    from repro.analysis.explain import explain_proof
+    wallet = workspace.wallet()
+    subject = _resolve_subject(workspace, args.subject)
+    obj = parse_role(args.object, workspace.directory())
+    proof = wallet.query_direct(subject, obj)
+    if proof is None:
+        print("NO PROOF")
+        return 2
+    print(explain_proof(proof))
+    return 0
+
+
+def cmd_audit(workspace: Workspace, args) -> int:
+    from repro.analysis.audit import exposure, principals_with_access
+    wallet = workspace.wallet()
+    role = parse_role(args.role, workspace.directory())
+    principals = principals_with_access(
+        wallet.store.graph, role, at=wallet.clock.now(),
+        revoked=wallet.store.is_revoked,
+        support_provider=wallet.support_provider())
+    if not principals:
+        print(f"nobody can be proven to hold {role}")
+        return 0
+    print(f"principals holding {role}:")
+    for entity in principals:
+        print(f"  {entity.display_name} "
+              f"({entity.public_key.short_fingerprint})")
+    role_subjects = sorted({
+        str(proof.subject)
+        for proof in exposure(
+            wallet.store.graph, role, at=wallet.clock.now(),
+            revoked=wallet.store.is_revoked,
+            support_provider=wallet.support_provider())
+        if not isinstance(proof.subject, Entity)
+    })
+    if role_subjects:
+        print(f"roles that reach it: {', '.join(role_subjects)}")
+    return 0
+
+
+def cmd_cut(workspace: Workspace, args) -> int:
+    from repro.analysis.cut import minimal_revocation_set
+    wallet = workspace.wallet()
+    subject = _resolve_subject(workspace, args.subject)
+    obj = parse_role(args.object, workspace.directory())
+    cut = minimal_revocation_set(
+        wallet.store.graph, subject, obj, at=wallet.clock.now(),
+        revoked=wallet.store.is_revoked)
+    if len(cut) == 0:
+        print("already disconnected")
+        return 0
+    print(f"revoke these {len(cut)} delegation(s) to sever "
+          f"{subject} => {obj} "
+          f"({cut.max_disjoint_chains} disjoint chains):")
+    for delegation in cut.delegations:
+        print(f"  {delegation.short_id}  "
+              f"{format_delegation(delegation)}")
+    return 0
+
+
+def cmd_dot(workspace: Workspace, args) -> int:
+    from repro.analysis.explain import graph_to_dot
+    wallet = workspace.wallet()
+    dot = graph_to_dot(wallet.store.graph,
+                       revoked=wallet.store.is_revoked)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(dot + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
+def cmd_renew(workspace: Workspace, args) -> int:
+    matches = [d for d in workspace.store.delegations()
+               if d.id.startswith(args.delegation_id)]
+    if len(matches) != 1:
+        print(f"{len(matches)} delegations match "
+              f"{args.delegation_id!r}", file=sys.stderr)
+        return 1
+    delegation = matches[0]
+    issuer = workspace.principal(delegation.issuer.nickname)
+    renewed = renew_delegation(issuer, delegation, args.expiry)
+    wallet = workspace.wallet()
+    wallet.publish_renewal(delegation.id, renewed)
+    workspace.save()
+    print(f"renewed {delegation.short_id} -> {renewed.short_id} "
+          f"(expiry {renewed.expiry})")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="drbac",
+        description="Local dRBAC wallet workspace "
+                    "(reproduction of ICDCS 2002)",
+    )
+    parser.add_argument("-w", "--workspace", default=".drbac",
+                        help="workspace directory (default: .drbac)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    entity = commands.add_parser("entity", help="manage identities")
+    entity_sub = entity.add_subparsers(dest="entity_command",
+                                       required=True)
+    create = entity_sub.add_parser("create", help="mint a new identity")
+    create.add_argument("name")
+    create.add_argument("--algorithm", default="schnorr-secp256k1",
+                        choices=["schnorr-secp256k1", "rsa-fdh-sha256"])
+    create.set_defaults(func=cmd_entity_create)
+    listing = entity_sub.add_parser("list", help="list identities")
+    listing.set_defaults(func=cmd_entity_list)
+
+    issue_cmd = commands.add_parser(
+        "issue", help="issue a delegation from its text form")
+    issue_cmd.add_argument("delegation",
+                           help="e.g. \"[Maria -> BigISP.member] Mark\"")
+    issue_cmd.set_defaults(func=cmd_issue)
+
+    show = commands.add_parser("show", help="list wallet contents")
+    show.set_defaults(func=cmd_show)
+
+    query = commands.add_parser("query", help="ask the wallet")
+    query.add_argument("form", choices=["direct", "subject", "object"])
+    query.add_argument("subject",
+                       help="entity nickname or role (object queries: "
+                            "the role)")
+    query.add_argument("object", nargs="?",
+                       help="target role (direct queries only)")
+    query.set_defaults(func=cmd_query)
+
+    revoke = commands.add_parser("revoke", help="revoke a delegation")
+    revoke.add_argument("delegation_id", help="id prefix")
+    revoke.set_defaults(func=cmd_revoke)
+
+    renew_cmd = commands.add_parser(
+        "renew", help="extend a delegation's lifetime")
+    renew_cmd.add_argument("delegation_id", help="id prefix")
+    renew_cmd.add_argument("expiry", type=float,
+                           help="new expiry (unix timestamp)")
+    renew_cmd.set_defaults(func=cmd_renew)
+
+    explain = commands.add_parser(
+        "explain", help="show an authorization's full proof tree")
+    explain.add_argument("subject")
+    explain.add_argument("object")
+    explain.set_defaults(func=cmd_explain)
+
+    audit = commands.add_parser(
+        "audit", help="list everyone who can reach a role")
+    audit.add_argument("role")
+    audit.set_defaults(func=cmd_audit)
+
+    cut = commands.add_parser(
+        "cut", help="smallest revocation set severing an authorization")
+    cut.add_argument("subject")
+    cut.add_argument("object")
+    cut.set_defaults(func=cmd_cut)
+
+    dot = commands.add_parser(
+        "dot", help="export the wallet graph as Graphviz DOT")
+    dot.add_argument("-o", "--output", default=None)
+    dot.set_defaults(func=cmd_dot)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "query" and args.form == "direct" \
+            and args.object is None:
+        parser.error("direct queries need SUBJECT and OBJECT")
+    workspace = Workspace(args.workspace)
+    try:
+        return args.func(workspace, args)
+    except DRBACError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

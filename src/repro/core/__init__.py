@@ -1,0 +1,102 @@
+"""The dRBAC core model: entities, roles, valued attributes, delegations,
+and proofs (paper, Sections 2-3).
+
+Quick tour::
+
+    from repro.core import (
+        create_principal, Role, issue, Proof, validate_proof,
+    )
+
+    big_isp = create_principal("BigISP")
+    mark = create_principal("Mark")
+    maria = create_principal("Maria")
+
+    member = Role(big_isp.entity, "member")
+    services = Role(big_isp.entity, "memberServices")
+
+    d1 = issue(big_isp, mark.entity, services)                  # (1)
+    d2 = issue(big_isp, services, member.with_tick())           # (2)
+    d3 = issue(mark, maria.entity, member)                      # (3)
+
+    support = Proof.single(d1).extend(d2)    # Mark => BigISP.member'
+    proof = Proof.single(d3, supports=[support])
+    validate_proof(proof, at=0.0)            # Maria => BigISP.member
+"""
+
+from repro.core.attributes import (
+    AttributeRef,
+    Constraint,
+    Modifier,
+    ModifierSet,
+    Operator,
+    check_constraints,
+)
+from repro.core.clock import Clock, SimClock, WallClock
+from repro.core.delegation import (
+    Delegation,
+    DelegationKind,
+    Revocation,
+    is_renewal_of,
+    issue,
+    renew,
+    revoke,
+)
+from repro.core.errors import (
+    AttributeError_,
+    AuthorizationDenied,
+    DelegationError,
+    DiscoveryError,
+    DRBACError,
+    ExpiredError,
+    ParseError,
+    ProofError,
+    PublicationError,
+    RevokedError,
+    SignatureInvalidError,
+)
+from repro.core.identity import (
+    Entity,
+    EntityDirectory,
+    Principal,
+    create_principal,
+)
+from repro.core.parser import (
+    format_delegation,
+    parse_and_issue,
+    parse_delegation,
+    parse_many,
+    parse_role,
+)
+from repro.core.proof import (
+    MAX_SUPPORT_DEPTH,
+    Proof,
+    is_valid_proof,
+    validate_proof,
+)
+from repro.core.roles import Role, Subject, attribute_right, subject_key
+from repro.core.tags import (
+    DiscoveryTag,
+    ObjectFlag,
+    SubjectFlag,
+    searchable_forward,
+    searchable_reverse,
+)
+
+__all__ = [
+    "AttributeRef", "Constraint", "Modifier", "ModifierSet", "Operator",
+    "check_constraints",
+    "Clock", "SimClock", "WallClock",
+    "Delegation", "DelegationKind", "Revocation", "is_renewal_of",
+    "issue", "renew", "revoke",
+    "AttributeError_", "AuthorizationDenied", "DelegationError",
+    "DiscoveryError", "DRBACError", "ExpiredError", "ParseError",
+    "ProofError", "PublicationError", "RevokedError",
+    "SignatureInvalidError",
+    "Entity", "EntityDirectory", "Principal", "create_principal",
+    "format_delegation", "parse_and_issue", "parse_delegation",
+    "parse_many", "parse_role",
+    "MAX_SUPPORT_DEPTH", "Proof", "is_valid_proof", "validate_proof",
+    "Role", "Subject", "attribute_right", "subject_key",
+    "DiscoveryTag", "ObjectFlag", "SubjectFlag",
+    "searchable_forward", "searchable_reverse",
+]

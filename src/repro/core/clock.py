@@ -1,0 +1,66 @@
+"""Time sources for expiration, TTLs, and the simulated network.
+
+The paper's mechanisms depend on time in three places: delegation
+expiration dates (Table 2), discovery-tag TTLs (Section 4.2.1), and the
+economics of polling vs. push revocation (Section 6). To keep every
+experiment deterministic we route all time reads through a ``Clock``:
+
+* :class:`SimClock` -- manually advanced logical time, used by tests, the
+  discrete-event network simulator, and all benchmarks.
+* :class:`WallClock` -- real time, for interactive use of the library.
+
+Times are floats in seconds; the epoch is arbitrary (0.0 for SimClock).
+"""
+
+import time
+from typing import Optional
+
+
+class Clock:
+    """Abstract time source."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time via ``time.time()``."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class SimClock(Clock):
+    """Deterministic, manually advanced logical clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("simulated time must be non-negative")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance time by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance time to an absolute ``timestamp`` (must not be earlier)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+
+_DEFAULT_CLOCK = WallClock()
+
+
+def resolve_clock(clock: Optional[Clock]) -> Clock:
+    """Return ``clock`` or the process-wide wall clock if None."""
+    return clock if clock is not None else _DEFAULT_CLOCK

@@ -1,0 +1,395 @@
+"""Proofs: delegation chains plus the support proofs that authorize them.
+
+A *proof* (paper, Section 2) is a graph of delegations demonstrating that
+"principal P has the permissions of role R", written ``P => R``. Its
+skeleton is a *primary chain* of delegations
+
+    d1 = [P -> R1] I1,  d2 = [R1 -> R2] I2, ...,  dk = [R(k-1) -> R] Ik
+
+where each delegation's subject equals the previous delegation's object.
+Every third-party delegation in the chain (and every attribute modulated
+outside its issuer's namespace) must be accompanied by a *support proof*
+establishing the issuer's right of assignment; support proofs are
+recursive, themselves possibly containing third-party delegations
+(Section 3.1.2).
+
+Validation (:func:`validate_proof`) checks, for a proof claimed at time
+``at`` against a revocation set:
+
+1. the chain links up and spans exactly ``subject => obj``;
+2. every delegation's signature verifies;
+3. no delegation is expired or revoked;
+4. every required support role has a valid (recursively validated)
+   support proof from the delegation's issuer;
+5. attribute modulation is namespace-legal (strict mode) and composes
+   under the monotone algebra of :mod:`repro.core.attributes`.
+
+The composed attribute modifiers of the primary chain, applied to the
+object's base allocations, give the final modulated grant -- reproducing
+the paper's Step 5 aggregation (BW 100, storage 30, hours 18 in the case
+study).
+"""
+
+from typing import Callable, Container, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.core.attributes import (
+    AttributeRef,
+    Constraint,
+    ModifierSet,
+    check_constraints,
+)
+from repro.core.delegation import Delegation
+from repro.core.errors import (
+    ExpiredError,
+    ProofError,
+    RevokedError,
+    SignatureInvalidError,
+)
+from repro.core.identity import Entity
+from repro.core.roles import Role, Subject, subject_key
+
+# Maximum support-proof nesting depth; the paper's idiom is recursive and
+# this guards against adversarially deep (or cyclic) certificate bundles.
+MAX_SUPPORT_DEPTH = 16
+
+RevokedSet = Union[Container[str], Callable[[str], bool]]
+
+
+class Proof:
+    """An immutable proof that ``subject => obj``.
+
+    ``supports`` maps a delegation id to the tuple of support proofs
+    accompanying that delegation (one per required assignment role).
+    """
+
+    __slots__ = ("_subject", "_obj", "_chain", "_supports", "_modifiers",
+                 "_depth_budget")
+
+    def __init__(self, subject: Subject, obj: Role,
+                 chain: Iterable[Delegation],
+                 supports: Optional[Mapping[str, Tuple["Proof", ...]]] = None
+                 ) -> None:
+        self._subject = subject
+        self._obj = obj
+        self._chain = tuple(chain)
+        self._supports: Dict[str, Tuple[Proof, ...]] = dict(supports or {})
+        if not self._chain:
+            raise ProofError("a proof requires a non-empty delegation chain")
+        self._modifiers = _compose_chain_modifiers(self._chain)
+        self._depth_budget = _depth_budget(self._chain)
+
+    # -- construction helpers --------------------------------------------
+
+    @staticmethod
+    def single(delegation: Delegation,
+               supports: Iterable["Proof"] = ()) -> "Proof":
+        """A one-link proof: exactly what ``delegation`` states."""
+        support_map = {delegation.id: tuple(supports)} if supports else None
+        return Proof(subject=delegation.subject, obj=delegation.obj,
+                     chain=(delegation,), supports=support_map)
+
+    def extend(self, delegation: Delegation,
+               supports: Iterable["Proof"] = ()) -> "Proof":
+        """Append a delegation whose subject is this proof's object."""
+        if subject_key(delegation.subject) != subject_key(self._obj):
+            raise ProofError(
+                f"cannot extend {self} with {delegation}: subject mismatch"
+            )
+        merged = dict(self._supports)
+        if supports:
+            merged[delegation.id] = tuple(supports)
+        return Proof(subject=self._subject, obj=delegation.obj,
+                     chain=self._chain + (delegation,), supports=merged)
+
+    def join(self, other: "Proof") -> "Proof":
+        """Concatenate two proofs: ``S => M`` + ``M => O`` -> ``S => O``."""
+        if subject_key(other._subject) != subject_key(self._obj):
+            raise ProofError(
+                f"cannot join: {self._obj} does not match {other._subject}"
+            )
+        merged = dict(self._supports)
+        for delegation_id, proofs in other._supports.items():
+            merged[delegation_id] = proofs
+        return Proof(subject=self._subject, obj=other._obj,
+                     chain=self._chain + other._chain, supports=merged)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def subject(self) -> Subject:
+        return self._subject
+
+    @property
+    def obj(self) -> Role:
+        return self._obj
+
+    @property
+    def chain(self) -> Tuple[Delegation, ...]:
+        return self._chain
+
+    @property
+    def modifiers(self) -> ModifierSet:
+        """Attribute modifiers composed along the primary chain."""
+        return self._modifiers
+
+    @property
+    def depth_budget(self) -> Optional[int]:
+        """How many more links the chain may grow under the tightest
+        depth limit carried by its delegations (Section 6 extension).
+
+        None means unlimited; a negative value marks a chain that already
+        violates some link's limit (validation rejects it).
+        """
+        return self._depth_budget
+
+    def supports_for(self, delegation: Delegation) -> Tuple["Proof", ...]:
+        return self._supports.get(delegation.id, ())
+
+    def all_delegations(self) -> Iterator[Delegation]:
+        """Every delegation in the proof, supports included (deduplicated).
+
+        This is the set a proof monitor must subscribe to: invalidation of
+        *any* of them invalidates the proof.
+        """
+        seen = set()
+        stack: List[Proof] = [self]
+        while stack:
+            proof = stack.pop()
+            for delegation in proof._chain:
+                if delegation.id not in seen:
+                    seen.add(delegation.id)
+                    yield delegation
+                stack.extend(proof._supports.get(delegation.id, ()))
+
+    def depth(self) -> int:
+        """Length of the primary chain."""
+        return len(self._chain)
+
+    # -- attribute aggregation ----------------------------------------------
+
+    def grants(self, bases: Mapping[AttributeRef, float]
+               ) -> Dict[AttributeRef, float]:
+        """Final modulated allocations given the object's base values."""
+        return self._modifiers.apply(bases)
+
+    def satisfies(self, constraints: Iterable[Constraint],
+                  bases: Mapping[AttributeRef, float]) -> bool:
+        """True iff the aggregated grant meets every constraint."""
+        return check_constraints(self._modifiers, constraints, bases)
+
+    # -- display / identity ---------------------------------------------------
+
+    def __str__(self) -> str:
+        return f"Proof({self._subject} => {self._obj}, {len(self._chain)} links)"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    # -- wire serialization -----------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Wire representation carried in object/subject query responses."""
+        from repro.core.delegation import _subject_to_dict, _role_to_dict
+        return {
+            "subject": _subject_to_dict(self._subject),
+            "object": _role_to_dict(self._obj),
+            "chain": [d.to_dict() for d in self._chain],
+            "supports": {
+                delegation_id: [p.to_dict() for p in proofs]
+                for delegation_id, proofs in self._supports.items()
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Proof":
+        """Decode a wire representation. Does not validate; callers run
+        :func:`validate_proof` before trusting anything received."""
+        from repro.core.delegation import (
+            _subject_from_dict,
+            _role_from_dict,
+        )
+        return Proof(
+            subject=_subject_from_dict(data["subject"]),
+            obj=_role_from_dict(data["object"]),
+            chain=tuple(Delegation.from_dict(d) for d in data["chain"]),
+            supports={
+                delegation_id: tuple(
+                    Proof.from_dict(p) for p in proofs
+                )
+                for delegation_id, proofs in data.get("supports", {}).items()
+            },
+        )
+
+    def _canonical_key(self) -> tuple:
+        return (
+            tuple(d.id for d in self._chain),
+            tuple(sorted(
+                (delegation_id, tuple(p._canonical_key() for p in proofs))
+                for delegation_id, proofs in self._supports.items()
+            )),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Proof):
+            return NotImplemented
+        return self._canonical_key() == other._canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self._canonical_key())
+
+
+def validate_proof(proof: Proof, at: float,
+                   revoked: Optional[RevokedSet] = None,
+                   constraints: Iterable[Constraint] = (),
+                   bases: Optional[Mapping[AttributeRef, float]] = None,
+                   strict_attribute_namespace: bool = True,
+                   max_depth: int = MAX_SUPPORT_DEPTH) -> None:
+    """Validate ``proof`` at time ``at``; raise :class:`ProofError` on any
+    violation. See the module docstring for the checked rules."""
+    _validate(proof, at, _revocation_test(revoked),
+              strict_attribute_namespace, max_depth, active=frozenset())
+    if constraints:
+        if not proof.satisfies(constraints, bases or {}):
+            raise ProofError(
+                f"{proof} does not satisfy attribute constraints"
+            )
+
+
+def is_valid_proof(proof: Proof, at: float,
+                   revoked: Optional[RevokedSet] = None,
+                   constraints: Iterable[Constraint] = (),
+                   bases: Optional[Mapping[AttributeRef, float]] = None,
+                   strict_attribute_namespace: bool = True) -> bool:
+    """Boolean convenience wrapper around :func:`validate_proof`."""
+    try:
+        validate_proof(proof, at, revoked=revoked, constraints=constraints,
+                       bases=bases,
+                       strict_attribute_namespace=strict_attribute_namespace)
+    except ProofError:
+        return False
+    return True
+
+
+def _validate(proof: Proof, at: float, is_revoked: Callable[[str], bool],
+              strict_ns: bool, depth_left: int,
+              active: frozenset) -> None:
+    if depth_left < 0:
+        raise ProofError("support proofs nested beyond the depth limit")
+    key = (subject_key(proof.subject), subject_key(proof.obj))
+    if key in active:
+        raise ProofError(
+            f"cyclic support structure at {proof.subject} => {proof.obj}"
+        )
+    active = active | {key}
+
+    chain = proof.chain
+    _check_linkage(proof)
+    for index, delegation in enumerate(chain):
+        if not delegation.verify_signature():
+            raise SignatureInvalidError(
+                f"link {index}: bad signature on {delegation}"
+            )
+        if delegation.is_expired(at):
+            raise ExpiredError(
+                f"link {index}: {delegation} expired at {delegation.expiry}"
+            )
+        if is_revoked(delegation.id):
+            raise RevokedError(f"link {index}: {delegation} is revoked")
+        if strict_ns:
+            _check_attribute_namespaces(delegation, index)
+        _check_supports(proof, delegation, index, at, is_revoked,
+                        strict_ns, depth_left, active)
+
+
+def _check_linkage(proof: Proof) -> None:
+    chain = proof.chain
+    if subject_key(chain[0].subject) != subject_key(proof.subject):
+        raise ProofError(
+            f"chain starts at {chain[0].subject}, proof claims "
+            f"{proof.subject}"
+        )
+    if subject_key(chain[-1].obj) != subject_key(proof.obj):
+        raise ProofError(
+            f"chain ends at {chain[-1].obj}, proof claims {proof.obj}"
+        )
+    for index in range(1, len(chain)):
+        previous = chain[index - 1]
+        current = chain[index]
+        if subject_key(current.subject) != subject_key(previous.obj):
+            raise ProofError(
+                f"broken chain at link {index}: {previous.obj} != "
+                f"{current.subject}"
+            )
+    budget = proof.depth_budget
+    if budget is not None and budget < 0:
+        raise ProofError(
+            "chain exceeds a delegation's re-delegation depth limit"
+        )
+
+
+def _check_attribute_namespaces(delegation: Delegation, index: int) -> None:
+    """Attributes must live in the object role's namespace (Section 3.2.1:
+    "it is only meaningful to set attributes that are defined within the
+    namespace of the delegation's object, or that are inherited by that
+    object"). Strict mode enforces the namespace-equality half; inherited
+    attributes require relaxing with strict_attribute_namespace=False."""
+    for modifier in delegation.modifiers.to_modifiers():
+        if modifier.attribute.entity != delegation.obj.entity:
+            raise ProofError(
+                f"link {index}: attribute {modifier.attribute} is not in "
+                f"the namespace of object {delegation.obj}"
+            )
+
+
+def _check_supports(proof: Proof, delegation: Delegation, index: int,
+                    at: float, is_revoked: Callable[[str], bool],
+                    strict_ns: bool, depth_left: int,
+                    active: frozenset) -> None:
+    required = delegation.required_supports()
+    if not required:
+        return
+    available = proof.supports_for(delegation)
+    for role in required:
+        support = _find_support(available, delegation.issuer, role)
+        if support is None:
+            raise ProofError(
+                f"link {index}: {delegation} is third-party but no support "
+                f"proof shows {delegation.issuer.display_name} => {role}"
+            )
+        _validate(support, at, is_revoked, strict_ns, depth_left - 1, active)
+
+
+def _find_support(proofs: Tuple[Proof, ...], issuer: Entity,
+                  role: Role) -> Optional[Proof]:
+    for proof in proofs:
+        if isinstance(proof.subject, Entity) and proof.subject == issuer \
+                and proof.obj == role:
+            return proof
+    return None
+
+
+def _depth_budget(chain: Tuple[Delegation, ...]) -> Optional[int]:
+    budget = None
+    last = len(chain) - 1
+    for index, delegation in enumerate(chain):
+        if delegation.depth_limit is None:
+            continue
+        remaining = delegation.depth_limit - (last - index)
+        if budget is None or remaining < budget:
+            budget = remaining
+    return budget
+
+
+def _compose_chain_modifiers(chain: Tuple[Delegation, ...]) -> ModifierSet:
+    composed = ModifierSet.identity()
+    for delegation in chain:
+        composed = composed.combine(delegation.modifiers)
+    return composed
+
+
+def _revocation_test(revoked: Optional[RevokedSet]) -> Callable[[str], bool]:
+    if revoked is None:
+        return lambda _delegation_id: False
+    if callable(revoked):
+        return revoked
+    return lambda delegation_id: delegation_id in revoked

@@ -1,0 +1,153 @@
+"""Roles, rights of assignment, and attribute-assignment rights.
+
+The central construct of dRBAC (paper, Section 2): a role is a name within
+an entity's namespace, e.g. ``BigISP.member``. Three refinements from
+Section 3:
+
+* **Right of assignment** -- the right to delegate role ``R`` is itself a
+  role, written ``R'`` (Section 3.1.2). Ticks nest: ``R''`` is the right to
+  delegate ``R'``.
+* **Attribute-assignment rights** -- the right to *set* a valued attribute
+  in future delegations is a role too (Table 2, "while the Valued Attribute
+  is not a Role, the right to set it is a Role"), written e.g.
+  ``AirNet.storage -= '``.
+* **Subjects** -- a delegation's subject is an entity or any role-like
+  object; entity subjects terminate delegation chains ("these privileges
+  may not be further delegated", Section 3.1.1).
+
+Both kinds of role-like objects are represented by :class:`Role`; an
+attribute-assignment right is a Role whose ``operator`` field is set and
+whose tick count is at least 1.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.attributes import AttributeRef, Operator, _valid_local_name
+from repro.core.errors import DelegationError
+from repro.core.identity import Entity
+
+
+@dataclass(frozen=True)
+class Role:
+    """A named class of permissions in ``entity``'s namespace.
+
+    ``ticks`` counts trailing prime marks: ``Role(E, "a", ticks=1)`` is
+    ``E.a'``, the right of assignment on ``E.a``. When ``operator`` is not
+    None the object is an attribute-assignment right (``E.a <op>= '``...),
+    in which case ``ticks >= 1`` is required: the bare attribute itself is
+    a value, not a role.
+    """
+
+    entity: Entity
+    name: str
+    ticks: int = 0
+    operator: Optional[Operator] = None
+
+    def __post_init__(self) -> None:
+        if not _valid_local_name(self.name):
+            raise DelegationError(f"invalid role name {self.name!r}")
+        if self.ticks < 0:
+            raise DelegationError("tick count cannot be negative")
+        if self.operator is not None and self.ticks < 1:
+            raise DelegationError(
+                "an attribute-assignment right needs at least one tick; "
+                "the bare attribute is not a role"
+            )
+
+    # -- classification ------------------------------------------------
+
+    @property
+    def is_assignment_right(self) -> bool:
+        """True for ``R'`` and deeper (including attribute rights)."""
+        return self.ticks >= 1
+
+    @property
+    def is_attribute_right(self) -> bool:
+        """True iff this is the right to set a valued attribute."""
+        return self.operator is not None
+
+    # -- derivations ---------------------------------------------------
+
+    def with_tick(self) -> "Role":
+        """The right of assignment on this role: ``R`` -> ``R'``."""
+        return Role(entity=self.entity, name=self.name,
+                    ticks=self.ticks + 1, operator=self.operator)
+
+    def without_tick(self) -> "Role":
+        """Strip one tick: ``R'`` -> ``R``. Errors at zero ticks."""
+        if self.ticks == 0:
+            raise DelegationError(f"{self} carries no tick to strip")
+        if self.operator is not None and self.ticks == 1:
+            raise DelegationError(
+                f"{self} is a base attribute right; stripping its tick "
+                f"would leave a bare attribute, which is not a role"
+            )
+        return Role(entity=self.entity, name=self.name,
+                    ticks=self.ticks - 1, operator=self.operator)
+
+    @property
+    def base(self) -> "Role":
+        """The underlying tick-free role (attribute rights keep one tick)."""
+        floor = 1 if self.operator is not None else 0
+        return Role(entity=self.entity, name=self.name,
+                    ticks=floor, operator=self.operator)
+
+    @property
+    def attribute(self) -> AttributeRef:
+        """For attribute rights: the attribute this right governs."""
+        if self.operator is None:
+            raise DelegationError(f"{self} is not an attribute right")
+        return AttributeRef(entity=self.entity, name=self.name)
+
+    # -- display -------------------------------------------------------
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.entity.display_name}.{self.name}"
+
+    def __str__(self) -> str:
+        ticks = "'" * self.ticks
+        if self.operator is None:
+            return f"{self.qualified_name}{ticks}"
+        return f"{self.qualified_name} {self.operator.token} {ticks}"
+
+    def __repr__(self) -> str:
+        return f"Role({self})"
+
+
+def attribute_right(attribute: AttributeRef, operator: Operator,
+                    ticks: int = 1) -> Role:
+    """Build the role representing the right to set ``attribute``.
+
+    ``ticks=1`` (the default) is the plain right to set the attribute in
+    one's own delegations, the object form of Table 2's "Delegation of
+    Assignment for Valued Attributes".
+    """
+    return Role(entity=attribute.entity, name=attribute.name,
+                ticks=ticks, operator=operator)
+
+
+# A delegation's subject: a principal's identity or any role-like object.
+Subject = Union[Entity, Role]
+
+
+def subject_key(subject: Subject) -> tuple:
+    """A stable, hashable graph-node key for a subject or object.
+
+    Entities key by fingerprint; roles by (fingerprint, name, ticks,
+    operator). Used by the delegation graph and the discovery engine.
+    """
+    if isinstance(subject, Entity):
+        return ("entity", subject.id)
+    if isinstance(subject, Role):
+        op = subject.operator.value if subject.operator else ""
+        return ("role", subject.entity.id, subject.name, subject.ticks, op)
+    raise DelegationError(
+        f"not a valid subject: {type(subject).__name__}"
+    )
+
+
+def describe_subject(subject: Subject) -> str:
+    """Human-readable rendering of a subject for messages and logs."""
+    return str(subject)

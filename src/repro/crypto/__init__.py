@@ -1,0 +1,44 @@
+"""Cryptographic substrate for dRBAC.
+
+dRBAC identifies every entity by a PKI public identity and validates
+delegation certificates by verifying digital signatures (paper, Section 2).
+This package provides that substrate from scratch:
+
+* :mod:`repro.crypto.hashing` -- SHA-256 digests and HMAC helpers.
+* :mod:`repro.crypto.encoding` -- a canonical, deterministic binary encoding
+  used to serialize payloads before signing.
+* :mod:`repro.crypto.primes` -- probabilistic primality testing and prime
+  generation (Miller-Rabin) used by RSA key generation.
+* :mod:`repro.crypto.rsa` -- RSA key generation, signing and verification.
+* :mod:`repro.crypto.ec` -- elliptic-curve group arithmetic over secp256k1.
+* :mod:`repro.crypto.schnorr` -- Schnorr signatures with deterministic
+  (RFC6979-style) nonces over secp256k1.
+* :mod:`repro.crypto.keys` -- the algorithm-agnostic ``KeyPair`` /
+  ``PublicKey`` abstraction the rest of the system consumes.
+
+Only the Python standard library is used (``hashlib``, ``hmac``,
+``secrets``); no third-party cryptography package is required.
+"""
+
+from repro.crypto.hashing import sha256, sha256_hex, hmac_sha256
+from repro.crypto.encoding import canonical_encode, canonical_decode
+from repro.crypto.keys import (
+    KeyPair,
+    PublicKey,
+    SignatureError,
+    generate_keypair,
+    DEFAULT_ALGORITHM,
+)
+
+__all__ = [
+    "sha256",
+    "sha256_hex",
+    "hmac_sha256",
+    "canonical_encode",
+    "canonical_decode",
+    "KeyPair",
+    "PublicKey",
+    "SignatureError",
+    "generate_keypair",
+    "DEFAULT_ALGORITHM",
+]

@@ -1,0 +1,49 @@
+"""Digest helpers shared by the signature schemes and the wallet layer."""
+
+import hashlib
+import hmac as _hmac
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the SHA-256 digest of ``data`` as raw bytes."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"sha256 expects bytes, got {type(data).__name__}")
+    return hashlib.sha256(bytes(data)).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the SHA-256 digest of ``data`` as a lowercase hex string."""
+    return sha256(data).hex()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """Return HMAC-SHA256 of ``data`` under ``key``.
+
+    Used by the deterministic nonce derivation in
+    :mod:`repro.crypto.schnorr` and by authenticated channel handshakes in
+    :mod:`repro.net.switchboard`.
+    """
+    if not isinstance(key, (bytes, bytearray, memoryview)):
+        raise TypeError(f"hmac key must be bytes, got {type(key).__name__}")
+    return _hmac.new(bytes(key), bytes(data), hashlib.sha256).digest()
+
+
+def digest_to_int(digest: bytes, order: int) -> int:
+    """Map a digest to an integer modulo ``order`` (non-zero).
+
+    A zero result would be a degenerate signing exponent, so it is mapped
+    to 1; this matches common practice in hash-to-scalar constructions.
+    """
+    value = int.from_bytes(digest, "big") % order
+    return value if value != 0 else 1
+
+
+def fingerprint(data: bytes, length: int = 16) -> str:
+    """Return a short, human-displayable fingerprint of ``data``.
+
+    Wallets and log messages use fingerprints to refer to public keys and
+    delegations without printing full key material.
+    """
+    if length <= 0 or length > 64:
+        raise ValueError("fingerprint length must be in 1..64")
+    return sha256_hex(data)[:length]

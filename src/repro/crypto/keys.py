@@ -1,0 +1,213 @@
+"""Algorithm-agnostic key abstraction consumed by the dRBAC core.
+
+Entities in dRBAC are "represented by a unique PKI public identity" (paper,
+Section 2). The core model never touches raw curve points or RSA moduli; it
+works with :class:`PublicKey` (identity + verification) and :class:`KeyPair`
+(identity + signing). Two algorithms are registered:
+
+* ``schnorr-secp256k1`` (default) -- fast keygen, 65-byte signatures.
+* ``rsa-fdh-sha256`` -- classic RSA, slower keygen, for interoperability
+  tests and to demonstrate algorithm agility.
+
+Public keys serialize to ``(algorithm, key bytes)`` pairs; their SHA-256
+fingerprint is the entity's stable, globally unique identifier.
+"""
+
+import secrets
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto import rsa, schnorr
+from repro.crypto.hashing import sha256_hex
+
+DEFAULT_ALGORITHM = "schnorr-secp256k1"
+ALGORITHMS = ("schnorr-secp256k1", "rsa-fdh-sha256")
+
+# Default RSA modulus size for generated keys; tests can lower this.
+RSA_DEFAULT_BITS = 512
+
+
+class SignatureError(ValueError):
+    """Raised on malformed keys, unknown algorithms, or bad signatures."""
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A verification key plus the algorithm that interprets it."""
+
+    algorithm: str
+    key_bytes: bytes
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise SignatureError(f"unknown algorithm {self.algorithm!r}")
+        # Fail fast on undecodable key material.
+        self._decode()
+
+    def _decode(self):
+        if self.algorithm == "schnorr-secp256k1":
+            try:
+                return schnorr.SchnorrPublicKey.decode(self.key_bytes)
+            except (schnorr.SchnorrError, ValueError) as exc:
+                raise SignatureError(f"bad schnorr key: {exc}") from exc
+        n_bytes, e_bytes = _split_rsa_blob(self.key_bytes)
+        try:
+            return rsa.RSAPublicKey(
+                n=int.from_bytes(n_bytes, "big"),
+                e=int.from_bytes(e_bytes, "big"),
+            )
+        except rsa.RSAError as exc:
+            raise SignatureError(f"bad rsa key: {exc}") from exc
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable 64-hex-char identifier for this key (entity identity)."""
+        return sha256_hex(self.algorithm.encode("utf-8") + self.key_bytes)
+
+    @property
+    def short_fingerprint(self) -> str:
+        """First 12 hex chars of the fingerprint, for display."""
+        return self.fingerprint[:12]
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Return True iff ``signature`` over ``message`` verifies."""
+        if not isinstance(signature, (bytes, bytearray)):
+            return False
+        return self._decode().verify(message, bytes(signature))
+
+    def to_dict(self) -> dict:
+        """Serializable representation (used in wire messages)."""
+        return {"algorithm": self.algorithm, "key": self.key_bytes}
+
+    @staticmethod
+    def from_dict(data: dict) -> "PublicKey":
+        try:
+            return PublicKey(algorithm=data["algorithm"],
+                             key_bytes=bytes(data["key"]))
+        except (KeyError, TypeError) as exc:
+            raise SignatureError(f"malformed public key record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A signing key bound to its public half."""
+
+    algorithm: str
+    public: PublicKey
+    _private: object = field(repr=False)
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message``; the signature verifies under ``self.public``."""
+        if not isinstance(message, (bytes, bytearray)):
+            raise SignatureError("messages to sign must be bytes")
+        return self._private.sign(bytes(message))
+
+    @property
+    def fingerprint(self) -> str:
+        return self.public.fingerprint
+
+
+def generate_keypair(algorithm: str = DEFAULT_ALGORITHM,
+                     rng: Optional[secrets.SystemRandom] = None,
+                     rsa_bits: int = RSA_DEFAULT_BITS) -> KeyPair:
+    """Generate a fresh keypair for the given algorithm.
+
+    ``rng`` allows deterministic key generation in tests and workload
+    builders (pass ``secrets.SystemRandom`` look-alikes seeded explicitly).
+    """
+    if algorithm == "schnorr-secp256k1":
+        private = schnorr.generate_schnorr_keypair(rng=rng)
+        public = PublicKey(algorithm=algorithm,
+                           key_bytes=private.public_key.encode())
+        return KeyPair(algorithm=algorithm, public=public, _private=private)
+    if algorithm == "rsa-fdh-sha256":
+        private = rsa.generate_rsa_keypair(bits=rsa_bits, rng=rng)
+        blob = _join_rsa_blob(private.n, private.e)
+        public = PublicKey(algorithm=algorithm, key_bytes=blob)
+        return KeyPair(algorithm=algorithm, public=public, _private=private)
+    raise SignatureError(f"unknown algorithm {algorithm!r}")
+
+
+def serialize_keypair(keypair: KeyPair) -> dict:
+    """Serialize a keypair INCLUDING its private key.
+
+    For tooling that persists identities (e.g. the CLI's local
+    workspace). The output is plaintext key material -- callers own the
+    storage-protection question.
+    """
+    record = {"algorithm": keypair.algorithm,
+              "public": keypair.public.to_dict()}
+    private = keypair._private
+    if keypair.algorithm == "schnorr-secp256k1":
+        record["private"] = private.d.to_bytes(32, "big")
+    else:
+        record["private"] = {
+            "n": private.n.to_bytes((private.n.bit_length() + 7) // 8,
+                                    "big"),
+            "e": private.e,
+            "d": private.d.to_bytes((private.d.bit_length() + 7) // 8,
+                                    "big"),
+            "p": private.p.to_bytes((private.p.bit_length() + 7) // 8,
+                                    "big"),
+            "q": private.q.to_bytes((private.q.bit_length() + 7) // 8,
+                                    "big"),
+        }
+    return record
+
+
+def deserialize_keypair(record: dict) -> KeyPair:
+    """Rebuild a keypair from :func:`serialize_keypair` output.
+
+    The reconstructed public half is checked against the stored one, so
+    a corrupted record fails loudly rather than signing with a key that
+    does not match its advertised identity.
+    """
+    try:
+        algorithm = record["algorithm"]
+        public = PublicKey.from_dict(record["public"])
+        if algorithm == "schnorr-secp256k1":
+            private = schnorr.SchnorrPrivateKey(
+                int.from_bytes(bytes(record["private"]), "big"))
+            rebuilt = private.public_key.encode()
+        elif algorithm == "rsa-fdh-sha256":
+            blob = record["private"]
+            private = rsa.RSAPrivateKey(
+                n=int.from_bytes(bytes(blob["n"]), "big"),
+                e=int(blob["e"]),
+                d=int.from_bytes(bytes(blob["d"]), "big"),
+                p=int.from_bytes(bytes(blob["p"]), "big"),
+                q=int.from_bytes(bytes(blob["q"]), "big"),
+            )
+            rebuilt = _join_rsa_blob(private.n, private.e)
+        else:
+            raise SignatureError(f"unknown algorithm {algorithm!r}")
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, SignatureError):
+            raise
+        raise SignatureError(f"malformed keypair record: {exc}") from exc
+    if rebuilt != public.key_bytes:
+        raise SignatureError(
+            "private key does not match the stored public key"
+        )
+    return KeyPair(algorithm=algorithm, public=public, _private=private)
+
+
+def _join_rsa_blob(n: int, e: int) -> bytes:
+    n_bytes = n.to_bytes((n.bit_length() + 7) // 8, "big")
+    e_bytes = e.to_bytes((e.bit_length() + 7) // 8, "big")
+    return (len(n_bytes).to_bytes(4, "big") + n_bytes +
+            len(e_bytes).to_bytes(4, "big") + e_bytes)
+
+
+def _split_rsa_blob(blob: bytes):
+    if len(blob) < 8:
+        raise SignatureError("rsa key blob too short")
+    n_len = int.from_bytes(blob[:4], "big")
+    if len(blob) < 4 + n_len + 4:
+        raise SignatureError("rsa key blob truncated")
+    n_bytes = blob[4:4 + n_len]
+    e_len = int.from_bytes(blob[4 + n_len:8 + n_len], "big")
+    e_bytes = blob[8 + n_len:8 + n_len + e_len]
+    if len(e_bytes) != e_len or len(blob) != 8 + n_len + e_len:
+        raise SignatureError("rsa key blob malformed")
+    return n_bytes, e_bytes

@@ -1,0 +1,87 @@
+"""Prime generation for RSA key material.
+
+Implements deterministic trial division over small primes followed by the
+Miller-Rabin probabilistic primality test. With 40 rounds of Miller-Rabin
+the error probability is below 2^-80, which is standard for key generation.
+"""
+
+import secrets
+from typing import Optional
+
+# Small primes for cheap trial division before Miller-Rabin.
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107,
+                 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+                 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229]
+
+MILLER_RABIN_ROUNDS = 40
+
+
+def is_probable_prime(n: int, rounds: int = MILLER_RABIN_ROUNDS,
+                      rng: Optional[secrets.SystemRandom] = None) -> bool:
+    """Return True if ``n`` is prime with overwhelming probability.
+
+    ``rng`` may be supplied for deterministic testing; by default witnesses
+    are drawn from the system CSPRNG.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rand = rng if rng is not None else secrets.SystemRandom()
+    for _ in range(rounds):
+        a = rand.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int,
+                   rng: Optional[secrets.SystemRandom] = None) -> int:
+    """Generate a random prime of exactly ``bits`` bits.
+
+    The top two bits are forced to 1 so that the product of two such primes
+    has exactly ``2 * bits`` bits (the usual RSA convention), and the low
+    bit is forced to 1 so candidates are odd.
+    """
+    if bits < 8:
+        raise ValueError("prime size must be at least 8 bits")
+    rand = rng if rng is not None else secrets.SystemRandom()
+    while True:
+        candidate = rand.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rng=rand):
+            return candidate
+
+
+def generate_safe_modulus_primes(bits: int,
+                                 rng: Optional[secrets.SystemRandom] = None):
+    """Generate a pair of distinct primes for an RSA modulus of ``bits`` bits.
+
+    Returns ``(p, q)`` with ``p != q`` and ``p * q`` having exactly ``bits``
+    bits. ``bits`` must be even.
+    """
+    if bits % 2 != 0:
+        raise ValueError("modulus size must be even")
+    half = bits // 2
+    p = generate_prime(half, rng=rng)
+    while True:
+        q = generate_prime(half, rng=rng)
+        if q != p:
+            return p, q

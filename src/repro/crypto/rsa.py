@@ -1,0 +1,137 @@
+"""RSA signatures implemented from first principles.
+
+dRBAC delegations are "cryptographically signed by the Issuer" (paper,
+Section 2). This module provides one of the two signature schemes backing
+that requirement. Signing uses a full-domain-hash construction: the message
+digest is expanded with MGF1 to the width of the modulus, interpreted as an
+integer, and exponentiated with the private exponent (RSA-FDH). Verification
+recomputes the expansion and compares.
+
+RSA-FDH is deterministic and existentially unforgeable under the RSA
+assumption in the random-oracle model, and keeps the implementation compact
+compared to PSS while exercising the same code paths (padding, modular
+exponentiation, strict length checks).
+"""
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.hashing import sha256
+from repro.crypto.primes import generate_safe_modulus_primes
+
+PUBLIC_EXPONENT = 65537
+MIN_MODULUS_BITS = 256
+
+
+class RSAError(ValueError):
+    """Raised on malformed RSA parameters or signatures."""
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    def __post_init__(self) -> None:
+        if self.n < (1 << (MIN_MODULUS_BITS - 1)):
+            raise RSAError(
+                f"modulus must be at least {MIN_MODULUS_BITS} bits"
+            )
+        if self.e < 3 or self.e % 2 == 0:
+            raise RSAError("public exponent must be an odd integer >= 3")
+
+    @property
+    def modulus_bytes(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Return True iff ``signature`` is valid for ``message``."""
+        if len(signature) != self.modulus_bytes:
+            return False
+        s = int.from_bytes(signature, "big")
+        if s >= self.n:
+            return False
+        recovered = pow(s, self.e, self.n)
+        expected = _full_domain_hash(message, self.n)
+        return recovered == expected
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """An RSA private key with CRT parameters for fast signing."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return RSAPublicKey(n=self.n, e=self.e)
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message`` with RSA-FDH using CRT exponentiation."""
+        m = _full_domain_hash(message, self.n)
+        # CRT: compute m^d mod p and mod q separately, then recombine.
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        q_inv = pow(self.q, -1, self.p)
+        sp = pow(m % self.p, dp, self.p)
+        sq = pow(m % self.q, dq, self.q)
+        h = (q_inv * (sp - sq)) % self.p
+        s = sq + h * self.q
+        return s.to_bytes((self.n.bit_length() + 7) // 8, "big")
+
+
+def generate_rsa_keypair(bits: int = 1024,
+                         rng: Optional[secrets.SystemRandom] = None
+                         ) -> RSAPrivateKey:
+    """Generate an RSA keypair with a ``bits``-bit modulus.
+
+    1024-bit keys are the default for simulation workloads; tests may use
+    smaller (but >= :data:`MIN_MODULUS_BITS`) moduli for speed. Production
+    deployments of the paper-era system would use 2048+ bits -- supported
+    here, just slower in pure Python.
+    """
+    if bits < MIN_MODULUS_BITS:
+        raise RSAError(f"modulus must be at least {MIN_MODULUS_BITS} bits")
+    while True:
+        p, q = generate_safe_modulus_primes(bits, rng=rng)
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(PUBLIC_EXPONENT, -1, phi)
+        except ValueError:
+            # e not invertible mod phi: regenerate primes.
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        return RSAPrivateKey(n=n, e=PUBLIC_EXPONENT, d=d, p=p, q=q)
+
+
+def _mgf1(seed: bytes, length: int) -> bytes:
+    """MGF1 mask generation (RFC 8017, Appendix B.2.1) with SHA-256."""
+    output = bytearray()
+    counter = 0
+    while len(output) < length:
+        output += hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return bytes(output[:length])
+
+
+def _full_domain_hash(message: bytes, n: int) -> int:
+    """Expand ``sha256(message)`` over the full modulus domain.
+
+    The top byte of the expansion is cleared so the result is always less
+    than ``n`` without rejection sampling (loses 8 bits of domain, which is
+    immaterial for security at these sizes and keeps signing deterministic).
+    """
+    width = (n.bit_length() + 7) // 8
+    expanded = bytearray(_mgf1(sha256(message), width))
+    expanded[0] = 0
+    return int.from_bytes(bytes(expanded), "big")

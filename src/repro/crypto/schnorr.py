@@ -1,0 +1,122 @@
+"""Schnorr signatures over secp256k1 with deterministic nonces.
+
+This is the default signature scheme for dRBAC entities: key generation is
+a single scalar multiplication (fast enough to mint hundreds of simulated
+entities per second in pure Python), and signatures are small (64 bytes).
+
+Scheme (classic Schnorr, hash-commitment variant):
+
+* keygen:  d <- [1, n),  Q = d*G
+* sign:    k = H(d || m) mod n (deterministic, RFC6979-flavored),
+           R = k*G,  e = H(R || Q || m) mod n,  s = k + e*d mod n,
+           signature = (R.encode(), s)
+* verify:  e = H(R || Q || m) mod n, accept iff s*G == R + e*Q
+
+Deterministic nonces remove the catastrophic failure mode of repeated k
+values and make the whole system reproducible under seeded entity creation.
+"""
+
+import secrets
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto import ec
+from repro.crypto.hashing import hmac_sha256, sha256
+
+SIGNATURE_SIZE = 33 + 32  # compressed R point + 32-byte scalar s
+
+
+class SchnorrError(ValueError):
+    """Raised on malformed Schnorr keys or signatures."""
+
+
+@dataclass(frozen=True)
+class SchnorrPublicKey:
+    """A Schnorr verification key: a point on secp256k1."""
+
+    point: ec.Point
+
+    def __post_init__(self) -> None:
+        if self.point.is_infinity:
+            raise SchnorrError("public key may not be the identity point")
+
+    def encode(self) -> bytes:
+        return self.point.encode()
+
+    @staticmethod
+    def decode(data: bytes) -> "SchnorrPublicKey":
+        return SchnorrPublicKey(ec.Point.decode(data))
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Return True iff ``signature`` is valid for ``message``."""
+        if len(signature) != SIGNATURE_SIZE:
+            return False
+        try:
+            r_point = ec.Point.decode(signature[:33])
+        except ec.ECError:
+            return False
+        if r_point.is_infinity:
+            return False
+        s = int.from_bytes(signature[33:], "big")
+        if not ec.is_valid_scalar(s):
+            return False
+        e = _challenge(r_point, self.point, message)
+        lhs = ec.scalar_mult(s)
+        rhs = ec.point_add(r_point, ec.scalar_mult(e, self.point))
+        return lhs == rhs
+
+
+@dataclass(frozen=True)
+class SchnorrPrivateKey:
+    """A Schnorr signing key: a scalar in [1, n)."""
+
+    d: int
+
+    def __post_init__(self) -> None:
+        if not ec.is_valid_scalar(self.d):
+            raise SchnorrError("private scalar out of range")
+
+    @property
+    def public_key(self) -> SchnorrPublicKey:
+        return SchnorrPublicKey(ec.scalar_mult(self.d))
+
+    def sign(self, message: bytes) -> bytes:
+        """Produce a deterministic 65-byte Schnorr signature."""
+        k = _deterministic_nonce(self.d, message)
+        r_point = ec.scalar_mult(k)
+        e = _challenge(r_point, self.public_key.point, message)
+        s = (k + e * self.d) % ec.N
+        if s == 0:
+            # Astronomically unlikely; re-derive with a tweaked message.
+            return self.sign(message + b"\x00")
+        return r_point.encode() + s.to_bytes(32, "big")
+
+
+def generate_schnorr_keypair(
+        rng: Optional[secrets.SystemRandom] = None) -> SchnorrPrivateKey:
+    """Generate a fresh Schnorr signing key."""
+    rand = rng if rng is not None else secrets.SystemRandom()
+    while True:
+        d = rand.randrange(1, ec.N)
+        if ec.is_valid_scalar(d):
+            return SchnorrPrivateKey(d)
+
+
+def _deterministic_nonce(d: int, message: bytes) -> int:
+    """Derive a per-(key, message) nonce via iterated HMAC (RFC6979 style)."""
+    key = d.to_bytes(32, "big")
+    counter = 0
+    while True:
+        digest = hmac_sha256(key, sha256(message) + counter.to_bytes(4, "big"))
+        k = int.from_bytes(digest, "big") % ec.N
+        if k != 0:
+            return k
+        counter += 1
+
+
+def _challenge(r_point: ec.Point, public_point: ec.Point,
+               message: bytes) -> int:
+    """Fiat-Shamir challenge binding nonce commitment, key, and message."""
+    digest = sha256(r_point.encode() + public_point.encode() + message)
+    e = int.from_bytes(digest, "big") % ec.N
+    return e if e != 0 else 1

@@ -1,0 +1,31 @@
+"""A DisCo-style application service layer (paper, Section 1).
+
+dRBAC is "part of a larger architecture called the Distributed Coalitions
+Infrastructure (DisCo)": applications "register new protected resources
+whose access is regulated using dRBAC roles", then dRBAC "enables
+discovery of authorizing trust relationships between entities requesting
+interactions, and continuous monitoring of the status of these
+relationships over the interaction lifetime."
+
+This package reproduces that dRBAC-facing surface (DESIGN.md,
+substitution 3):
+
+* :mod:`repro.disco.resources` -- protected-resource registration mapping
+  resources to required roles, base allocations, and constraints;
+* :mod:`repro.disco.sessions` -- monitored access sessions whose
+  lifecycle (ACTIVE -> SUSPENDED -> resumed/TERMINATED) is driven by
+  proof-monitor callbacks;
+* :mod:`repro.disco.service` -- the facade applications call.
+"""
+
+from repro.disco.resources import ProtectedResource, ResourceRegistry
+from repro.disco.sessions import AccessSession, SessionState
+from repro.disco.service import DiscoService
+
+__all__ = [
+    "ProtectedResource",
+    "ResourceRegistry",
+    "AccessSession",
+    "SessionState",
+    "DiscoService",
+]

@@ -1,0 +1,70 @@
+"""Protected resources: names bound to the dRBAC roles that guard them."""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.attributes import AttributeRef, Constraint
+from repro.core.roles import Role
+
+
+@dataclass(frozen=True)
+class ProtectedResource:
+    """One registered resource.
+
+    ``required_role`` is the dRBAC role a principal must be proven to
+    hold; ``bases`` are the resource's base attribute allocations (what
+    chain modifiers modulate); ``constraints`` are minimum grants below
+    which access is refused outright (e.g. a video feed that is useless
+    under 10 bandwidth units).
+    """
+
+    name: str
+    required_role: Role
+    bases: Tuple[Tuple[AttributeRef, float], ...] = ()
+    constraints: Tuple[Constraint, ...] = ()
+
+    def base_allocations(self) -> Dict[AttributeRef, float]:
+        return dict(self.bases)
+
+    def __str__(self) -> str:
+        return f"{self.name} (requires {self.required_role})"
+
+
+class ResourceRegistry:
+    """The resources one DisCo service instance protects."""
+
+    def __init__(self) -> None:
+        self._resources: Dict[str, ProtectedResource] = {}
+
+    def register(self, name: str, required_role: Role,
+                 bases: Optional[Dict[AttributeRef, float]] = None,
+                 constraints: Iterable[Constraint] = ()
+                 ) -> ProtectedResource:
+        if name in self._resources:
+            raise ValueError(f"resource {name!r} already registered")
+        resource = ProtectedResource(
+            name=name,
+            required_role=required_role,
+            bases=tuple((bases or {}).items()),
+            constraints=tuple(constraints),
+        )
+        self._resources[name] = resource
+        return resource
+
+    def get(self, name: str) -> ProtectedResource:
+        try:
+            return self._resources[name]
+        except KeyError:
+            raise KeyError(f"unknown resource {name!r}") from None
+
+    def unregister(self, name: str) -> None:
+        self._resources.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._resources
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def resources(self) -> List[ProtectedResource]:
+        return list(self._resources.values())

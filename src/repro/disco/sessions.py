@@ -1,0 +1,151 @@
+"""Monitored access sessions.
+
+A session is the "prolonged user-resource interaction" of the paper's
+introduction (a login session, a continuous data feed). Its lifecycle is
+driven entirely by the proof monitor:
+
+* **ACTIVE** -- the authorizing proof is valid;
+* **SUSPENDED** -- a constituent delegation was invalidated; the session
+  pauses and asks for an alternate proof;
+* back to **ACTIVE** if revalidation finds one, else **TERMINATED**.
+
+"Upon receipt of this notification, the entity can request an alternate
+proof or discontinue access" (Section 4.2.2) -- ``auto_revalidate``
+selects between those two behaviors.
+"""
+
+import itertools
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from repro.core.attributes import AttributeRef
+from repro.core.identity import Entity
+from repro.disco.resources import ProtectedResource
+from repro.monitor.proof_monitor import ProofMonitor
+from repro.pubsub.events import DelegationEvent
+
+_session_ids = itertools.count(1)
+
+
+class SessionState(str, Enum):
+    ACTIVE = "active"
+    SUSPENDED = "suspended"
+    TERMINATED = "terminated"
+
+
+class AccessSession:
+    """One principal's monitored access to one protected resource."""
+
+    def __init__(self, principal: Entity, resource: ProtectedResource,
+                 monitor: ProofMonitor,
+                 auto_revalidate: bool = True,
+                 on_state_change: Optional[Callable[["AccessSession"],
+                                                    None]] = None) -> None:
+        self.session_id = next(_session_ids)
+        self.principal = principal
+        self.resource = resource
+        self.auto_revalidate = auto_revalidate
+        self.on_state_change = on_state_change
+        self.state = SessionState.ACTIVE
+        self.history: List[SessionState] = [SessionState.ACTIVE]
+        self.interruptions = 0
+        self._usage: Dict = {}
+        self._monitor = monitor
+        monitor._callback = self._on_invalidation
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _on_invalidation(self, _monitor: ProofMonitor,
+                         _event: DelegationEvent) -> None:
+        if self.state is SessionState.TERMINATED:
+            return
+        self.interruptions += 1
+        self._transition(SessionState.SUSPENDED)
+        if self.auto_revalidate and self._monitor.revalidate():
+            self._transition(SessionState.ACTIVE)
+        elif self.auto_revalidate:
+            self.terminate()
+
+    def resume(self) -> bool:
+        """Manually retry revalidation from SUSPENDED."""
+        if self.state is not SessionState.SUSPENDED:
+            return self.state is SessionState.ACTIVE
+        if self._monitor.revalidate():
+            self._transition(SessionState.ACTIVE)
+            return True
+        return False
+
+    def terminate(self) -> None:
+        """End the session and release its subscriptions."""
+        if self.state is SessionState.TERMINATED:
+            return
+        self._monitor.cancel()
+        self._transition(SessionState.TERMINATED)
+
+    def _transition(self, state: SessionState) -> None:
+        self.state = state
+        self.history.append(state)
+        if self.on_state_change is not None:
+            self.on_state_change(self)
+
+    # -- access surface ----------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self.state is SessionState.ACTIVE
+
+    def grants(self) -> Dict[AttributeRef, float]:
+        """Current modulated allocations (e.g. bandwidth budget)."""
+        return self._monitor.grants(self.resource.base_allocations())
+
+    def use(self) -> None:
+        """Perform one unit of access; raises unless ACTIVE."""
+        if self.state is not SessionState.ACTIVE:
+            raise PermissionError(
+                f"session {self.session_id} is {self.state.value}"
+            )
+
+    # -- attribute metering ------------------------------------------------
+
+    def consume(self, attribute: AttributeRef, amount: float) -> float:
+        """Draw ``amount`` of a consumable attribute from the session's
+        modulated allocation (e.g. storage units, monthly hours).
+
+        This makes the paper's modulation operational: the case study's
+        Maria holds 18 monthly hours (60 * 0.3) -- the 19th is refused.
+        Raises :class:`PermissionError` when the session is not active
+        or the budget would be exceeded; returns the remaining budget.
+        """
+        self.use()
+        if amount < 0:
+            raise ValueError("consumption must be non-negative")
+        allocation = self.grants().get(attribute)
+        if allocation is None:
+            raise PermissionError(
+                f"session {self.session_id} has no allocation for "
+                f"{attribute}"
+            )
+        used = self._usage.get(attribute, 0.0)
+        if used + amount > allocation + 1e-9:
+            raise PermissionError(
+                f"{attribute} budget exceeded: {used} used + {amount} "
+                f"requested > {allocation} allocated"
+            )
+        self._usage[attribute] = used + amount
+        return allocation - self._usage[attribute]
+
+    def consumed(self, attribute: AttributeRef) -> float:
+        """Total drawn from one attribute so far."""
+        return self._usage.get(attribute, 0.0)
+
+    def remaining(self, attribute: AttributeRef) -> float:
+        """Unused budget for one attribute (grant minus consumption)."""
+        allocation = self.grants().get(attribute)
+        if allocation is None:
+            return 0.0
+        return allocation - self._usage.get(attribute, 0.0)
+
+    def __repr__(self) -> str:
+        return (f"AccessSession(#{self.session_id}, "
+                f"{self.principal.display_name} -> {self.resource.name}, "
+                f"{self.state.value})")

@@ -1,0 +1,399 @@
+"""Tag-directed distributed proof discovery (paper, Section 4.2.1).
+
+The algorithm, as the paper describes it for a subject of type 'S':
+
+    "The agent first queries its local wallet for sub-proofs of the form
+    Sub => *, stopping if it finds one for Sub => Obj. [...] Our algorithm
+    utilizes a parallel breadth-first search, starting from a direct query
+    for Sub => Obj directed towards Sub's home wallet. If the query
+    returns with a proof [...] the search is terminated. If not, the
+    algorithm issues a subject query for Sub to the same wallet. The
+    returned proofs are inserted into the local trusted wallet, with the
+    objects of these proofs serving as the roots for further searches."
+
+plus the mirror-image object-towards-subject scheme for 'O' objects, run
+simultaneously when both directions are enabled ("a significant reduction
+in the number of paths ... if the search is simultaneously conducted in
+both directions", Section 4.2.3).
+
+Every remotely fetched delegation is inserted into the local wallet
+through the coherent cache, and -- matching Step 5 of the case study --
+the local wallet "establishes its own validation subscriptions" at the
+remote wallet for every delegation it now depends on.
+
+Store-only flags ('s'/'o') differ from search flags ('S'/'O') only in the
+*guarantee*: both cause the home wallet to be queried, but only the search
+flags promise that every continuing delegation is also registered, making
+the search complete. The engine queries any node whose flag stores at
+home and lets the fetched tags direct the rest, exactly as the paper
+prescribes for mixed-flag searches.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.attributes import AttributeRef, Constraint
+from repro.core.delegation import Delegation
+from repro.core.errors import DiscoveryError, DRBACError
+from repro.core.proof import Proof
+from repro.core.roles import Role, Subject, subject_key
+from repro.core.tags import DiscoveryTag
+from repro.discovery.resolver import WalletServer
+from repro.net.rpc import RpcError
+from repro.net.transport import NetworkError
+
+
+@dataclass
+class DiscoveryStats:
+    """Counters for one discovery run (Figure 2 / E1 reporting)."""
+
+    local_hit: bool = False
+    remote_direct_queries: int = 0
+    remote_subject_queries: int = 0
+    remote_object_queries: int = 0
+    wallets_contacted: Set[str] = field(default_factory=set)
+    wallets_rejected: Set[str] = field(default_factory=set)
+    delegations_cached: int = 0
+    delegations_rejected: int = 0
+    subscriptions_established: int = 0
+    rounds: int = 0
+
+
+class DiscoveryEngine:
+    """Drives multi-wallet proof discovery from one local wallet server."""
+
+    def __init__(self, server: WalletServer,
+                 default_ttl: float = 30.0,
+                 subscribe: bool = True,
+                 verify_home_authority: bool = False,
+                 entity_directory=None) -> None:
+        """``verify_home_authority`` enables the Section 4.2.1 check that
+        a contacted wallet's host holds the tag's authorizing role
+        before its answers are trusted; role names in tags are resolved
+        through ``entity_directory`` (an
+        :class:`~repro.core.identity.EntityDirectory`)."""
+        self.server = server
+        self.default_ttl = default_ttl
+        self.subscribe = subscribe
+        self.verify_home_authority = verify_home_authority
+        self.entity_directory = entity_directory
+        self._authority_cache: Dict[Tuple[str, str], bool] = {}
+
+    # ------------------------------------------------------------------
+
+    def discover(self, subject: Subject, obj: Role,
+                 constraints: Iterable[Constraint] = (),
+                 bases: Optional[Mapping[AttributeRef, float]] = None,
+                 hints: Optional[Mapping[tuple, DiscoveryTag]] = None,
+                 max_remote_queries: int = 64,
+                 stats: Optional[DiscoveryStats] = None) -> Optional[Proof]:
+        """Find a proof for ``subject => obj``, fetching remote credentials
+        as directed by discovery tags. Returns None when the search space
+        is exhausted without a satisfying proof."""
+        stats = stats if stats is not None else DiscoveryStats()
+        constraints = tuple(constraints)
+        wallet = self.server.wallet
+
+        tags: Dict[tuple, DiscoveryTag] = dict(hints or {})
+        self._harvest_store_tags(tags)
+
+        proof = wallet.query_direct(subject, obj, constraints=constraints,
+                                    bases=bases)
+        if proof is not None:
+            stats.local_hit = True
+            return proof
+
+        forward_frontier: deque = deque()
+        reverse_frontier: deque = deque()
+        forward_seen: Set[tuple] = set()
+        reverse_seen: Set[tuple] = set()
+
+        def push_forward(node_subject: Subject) -> None:
+            key = subject_key(node_subject)
+            if key not in forward_seen:
+                forward_seen.add(key)
+                forward_frontier.append(node_subject)
+
+        def push_reverse(node_obj: Subject) -> None:
+            key = subject_key(node_obj)
+            if key not in reverse_seen:
+                reverse_seen.add(key)
+                reverse_frontier.append(node_obj)
+
+        # Seed the frontiers with everything reachable locally (the
+        # paper's initial local sub-proof queries).
+        push_forward(subject)
+        for sub_proof in wallet.query_subject(subject):
+            push_forward(sub_proof.obj)
+        push_reverse(obj)
+        for sub_proof in wallet.query_object(obj):
+            push_reverse(sub_proof.subject)
+
+        remote_budget = max_remote_queries
+        while (forward_frontier or reverse_frontier) and remote_budget > 0:
+            stats.rounds += 1
+            # Alternate directions; prefer the smaller frontier so the
+            # bidirectional meet happens near the middle.
+            go_forward = bool(forward_frontier) and (
+                not reverse_frontier
+                or len(forward_frontier) <= len(reverse_frontier)
+            )
+            if go_forward:
+                node = forward_frontier.popleft()
+                used, proof = self._expand_forward(
+                    node, subject, obj, constraints, bases, tags,
+                    push_forward, stats)
+            else:
+                node = reverse_frontier.popleft()
+                used, proof = self._expand_reverse(
+                    node, subject, obj, constraints, bases, tags,
+                    push_reverse, stats)
+            remote_budget -= used
+            if proof is not None:
+                return proof
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _expand_forward(self, node: Subject, subject: Subject, obj: Role,
+                        constraints, bases, tags, push, stats
+                        ) -> Tuple[int, Optional[Proof]]:
+        tag = tags.get(subject_key(node))
+        if tag is None or not tag.subject_flag.stores_at_home:
+            return 0, None
+        home = tag.home
+        if not home or home == self.server.address:
+            return 0, None
+        if not self._authorized(home, tag, stats):
+            return 0, None
+        used = 0
+        # Direct query toward the home wallet first (the paper's opening
+        # move), then fall back to a subject query.
+        try:
+            stats.remote_direct_queries += 1
+            stats.wallets_contacted.add(home)
+            used += 1
+            remote_proof = self.server.remote_direct_query(
+                home, node, obj, constraints=constraints, bases=bases)
+        except (RpcError, NetworkError, DiscoveryError):
+            return used, None
+        if remote_proof is not None:
+            self._absorb(remote_proof, home, tags, stats)
+            return used, self._finish(subject, obj, constraints, bases)
+        try:
+            stats.remote_subject_queries += 1
+            used += 1
+            sub_proofs = self.server.remote_subject_query(
+                home, node, constraints=constraints)
+        except (RpcError, NetworkError, DiscoveryError):
+            return used, None
+        for sub_proof in sub_proofs:
+            self._absorb(sub_proof, home, tags, stats)
+            push(sub_proof.obj)
+        done = self._finish(subject, obj, constraints, bases)
+        return used, done
+
+    def _expand_reverse(self, node: Subject, subject: Subject, obj: Role,
+                        constraints, bases, tags, push, stats
+                        ) -> Tuple[int, Optional[Proof]]:
+        tag = tags.get(subject_key(node))
+        if tag is None or not tag.object_flag.stores_at_home:
+            return 0, None
+        if not isinstance(node, Role):
+            return 0, None
+        home = tag.home
+        if not home or home == self.server.address:
+            return 0, None
+        if not self._authorized(home, tag, stats):
+            return 0, None
+        used = 0
+        try:
+            stats.remote_direct_queries += 1
+            stats.wallets_contacted.add(home)
+            used += 1
+            remote_proof = self.server.remote_direct_query(
+                home, subject, node, constraints=constraints, bases=bases)
+        except (RpcError, NetworkError, DiscoveryError):
+            return used, None
+        if remote_proof is not None:
+            self._absorb(remote_proof, home, tags, stats)
+            return used, self._finish(subject, obj, constraints, bases)
+        try:
+            stats.remote_object_queries += 1
+            used += 1
+            sub_proofs = self.server.remote_object_query(
+                home, node, constraints=constraints)
+        except (RpcError, NetworkError, DiscoveryError):
+            return used, None
+        for sub_proof in sub_proofs:
+            self._absorb(sub_proof, home, tags, stats)
+            push(sub_proof.subject)
+        done = self._finish(subject, obj, constraints, bases)
+        return used, done
+
+    def rediscover_supports(self, delegation: Delegation,
+                            stats: Optional[DiscoveryStats] = None,
+                            max_remote_queries: int = 32) -> bool:
+        """Find fresh support proofs for a held third-party delegation.
+
+        Section 4.2.1: "Although issuers of third-party delegations are
+        required to supply their wallets with all necessary support
+        chains, it may become necessary at some point to discover new
+        supporting delegations. ... As potential subjects of support
+        chains, issuers of third party delegations are annotated with
+        discovery tags." We therefore run the normal tag-directed search
+        for ``issuer => R`` per required assignment role R (the roles the
+        acting-as clause enumerates), seeded with the issuer's tag.
+
+        Returns True when every required role ended up with a currently
+        valid support proof attached to the delegation.
+        """
+        from repro.core.proof import is_valid_proof
+        wallet = self.server.wallet
+        required = delegation.required_supports()
+        if not required:
+            return True
+        hints: Dict[tuple, DiscoveryTag] = {}
+        if delegation.issuer_tag is not None:
+            hints[subject_key(delegation.issuer)] = delegation.issuer_tag
+        now = wallet.clock.now()
+        satisfied = 0
+        fresh: List = []
+        for role in required:
+            existing = next(
+                (proof for proof in wallet.store.supports_for(
+                    delegation.id)
+                 if proof.obj == role and proof.subject ==
+                 delegation.issuer
+                 and is_valid_proof(proof, at=now,
+                                    revoked=wallet.store.is_revoked)),
+                None,
+            )
+            if existing is not None:
+                satisfied += 1
+                continue
+            found = self.discover(delegation.issuer, role, hints=hints,
+                                  max_remote_queries=max_remote_queries,
+                                  stats=stats)
+            if found is not None:
+                fresh.append(found)
+                satisfied += 1
+        if fresh:
+            wallet.store.add_supports(delegation.id, fresh)
+        return satisfied == len(required)
+
+    def _authorized(self, home: str, tag: DiscoveryTag,
+                    stats: DiscoveryStats) -> bool:
+        """Section 4.2.1 host authorization: before trusting a wallet,
+        check its operator holds the tag's authorizing role."""
+        if not self.verify_home_authority or not tag.auth_role_name:
+            return True
+        cache_key = (home, tag.auth_role_name)
+        cached = self._authority_cache.get(cache_key)
+        if cached is not None:
+            if not cached:
+                stats.wallets_rejected.add(home)
+            return cached
+        role = self._resolve_auth_role(tag.auth_role_name)
+        if role is None:
+            self._authority_cache[cache_key] = False
+            stats.wallets_rejected.add(home)
+            return False
+        verdict = self.server.verify_wallet_authority(home, role)
+        self._authority_cache[cache_key] = verdict
+        if not verdict:
+            stats.wallets_rejected.add(home)
+        return verdict
+
+    def _resolve_auth_role(self, name: str) -> Optional[Role]:
+        if self.entity_directory is None or "." not in name:
+            return None
+        entity_name, _dot, local = name.partition(".")
+        try:
+            entity = self.entity_directory.lookup(entity_name)
+        except KeyError:
+            return None
+        try:
+            return Role(entity, local)
+        except Exception:  # noqa: BLE001 - malformed tag role name
+            return None
+
+    def _finish(self, subject: Subject, obj: Role, constraints, bases
+                ) -> Optional[Proof]:
+        return self.server.wallet.query_direct(
+            subject, obj, constraints=constraints, bases=bases)
+
+    # ------------------------------------------------------------------
+
+    def _absorb(self, proof: Proof, home: str,
+                tags: Dict[tuple, DiscoveryTag],
+                stats: DiscoveryStats) -> None:
+        """Insert a fetched sub-proof into the local trusted wallet.
+
+        Chain delegations go through the coherent cache (with their
+        support proofs); validation subscriptions are established at the
+        source wallet for every delegation the proof depends on (Step 5).
+        """
+        wallet = self.server.wallet
+        for delegation in proof.chain:
+            self._harvest_delegation_tags(delegation, tags)
+            if wallet.store.get_delegation(delegation.id) is not None:
+                continue
+            cancel = None
+            if self.subscribe:
+                try:
+                    cancel = self.server.remote_subscribe(
+                        home, delegation.id)
+                    stats.subscriptions_established += 1
+                except (RpcError, NetworkError):
+                    cancel = None
+            try:
+                self.server.cache.insert(
+                    delegation, proof.supports_for(delegation),
+                    home=home, ttl=self._ttl_for(delegation),
+                    cancel_remote=cancel,
+                )
+                stats.delegations_cached += 1
+            except DRBACError:
+                # A remote wallet served material the local publication
+                # checks reject (bad signature, missing/invalid support
+                # proofs, expired). Skip it -- a rogue or stale peer must
+                # not poison the trusted wallet or abort the search.
+                stats.delegations_rejected += 1
+                if cancel is not None:
+                    cancel()
+        if self.subscribe:
+            # Support delegations also gate the proof's validity; monitor
+            # them at the source even though they live in the supports map
+            # rather than the local graph.
+            chain_ids = {d.id for d in proof.chain}
+            for delegation in proof.all_delegations():
+                if delegation.id in chain_ids:
+                    continue
+                self._harvest_delegation_tags(delegation, tags)
+                try:
+                    self.server.remote_subscribe(home, delegation.id)
+                    stats.subscriptions_established += 1
+                except (RpcError, NetworkError):
+                    pass
+
+    def _ttl_for(self, delegation: Delegation) -> float:
+        ttls = [
+            tag.ttl for tag in (delegation.subject_tag,
+                                delegation.object_tag)
+            if tag is not None and tag.ttl > 0
+        ]
+        return min(ttls) if ttls else self.default_ttl
+
+    def _harvest_store_tags(self, tags: Dict[tuple, DiscoveryTag]) -> None:
+        for delegation in self.server.wallet.store.delegations():
+            self._harvest_delegation_tags(delegation, tags)
+
+    @staticmethod
+    def _harvest_delegation_tags(delegation: Delegation,
+                                 tags: Dict[tuple, DiscoveryTag]) -> None:
+        if delegation.subject_tag is not None:
+            tags.setdefault(delegation.subject_node, delegation.subject_tag)
+        if delegation.object_tag is not None:
+            tags.setdefault(delegation.object_node, delegation.object_tag)

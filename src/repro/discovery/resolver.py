@@ -1,0 +1,358 @@
+"""Wallet servers on the simulated network.
+
+A :class:`WalletServer` is a wallet "hosted on a participating server"
+(Section 4): it answers the three query forms over RPC, accepts
+publications, serves remote delegation subscriptions (pushing signed
+revocations to subscribers -- the coherence mechanism of Section 4.2.2),
+and answers TTL confirmation probes.
+
+The :class:`WalletDirectory` is scenario plumbing: it tracks the servers
+in one simulated deployment so builders and tests can reach them by
+address without going through the network.
+"""
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.delegation import Revocation
+from repro.core.errors import DiscoveryError
+from repro.core.identity import Principal
+from repro.core.proof import Proof
+from repro.discovery import wire
+from repro.net.rpc import RpcError, RpcNode
+from repro.net.transport import Network
+from repro.pubsub.events import DelegationEvent, EventKind
+from repro.wallet.cache import CoherentCache
+from repro.wallet.wallet import Wallet
+
+
+class WalletServer:
+    """A network-visible wallet host."""
+
+    def __init__(self, network: Network, wallet: Wallet,
+                 principal: Optional[Principal] = None) -> None:
+        if not wallet.address:
+            raise DiscoveryError("a wallet server needs a wallet address")
+        self.network = network
+        self.wallet = wallet
+        self.principal = principal
+        self.cache = CoherentCache(wallet)
+        self.rpc = RpcNode(network, wallet.address)
+        self._remote_subs: Dict[str, Tuple[str, Any]] = {}
+        self._sub_ids = itertools.count()
+        self._expose_all()
+        # Counters surfaced in benchmark reports.
+        self.queries_served = 0
+        self.events_pushed = 0
+        self.pushes_failed = 0
+
+    @property
+    def address(self) -> str:
+        return self.wallet.address
+
+    def _expose_all(self) -> None:
+        self.rpc.expose("direct_query", self._rpc_direct_query)
+        self.rpc.expose("subject_query", self._rpc_subject_query)
+        self.rpc.expose("object_query", self._rpc_object_query)
+        self.rpc.expose("publish", self._rpc_publish)
+        self.rpc.expose("subscribe", self._rpc_subscribe)
+        self.rpc.expose("unsubscribe", self._rpc_unsubscribe)
+        self.rpc.expose("confirm", self._rpc_confirm)
+        self.rpc.expose("whoami", self._rpc_whoami)
+        self.rpc.expose("prove_role", self._rpc_prove_role)
+        self.rpc.expose("get_delegation", self._rpc_get_delegation)
+        self.rpc.expose("delegation_event", self._rpc_delegation_event)
+
+    # ------------------------------------------------------------------
+    # Server-side RPC handlers
+    # ------------------------------------------------------------------
+
+    def _rpc_direct_query(self, _src: str, params: dict) -> Optional[dict]:
+        self.queries_served += 1
+        proof = self.wallet.query_direct(
+            wire.subject_from_wire(params["subject"]),
+            wire.role_from_wire(params["object"]),
+            constraints=wire.constraints_from_wire(
+                params.get("constraints", ())),
+            bases=wire.bases_from_wire(params.get("bases", ())),
+        )
+        return wire.proof_to_wire(proof)
+
+    def _rpc_subject_query(self, _src: str, params: dict) -> List[dict]:
+        self.queries_served += 1
+        proofs = self.wallet.query_subject(
+            wire.subject_from_wire(params["subject"]),
+            constraints=wire.constraints_from_wire(
+                params.get("constraints", ())),
+            bases=wire.bases_from_wire(params.get("bases", ())),
+        )
+        return wire.proofs_to_wire(proofs)
+
+    def _rpc_object_query(self, _src: str, params: dict) -> List[dict]:
+        self.queries_served += 1
+        proofs = self.wallet.query_object(
+            wire.role_from_wire(params["object"]),
+            constraints=wire.constraints_from_wire(
+                params.get("constraints", ())),
+            bases=wire.bases_from_wire(params.get("bases", ())),
+        )
+        return wire.proofs_to_wire(proofs)
+
+    def _rpc_publish(self, _src: str, params: dict) -> bool:
+        delegation = wire.delegation_from_wire(params["delegation"])
+        supports = wire.proofs_from_wire(params.get("supports", ()))
+        return self.wallet.publish(delegation, supports)
+
+    def _rpc_subscribe(self, src: str, params: dict) -> dict:
+        """Register a remote subscriber for one delegation's status.
+
+        Pushes a ``delegation_event`` notification (with the signed
+        revocation when one exists) to the subscriber address on every
+        invalidating event. Returns the current status so the subscriber
+        can detect an already-dead delegation.
+        """
+        delegation_id = params["delegation_id"]
+        subscriber = params.get("subscriber", src)
+
+        def forward(event: DelegationEvent) -> None:
+            payload = {"event": event.to_dict()}
+            revocation = self.wallet.store.revocation_for(
+                event.delegation_id)
+            if revocation is not None:
+                payload["revocation"] = revocation.to_dict()
+            try:
+                self.rpc.notify(subscriber, "delegation_event", payload)
+            except Exception:  # noqa: BLE001 - push is best-effort
+                # An unreachable subscriber must not fail the publisher:
+                # its TTL lease will lapse without confirmation, which is
+                # exactly the fallback Section 4.2.1's TTL exists for.
+                self.pushes_failed += 1
+            else:
+                self.events_pushed += 1
+
+        subscription = self.wallet.hub.subscribe(delegation_id, forward)
+        sub_id = f"{self.address}/sub/{next(self._sub_ids)}"
+        self._remote_subs[sub_id] = (delegation_id, subscription)
+        return {
+            "subscription": sub_id,
+            "known": self.wallet.store.get_delegation(delegation_id)
+            is not None,
+            "revoked": self.wallet.is_revoked(delegation_id),
+        }
+
+    def _rpc_unsubscribe(self, _src: str, params: dict) -> bool:
+        entry = self._remote_subs.pop(params.get("subscription"), None)
+        if entry is None:
+            return False
+        entry[1].cancel()
+        return True
+
+    def _rpc_confirm(self, _src: str, params: dict) -> dict:
+        """TTL confirmation probe: is the delegation still valid here?"""
+        delegation_id = params["delegation_id"]
+        delegation = self.wallet.store.get_delegation(delegation_id)
+        valid = (
+            delegation is not None
+            and not delegation.is_expired(self.wallet.clock.now())
+            and not self.wallet.is_revoked(delegation_id)
+        )
+        return {"valid": valid}
+
+    def _rpc_whoami(self, _src: str, _params: Any) -> Optional[dict]:
+        owner = self.wallet.owner
+        return owner.to_dict() if owner is not None else None
+
+    def _rpc_prove_role(self, _src: str, params: dict) -> Optional[dict]:
+        """Prove this wallet host's authority (Section 4.2.1: the tag
+        names "a dRBAC role required to authorize the home and its
+        proxies"). Returns a proof that the wallet owner holds the
+        requested role, or None."""
+        owner = self.wallet.owner
+        if owner is None:
+            return None
+        role = wire.role_from_wire(params["role"])
+        proof = self.wallet.query_direct(owner, role)
+        return wire.proof_to_wire(proof)
+
+    def _rpc_get_delegation(self, _src: str, params: dict
+                            ) -> Optional[dict]:
+        """Fetch one delegation (with its support proofs) by id."""
+        delegation = self.wallet.store.get_delegation(
+            params["delegation_id"])
+        if delegation is None:
+            return None
+        return {
+            "delegation": wire.delegation_to_wire(delegation),
+            "supports": wire.proofs_to_wire(
+                self.wallet.store.supports_for(delegation.id)),
+        }
+
+    def _rpc_delegation_event(self, src: str, params: dict) -> None:
+        """Inbound push from a wallet we subscribed at (client side)."""
+        event = DelegationEvent.from_dict(params["event"])
+        if params.get("revocation") is not None:
+            revocation = Revocation.from_dict(params["revocation"])
+            self.cache.apply_remote_revocation(revocation)
+        elif event.kind is EventKind.UPDATED and event.detail:
+            self._apply_remote_renewal(src, event)
+        elif event.kind is EventKind.EXPIRED:
+            # Expiry is certificate-carried; a push just accelerates the
+            # local sweep.
+            self.wallet.expire_sweep()
+
+    def _apply_remote_renewal(self, source: str,
+                              event: DelegationEvent) -> None:
+        """A subscribed delegation was renewed at its home: fetch the
+        replacement certificate, validate it locally, and re-key the
+        cache entry and subscription (Section 3.2.2 distributed)."""
+        old_id = event.delegation_id
+        if self.wallet.store.get_delegation(old_id) is None:
+            return
+        try:
+            record = self.rpc.call(source, "get_delegation",
+                                   {"delegation_id": event.detail})
+        except (RpcError, Exception):  # noqa: BLE001 - network boundary
+            return
+        if record is None:
+            return
+        renewal = wire.delegation_from_wire(record["delegation"])
+        cancel = None
+        try:
+            cancel = self.remote_subscribe(source, renewal.id)
+        except (RpcError, Exception):  # noqa: BLE001
+            cancel = None
+        self.cache.apply_remote_renewal(old_id, renewal,
+                                        cancel_remote=cancel)
+
+    # ------------------------------------------------------------------
+    # Client-side helpers (this server calling peers)
+    # ------------------------------------------------------------------
+
+    def remote_direct_query(self, remote: str, subject, obj,
+                            constraints=(), bases=None) -> Optional[Proof]:
+        data = self.rpc.call(remote, "direct_query", {
+            "subject": wire.subject_to_wire(subject),
+            "object": wire.role_to_wire(obj),
+            "constraints": wire.constraints_to_wire(constraints),
+            "bases": wire.bases_to_wire(bases),
+        })
+        return wire.proof_from_wire(data)
+
+    def remote_subject_query(self, remote: str, subject,
+                             constraints=()) -> List[Proof]:
+        data = self.rpc.call(remote, "subject_query", {
+            "subject": wire.subject_to_wire(subject),
+            "constraints": wire.constraints_to_wire(constraints),
+        })
+        return wire.proofs_from_wire(data)
+
+    def remote_object_query(self, remote: str, obj,
+                            constraints=()) -> List[Proof]:
+        data = self.rpc.call(remote, "object_query", {
+            "object": wire.role_to_wire(obj),
+            "constraints": wire.constraints_to_wire(constraints),
+        })
+        return wire.proofs_from_wire(data)
+
+    def remote_publish(self, remote: str, delegation,
+                       supports: Tuple[Proof, ...] = ()) -> bool:
+        return self.rpc.call(remote, "publish", {
+            "delegation": wire.delegation_to_wire(delegation),
+            "supports": wire.proofs_to_wire(supports),
+        })
+
+    def remote_subscribe(self, remote: str, delegation_id: str
+                         ) -> Callable[[], None]:
+        """Subscribe this server to a delegation at ``remote``.
+
+        Returns a cancel function (used by the coherent cache).
+        """
+        result = self.rpc.call(remote, "subscribe", {
+            "delegation_id": delegation_id,
+            "subscriber": self.address,
+        })
+        sub_id = result["subscription"]
+
+        def cancel() -> None:
+            try:
+                self.rpc.call(remote, "unsubscribe",
+                              {"subscription": sub_id})
+            except (RpcError, Exception):  # noqa: BLE001 - best effort
+                pass
+
+        return cancel
+
+    def remote_prove_role(self, remote: str, role) -> Optional[Proof]:
+        data = self.rpc.call(remote, "prove_role",
+                             {"role": wire.role_to_wire(role)})
+        return wire.proof_from_wire(data)
+
+    def verify_wallet_authority(self, remote: str, auth_role) -> bool:
+        """Check that the wallet at ``remote`` is operated by an entity
+        holding ``auth_role``, by asking it to prove the role and
+        validating the proof locally. The proof's root delegations are
+        self-certified by the role's namespace owner, so a rogue host
+        cannot forge authority."""
+        from repro.core.identity import Entity
+        from repro.core.proof import is_valid_proof
+        try:
+            owner_record = self.rpc.call(remote, "whoami")
+            if owner_record is None:
+                return False
+            owner = Entity.from_dict(owner_record)
+            proof = self.remote_prove_role(remote, auth_role)
+        except (RpcError, Exception):  # noqa: BLE001 - network boundary
+            return False
+        if proof is None:
+            return False
+        if not (isinstance(proof.subject, Entity)
+                and proof.subject == owner and proof.obj == auth_role):
+            return False
+        return is_valid_proof(proof, at=self.wallet.clock.now(),
+                              revoked=self.wallet.store.is_revoked)
+
+    def remote_confirm(self, remote: str, delegation_id: str) -> bool:
+        result = self.rpc.call(remote, "confirm",
+                               {"delegation_id": delegation_id})
+        if result.get("valid"):
+            self.cache.confirm(delegation_id)
+            return True
+        return False
+
+    def close(self) -> None:
+        for _delegation_id, subscription in self._remote_subs.values():
+            subscription.cancel()
+        self._remote_subs.clear()
+        self.rpc.close()
+
+
+class WalletDirectory:
+    """Deployment bookkeeping: every wallet server in one simulation."""
+
+    def __init__(self) -> None:
+        self._servers: Dict[str, WalletServer] = {}
+
+    def add(self, server: WalletServer) -> WalletServer:
+        if server.address in self._servers:
+            raise DiscoveryError(
+                f"wallet address {server.address!r} already in directory"
+            )
+        self._servers[server.address] = server
+        return server
+
+    def get(self, address: str) -> WalletServer:
+        try:
+            return self._servers[address]
+        except KeyError:
+            raise DiscoveryError(
+                f"no wallet server at {address!r}"
+            ) from None
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._servers
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def servers(self) -> List[WalletServer]:
+        return list(self._servers.values())

@@ -1,0 +1,106 @@
+"""Wire encoding for inter-wallet RPC parameters.
+
+Everything crossing the simulated network is plain data (dicts, lists,
+numbers, bytes, strings) so the transport can canonically encode it and
+count honest byte sizes.
+"""
+
+from typing import Any, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.attributes import AttributeRef, Constraint
+from repro.core.delegation import (
+    Delegation,
+    _role_from_dict,
+    _role_to_dict,
+    _subject_from_dict,
+    _subject_to_dict,
+)
+from repro.core.identity import Entity
+from repro.core.proof import Proof
+from repro.core.roles import Role, Subject
+
+
+def subject_to_wire(subject: Subject) -> dict:
+    return _subject_to_dict(subject)
+
+
+def subject_from_wire(data: dict) -> Subject:
+    return _subject_from_dict(data)
+
+
+def role_to_wire(role: Role) -> dict:
+    return _role_to_dict(role)
+
+
+def role_from_wire(data: dict) -> Role:
+    return _role_from_dict(data)
+
+
+def constraints_to_wire(constraints: Iterable[Constraint]) -> List[dict]:
+    return [
+        {
+            "entity": c.attribute.entity.to_dict(),
+            "name": c.attribute.name,
+            "minimum": c.minimum,
+        }
+        for c in constraints
+    ]
+
+
+def constraints_from_wire(data: Iterable[dict]) -> Tuple[Constraint, ...]:
+    return tuple(
+        Constraint(
+            attribute=AttributeRef(
+                entity=Entity.from_dict(record["entity"]),
+                name=record["name"],
+            ),
+            minimum=record["minimum"],
+        )
+        for record in data
+    )
+
+
+def bases_to_wire(bases: Optional[Mapping[AttributeRef, float]]
+                  ) -> List[dict]:
+    if not bases:
+        return []
+    return [
+        {
+            "entity": attribute.entity.to_dict(),
+            "name": attribute.name,
+            "value": value,
+        }
+        for attribute, value in bases.items()
+    ]
+
+
+def bases_from_wire(data: Iterable[dict]) -> dict:
+    return {
+        AttributeRef(entity=Entity.from_dict(record["entity"]),
+                     name=record["name"]): record["value"]
+        for record in data
+    }
+
+
+def proof_to_wire(proof: Optional[Proof]) -> Optional[dict]:
+    return None if proof is None else proof.to_dict()
+
+
+def proof_from_wire(data: Optional[dict]) -> Optional[Proof]:
+    return None if data is None else Proof.from_dict(data)
+
+
+def proofs_to_wire(proofs: Iterable[Proof]) -> List[dict]:
+    return [proof.to_dict() for proof in proofs]
+
+
+def proofs_from_wire(data: Iterable[dict]) -> List[Proof]:
+    return [Proof.from_dict(record) for record in data]
+
+
+def delegation_to_wire(delegation: Delegation) -> dict:
+    return delegation.to_dict()
+
+
+def delegation_from_wire(data: dict) -> Delegation:
+    return Delegation.from_dict(data)

@@ -1,0 +1,608 @@
+"""Proof search over a delegation graph (paper, Sections 4.1 and 4.2.3).
+
+Implements the three wallet query forms:
+
+* **direct query** -- given subject S, object O, and valued-attribute
+  constraints C, find one proof authorizing ``S => O`` satisfying C;
+* **subject query** -- enumerate proofs of the form ``S => *``;
+* **object query** -- enumerate proofs of the form ``* => O``.
+
+Three strategies are provided for direct queries, matching the efficiency
+discussion in Section 4.2.3:
+
+* ``Strategy.FORWARD`` -- breadth-first from the subject over out-edges;
+* ``Strategy.REVERSE`` -- breadth-first from the object over in-edges;
+* ``Strategy.BIDIRECTIONAL`` -- alternating frontiers meeting in the
+  middle ("a significant reduction in the number of paths that must be
+  considered is possible if the search is simultaneously conducted in both
+  directions").
+
+Attribute pruning: because modifier composition is monotone non-increasing
+(Section 3.2.1), a partial chain whose best-case grant already violates a
+constraint can never be extended into a satisfying proof and is pruned.
+When constraints are present the search keeps a Pareto frontier of
+non-dominated modifier labels per node, because proofs "are not
+necessarily discovered in topological order" and a label that is worse on
+one attribute may be better on another.
+
+Searches never verify signatures -- wallets verify at publication time
+(Section 4.1) -- but they do skip expired and revoked delegations, and by
+default refuse to traverse a third-party delegation whose support proofs
+are unavailable.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.core.attributes import AttributeRef, Constraint, Operator
+from repro.core.delegation import Delegation
+from repro.core.proof import Proof, RevokedSet, _revocation_test
+from repro.core.roles import Subject, subject_key
+from repro.graph.delegation_graph import DelegationGraph
+
+SupportProvider = Callable[[Delegation], Tuple[Proof, ...]]
+
+
+class Strategy(str, Enum):
+    FORWARD = "forward"
+    REVERSE = "reverse"
+    BIDIRECTIONAL = "bidirectional"
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation collected by a search, for the E1 benchmarks."""
+
+    nodes_expanded: int = 0
+    edges_considered: int = 0
+    labels_created: int = 0
+    pruned_by_constraint: int = 0
+    pruned_no_support: int = 0
+    pruned_by_depth_limit: int = 0
+    met_in_middle: int = 0
+
+    def reset(self) -> None:
+        self.nodes_expanded = 0
+        self.edges_considered = 0
+        self.labels_created = 0
+        self.pruned_by_constraint = 0
+        self.pruned_no_support = 0
+        self.pruned_by_depth_limit = 0
+        self.met_in_middle = 0
+
+
+@dataclass
+class _Context:
+    """Bundled search parameters shared by every expansion step."""
+
+    graph: DelegationGraph
+    at: float
+    is_revoked: Callable[[str], bool]
+    constraints: Tuple[Constraint, ...]
+    bases: Mapping[AttributeRef, float]
+    support_provider: Optional[SupportProvider]
+    require_supports: bool
+    prune: bool
+    stats: SearchStats
+    max_depth: int
+
+    def edge_usable(self, delegation: Delegation) -> bool:
+        self.stats.edges_considered += 1
+        if delegation.is_expired(self.at):
+            return False
+        if self.is_revoked(delegation.id):
+            return False
+        return True
+
+    def supports_for(self, delegation: Delegation
+                     ) -> Optional[Tuple[Proof, ...]]:
+        """Supports to attach; None means the edge must not be traversed."""
+        if not delegation.required_supports():
+            return ()
+        provided = () if self.support_provider is None \
+            else self.support_provider(delegation)
+        if self.require_supports and len(provided) < len(
+                delegation.required_supports()):
+            self.stats.pruned_no_support += 1
+            return None
+        return provided
+
+    def violates(self, proof: Proof) -> bool:
+        """Monotone pruning: best-case grant already below a constraint."""
+        if not self.prune or not self.constraints:
+            return False
+        modifiers = proof.modifiers
+        for constraint in self.constraints:
+            attribute = constraint.attribute
+            if attribute in self.bases:
+                bound = modifiers.grant_upper_bound(
+                    attribute, self.bases[attribute])
+            elif modifiers.operator_of(attribute) is Operator.MIN:
+                bound = modifiers.value_of(attribute)
+            else:
+                continue  # cannot bound yet; fails closed only at the end
+            if bound < constraint.minimum:
+                self.stats.pruned_by_constraint += 1
+                return True
+        return False
+
+    def final_ok(self, proof: Proof) -> bool:
+        if not self.constraints:
+            return True
+        return proof.satisfies(self.constraints, self.bases)
+
+
+def _make_context(graph: DelegationGraph, at: float,
+                  revoked: Optional[RevokedSet],
+                  constraints: Iterable[Constraint],
+                  bases: Optional[Mapping[AttributeRef, float]],
+                  support_provider: Optional[SupportProvider],
+                  require_supports: bool, prune: bool,
+                  stats: Optional[SearchStats],
+                  max_depth: Optional[int]) -> _Context:
+    return _Context(
+        graph=graph,
+        at=at,
+        is_revoked=_revocation_test(revoked),
+        constraints=tuple(constraints),
+        bases=bases or {},
+        support_provider=support_provider,
+        require_supports=require_supports,
+        prune=prune,
+        stats=stats if stats is not None else SearchStats(),
+        max_depth=max_depth if max_depth is not None else max(len(graph), 1),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pareto label bookkeeping
+# ---------------------------------------------------------------------------
+
+class _LabelStore:
+    """Per-node records of non-dominated attribute labels.
+
+    Without constraints this degenerates to a visited set (one label per
+    node). With constraints, a new label is admitted unless an existing
+    label is at least as good on *every* constrained attribute.
+    """
+
+    def __init__(self, ctx: _Context) -> None:
+        self._ctx = ctx
+        self._labels: Dict[tuple, List[Tuple[float, ...]]] = {}
+        self._attributes = tuple(c.attribute for c in ctx.constraints)
+
+    def _vector(self, proof: Proof) -> Tuple[float, ...]:
+        bounds = []
+        for attribute in self._attributes:
+            base = self._ctx.bases.get(attribute, float("inf"))
+            bounds.append(proof.modifiers.grant_upper_bound(attribute, base))
+        return tuple(bounds)
+
+    def admit(self, node: tuple, proof: Proof) -> bool:
+        """Record the label; False if dominated by an existing one."""
+        existing = self._labels.setdefault(node, [])
+        if not self._attributes:
+            if existing:
+                return False
+            existing.append(())
+            return True
+        vector = self._vector(proof)
+        for other in existing:
+            if all(o >= v for o, v in zip(other, vector)):
+                return False
+        existing[:] = [
+            other for other in existing
+            if not all(v >= o for v, o in zip(vector, other))
+        ]
+        existing.append(vector)
+        self._ctx.stats.labels_created += 1
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Direct query
+# ---------------------------------------------------------------------------
+
+def direct_query(graph: DelegationGraph, subject: Subject, obj: Subject,
+                 at: float = 0.0,
+                 revoked: Optional[RevokedSet] = None,
+                 constraints: Iterable[Constraint] = (),
+                 bases: Optional[Mapping[AttributeRef, float]] = None,
+                 strategy: Strategy = Strategy.BIDIRECTIONAL,
+                 support_provider: Optional[SupportProvider] = None,
+                 require_supports: bool = True,
+                 prune: bool = True,
+                 stats: Optional[SearchStats] = None,
+                 max_depth: Optional[int] = None) -> Optional[Proof]:
+    """Find one proof authorizing ``subject => obj`` satisfying constraints.
+
+    Returns None if no satisfying proof exists in the graph. A proof of
+    zero length (subject identical to object) is not a dRBAC proof and
+    yields None.
+    """
+    ctx = _make_context(graph, at, revoked, constraints, bases,
+                        support_provider, require_supports, prune,
+                        stats, max_depth)
+    if subject_key(subject) == subject_key(obj):
+        return None
+    if strategy is Strategy.FORWARD:
+        return _search_forward(ctx, subject, obj)
+    if strategy is Strategy.REVERSE:
+        return _search_reverse(ctx, subject, obj)
+    return _search_bidirectional(ctx, subject, obj)
+
+
+def _extend_forward(ctx: _Context, proof: Optional[Proof],
+                    delegation: Delegation) -> Optional[Proof]:
+    """Attach one more delegation to the right end of a forward proof."""
+    if not ctx.edge_usable(delegation):
+        return None
+    supports = ctx.supports_for(delegation)
+    if supports is None:
+        return None
+    try:
+        if proof is None:
+            extended = Proof.single(delegation, supports=supports)
+        else:
+            extended = proof.extend(delegation, supports=supports)
+    except Exception:
+        return None
+    if extended.depth_budget is not None and extended.depth_budget < 0:
+        ctx.stats.pruned_by_depth_limit += 1
+        return None
+    if ctx.violates(extended):
+        return None
+    return extended
+
+
+def _prepend_reverse(ctx: _Context, delegation: Delegation,
+                     proof: Optional[Proof]) -> Optional[Proof]:
+    """Attach one more delegation to the left end of a reverse proof."""
+    if not ctx.edge_usable(delegation):
+        return None
+    supports = ctx.supports_for(delegation)
+    if supports is None:
+        return None
+    try:
+        head = Proof.single(delegation, supports=supports)
+        extended = head if proof is None else head.join(proof)
+    except Exception:
+        return None
+    if extended.depth_budget is not None and extended.depth_budget < 0:
+        ctx.stats.pruned_by_depth_limit += 1
+        return None
+    if ctx.violates(extended):
+        return None
+    return extended
+
+
+def _search_forward(ctx: _Context, subject: Subject,
+                    obj: Subject) -> Optional[Proof]:
+    target = subject_key(obj)
+    labels = _LabelStore(ctx)
+    queue = deque([(subject_key(subject), None)])
+    while queue:
+        node, proof = queue.popleft()
+        if proof is not None and proof.depth() >= ctx.max_depth:
+            continue
+        ctx.stats.nodes_expanded += 1
+        for delegation in ctx.graph.out_edges_by_node(node):
+            extended = _extend_forward(ctx, proof, delegation)
+            if extended is None:
+                continue
+            next_node = delegation.object_node
+            if next_node == target and ctx.final_ok(extended):
+                return extended
+            if labels.admit(next_node, extended):
+                queue.append((next_node, extended))
+    return None
+
+
+def _search_reverse(ctx: _Context, subject: Subject,
+                    obj: Subject) -> Optional[Proof]:
+    origin = subject_key(subject)
+    labels = _LabelStore(ctx)
+    queue = deque([(subject_key(obj), None)])
+    while queue:
+        node, proof = queue.popleft()
+        if proof is not None and proof.depth() >= ctx.max_depth:
+            continue
+        ctx.stats.nodes_expanded += 1
+        for delegation in ctx.graph.in_edges_by_node(node):
+            extended = _prepend_reverse(ctx, delegation, proof)
+            if extended is None:
+                continue
+            prev_node = delegation.subject_node
+            if prev_node == origin and ctx.final_ok(extended):
+                return extended
+            if labels.admit(prev_node, extended):
+                queue.append((prev_node, extended))
+    return None
+
+
+def _search_bidirectional(ctx: _Context, subject: Subject,
+                          obj: Subject) -> Optional[Proof]:
+    origin = subject_key(subject)
+    target = subject_key(obj)
+    forward_proofs: Dict[tuple, List[Proof]] = {origin: []}
+    backward_proofs: Dict[tuple, List[Proof]] = {target: []}
+    forward_labels = _LabelStore(ctx)
+    backward_labels = _LabelStore(ctx)
+    forward_queue = deque([(origin, None)])
+    backward_queue = deque([(target, None)])
+
+    def try_meet(node: tuple, forward: Optional[Proof],
+                 backward: Optional[Proof]) -> Optional[Proof]:
+        if forward is None and backward is None:
+            return None
+        if forward is None:
+            candidate = backward if node == origin else None
+        elif backward is None:
+            candidate = forward if node == target else None
+        else:
+            try:
+                candidate = forward.join(backward)
+            except Exception:
+                return None
+        if candidate is None:
+            return None
+        if candidate.depth_budget is not None \
+                and candidate.depth_budget < 0:
+            ctx.stats.pruned_by_depth_limit += 1
+            return None
+        if not ctx.violates(candidate) and ctx.final_ok(candidate):
+            ctx.stats.met_in_middle += 1
+            return candidate
+        return None
+
+    while forward_queue or backward_queue:
+        expand_forward = bool(forward_queue) and (
+            not backward_queue or len(forward_queue) <= len(backward_queue)
+        )
+        if expand_forward:
+            node, proof = forward_queue.popleft()
+            if proof is not None and proof.depth() >= ctx.max_depth:
+                continue
+            ctx.stats.nodes_expanded += 1
+            for delegation in ctx.graph.out_edges_by_node(node):
+                extended = _extend_forward(ctx, proof, delegation)
+                if extended is None:
+                    continue
+                next_node = delegation.object_node
+                if next_node == target and ctx.final_ok(extended):
+                    return extended
+                for backward in backward_proofs.get(next_node, ()):
+                    met = try_meet(next_node, extended, backward)
+                    if met is not None:
+                        return met
+                if forward_labels.admit(next_node, extended):
+                    forward_proofs.setdefault(next_node, []).append(extended)
+                    forward_queue.append((next_node, extended))
+        else:
+            node, proof = backward_queue.popleft()
+            if proof is not None and proof.depth() >= ctx.max_depth:
+                continue
+            ctx.stats.nodes_expanded += 1
+            for delegation in ctx.graph.in_edges_by_node(node):
+                extended = _prepend_reverse(ctx, delegation, proof)
+                if extended is None:
+                    continue
+                prev_node = delegation.subject_node
+                if prev_node == origin and ctx.final_ok(extended):
+                    return extended
+                for forward in forward_proofs.get(prev_node, ()):
+                    met = try_meet(prev_node, forward, extended)
+                    if met is not None:
+                        return met
+                if backward_labels.admit(prev_node, extended):
+                    backward_proofs.setdefault(prev_node, []).append(extended)
+                    backward_queue.append((prev_node, extended))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Subject and object queries
+# ---------------------------------------------------------------------------
+
+def subject_query(graph: DelegationGraph, subject: Subject,
+                  at: float = 0.0,
+                  revoked: Optional[RevokedSet] = None,
+                  constraints: Iterable[Constraint] = (),
+                  bases: Optional[Mapping[AttributeRef, float]] = None,
+                  support_provider: Optional[SupportProvider] = None,
+                  require_supports: bool = True,
+                  prune: bool = True,
+                  stats: Optional[SearchStats] = None,
+                  max_depth: Optional[int] = None) -> List[Proof]:
+    """Enumerate proofs ``subject => *`` that do not violate constraints.
+
+    Returns one proof per (node, non-dominated label); without constraints
+    that is the BFS-shortest proof to each reachable node.
+    """
+    ctx = _make_context(graph, at, revoked, constraints, bases,
+                        support_provider, require_supports, prune,
+                        stats, max_depth)
+    results: List[Proof] = []
+    labels = _LabelStore(ctx)
+    queue = deque([(subject_key(subject), None)])
+    while queue:
+        node, proof = queue.popleft()
+        if proof is not None and proof.depth() >= ctx.max_depth:
+            continue
+        ctx.stats.nodes_expanded += 1
+        for delegation in ctx.graph.out_edges_by_node(node):
+            extended = _extend_forward(ctx, proof, delegation)
+            if extended is None:
+                continue
+            next_node = delegation.object_node
+            if labels.admit(next_node, extended):
+                results.append(extended)
+                queue.append((next_node, extended))
+    return results
+
+
+def object_query(graph: DelegationGraph, obj: Subject,
+                 at: float = 0.0,
+                 revoked: Optional[RevokedSet] = None,
+                 constraints: Iterable[Constraint] = (),
+                 bases: Optional[Mapping[AttributeRef, float]] = None,
+                 support_provider: Optional[SupportProvider] = None,
+                 require_supports: bool = True,
+                 prune: bool = True,
+                 stats: Optional[SearchStats] = None,
+                 max_depth: Optional[int] = None) -> List[Proof]:
+    """Enumerate proofs ``* => obj`` that do not violate constraints."""
+    ctx = _make_context(graph, at, revoked, constraints, bases,
+                        support_provider, require_supports, prune,
+                        stats, max_depth)
+    results: List[Proof] = []
+    labels = _LabelStore(ctx)
+    queue = deque([(subject_key(obj), None)])
+    while queue:
+        node, proof = queue.popleft()
+        if proof is not None and proof.depth() >= ctx.max_depth:
+            continue
+        ctx.stats.nodes_expanded += 1
+        for delegation in ctx.graph.in_edges_by_node(node):
+            extended = _prepend_reverse(ctx, delegation, proof)
+            if extended is None:
+                continue
+            prev_node = delegation.subject_node
+            if labels.admit(prev_node, extended):
+                results.append(extended)
+                queue.append((prev_node, extended))
+    return results
+
+
+def subject_query_multi(graph: DelegationGraph,
+                        subjects: Iterable[Subject],
+                        **kwargs) -> List[Proof]:
+    """Subject query over a *set* of subjects (paper, Section 4.1:
+    "given a subject S (more generally, a set of subjects)").
+
+    Returns the concatenated sub-proofs; proofs are deduplicated when
+    two subjects reach identical chains.
+    """
+    seen = set()
+    results: List[Proof] = []
+    for subject in subjects:
+        for proof in subject_query(graph, subject, **kwargs):
+            if proof not in seen:
+                seen.add(proof)
+                results.append(proof)
+    return results
+
+
+def object_query_multi(graph: DelegationGraph, objs: Iterable[Subject],
+                       **kwargs) -> List[Proof]:
+    """Object query over a *set* of objects (paper, Section 4.1:
+    "given an object (more generally, a set of objects)")."""
+    seen = set()
+    results: List[Proof] = []
+    for obj in objs:
+        for proof in object_query(graph, obj, **kwargs):
+            if proof not in seen:
+                seen.add(proof)
+                results.append(proof)
+    return results
+
+
+def direct_query_any(graph: DelegationGraph, subject: Subject,
+                     objs: Iterable[Subject],
+                     **kwargs) -> Optional[Proof]:
+    """First satisfying proof from ``subject`` to any of ``objs``.
+
+    The resource-side idiom: a resource guarded by several acceptable
+    roles asks for whichever is provable.
+    """
+    for obj in objs:
+        proof = direct_query(graph, subject, obj, **kwargs)
+        if proof is not None:
+            return proof
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive enumeration (benchmark support)
+# ---------------------------------------------------------------------------
+
+def enumerate_chains(graph: DelegationGraph, subject: Subject,
+                     obj: Subject,
+                     at: float = 0.0,
+                     revoked: Optional[RevokedSet] = None,
+                     max_depth: int = 16) -> Iterator[Tuple[Delegation, ...]]:
+    """Yield every simple delegation chain from subject to object.
+
+    Used by the Section 4.2.3 benchmark to demonstrate that the number of
+    potential authorizing paths "is clearly exponential in depth" for
+    unidirectional enumeration. Chains are simple: no node repeats.
+    """
+    is_revoked = _revocation_test(revoked)
+    target = subject_key(obj)
+
+    def walk(node: tuple, path: Tuple[Delegation, ...],
+             seen: frozenset) -> Iterator[Tuple[Delegation, ...]]:
+        if len(path) >= max_depth:
+            return
+        for delegation in graph.out_edges_by_node(node):
+            if delegation.is_expired(at) or is_revoked(delegation.id):
+                continue
+            next_node = delegation.object_node
+            if next_node in seen:
+                continue
+            extended = path + (delegation,)
+            if next_node == target:
+                yield extended
+            else:
+                yield from walk(next_node, extended, seen | {next_node})
+
+    origin = subject_key(subject)
+    yield from walk(origin, (), frozenset((origin,)))
+
+
+def build_support_provider(graph: DelegationGraph,
+                           at: float = 0.0,
+                           revoked: Optional[RevokedSet] = None,
+                           max_depth: Optional[int] = None
+                           ) -> SupportProvider:
+    """A support provider that discovers support proofs within ``graph``.
+
+    Wallets normally store support proofs alongside third-party
+    delegations at publication time; this helper reconstructs them by
+    recursive search, for tests and for graphs assembled outside a wallet.
+    Results are memoized per delegation id.
+    """
+    cache: Dict[str, Tuple[Proof, ...]] = {}
+
+    def provider(delegation: Delegation) -> Tuple[Proof, ...]:
+        cached = cache.get(delegation.id)
+        if cached is not None:
+            return cached
+        # Fail closed while computing: a delegation whose support chain
+        # cycles back through itself gets no supports.
+        cache[delegation.id] = ()
+        proofs = []
+        for role in delegation.required_supports():
+            found = direct_query(
+                graph, delegation.issuer, role, at=at, revoked=revoked,
+                strategy=Strategy.FORWARD, support_provider=provider,
+                max_depth=max_depth,
+            )
+            if found is not None:
+                proofs.append(found)
+        result = tuple(proofs)
+        cache[delegation.id] = result
+        return result
+
+    return provider

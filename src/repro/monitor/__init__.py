@@ -1,0 +1,11 @@
+"""Proof monitors: continuous validity tracking for long-lived trust.
+
+"In order to safely authorize prolonged trust relationships, dRBAC relies
+upon proof monitor objects that continuously monitor the validity of
+delegations comprising a proof" (paper, Section 2). See
+:mod:`repro.monitor.proof_monitor`.
+"""
+
+from repro.monitor.proof_monitor import ProofMonitor
+
+__all__ = ["ProofMonitor"]

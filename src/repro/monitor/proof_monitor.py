@@ -1,0 +1,139 @@
+"""The proof monitor object (paper, Sections 4.1 and 4.2.2).
+
+A query does not merely return a proof -- "what it returns is a proof
+wrapped in a proof monitor object. Proof monitors register delegation
+subscriptions with a trusted wallet for each delegation in the proof."
+When any constituent delegation is revoked, expires, or lapses its TTL,
+the monitor flips to invalid and notifies the trust-sensitive entity via
+its callback. "Upon receipt of this notification, the entity can request
+an alternate proof or discontinue access" -- :meth:`ProofMonitor.revalidate`
+implements the alternate-proof request.
+"""
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.attributes import AttributeRef, Constraint
+from repro.core.proof import Proof
+from repro.pubsub.events import DelegationEvent, EventKind
+from repro.pubsub.subscriptions import Subscription
+
+# Callback signature: (monitor, triggering_event)
+MonitorCallback = Callable[["ProofMonitor", DelegationEvent], None]
+
+
+class ProofMonitor:
+    """Wraps a proof and tracks its validity on a wallet's hub.
+
+    One delegation subscription is registered per distinct delegation in
+    the proof (supports included). The monitor is one-shot per
+    invalidation: after firing, re-arm by calling :meth:`revalidate`.
+    """
+
+    def __init__(self, wallet, proof: Proof,
+                 callback: Optional[MonitorCallback] = None,
+                 constraints: Tuple[Constraint, ...] = (),
+                 discover: Optional[Callable] = None) -> None:
+        """``discover(subject, obj, constraints=...)`` is an optional
+        fallback proof source consulted when the local wallet cannot
+        revalidate -- typically a
+        :meth:`~repro.discovery.engine.DiscoveryEngine.discover` bound
+        method, so invalidated sessions can heal across wallets."""
+        self._wallet = wallet
+        self._proof = proof
+        self._callback = callback
+        self._constraints = constraints
+        self._discover = discover
+        self.valid = True
+        self.invalidation: Optional[DelegationEvent] = None
+        self.invalidation_count = 0
+        self._subscriptions: List[Subscription] = []
+        self._subscribe_all()
+
+    # -- wiring --------------------------------------------------------
+
+    def _subscribe_all(self) -> None:
+        for delegation in self._proof.all_delegations():
+            self._subscriptions.append(
+                self._wallet.hub.subscribe(delegation.id, self._on_event)
+            )
+
+    def _unsubscribe_all(self) -> None:
+        for subscription in self._subscriptions:
+            subscription.cancel()
+        self._subscriptions.clear()
+
+    def _on_event(self, event: DelegationEvent) -> None:
+        if event.kind is EventKind.UPDATED and self.valid:
+            # A constituent delegation was renewed in place: refresh the
+            # proof silently (Section 3.2.2 -- lifetime updates ride the
+            # subscription channel without interrupting the interaction).
+            self.revalidate()
+            return
+        if not event.kind.invalidates or not self.valid:
+            return
+        self.valid = False
+        self.invalidation = event
+        self.invalidation_count += 1
+        if self._callback is not None:
+            self._callback(self, event)
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def proof(self) -> Proof:
+        return self._proof
+
+    @property
+    def subject(self):
+        return self._proof.subject
+
+    @property
+    def obj(self):
+        return self._proof.obj
+
+    def grants(self, bases: Optional[Dict[AttributeRef, float]] = None
+               ) -> Dict[AttributeRef, float]:
+        """The modulated attribute allocations this proof authorizes."""
+        merged = self._wallet.base_allocations()
+        if bases:
+            merged.update(bases)
+        return self._proof.grants(merged)
+
+    def revalidate(self) -> bool:
+        """Request an alternate proof for the same trust relationship.
+
+        On success the monitor swaps in the new proof, re-subscribes, and
+        becomes valid again; on failure it stays invalid. Returns the new
+        validity state.
+        """
+        replacement = self._wallet.query_direct(
+            self._proof.subject, self._proof.obj,
+            constraints=self._constraints,
+        )
+        if replacement is None and self._discover is not None:
+            replacement = self._discover(
+                self._proof.subject, self._proof.obj,
+                constraints=self._constraints)
+        if replacement is None:
+            return False
+        self._unsubscribe_all()
+        self._proof = replacement
+        self.valid = True
+        self.invalidation = None
+        self._subscribe_all()
+        return True
+
+    def cancel(self) -> None:
+        """Stop monitoring (interaction finished)."""
+        self._unsubscribe_all()
+
+    def __enter__(self) -> "ProofMonitor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.cancel()
+
+    def __repr__(self) -> str:
+        state = "valid" if self.valid else "INVALID"
+        return (f"ProofMonitor({self._proof.subject} => {self._proof.obj}, "
+                f"{state})")

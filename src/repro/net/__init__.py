@@ -1,0 +1,34 @@
+"""Simulated network substrate.
+
+The paper's implementation ran on Java + the Switchboard secure
+communication layer [8] across real hosts. This package substitutes a
+deterministic, in-process equivalent (see DESIGN.md, substitution 1):
+
+* :mod:`repro.net.simnet` -- a discrete-event scheduler driving a shared
+  :class:`~repro.core.clock.SimClock`;
+* :mod:`repro.net.transport` -- addressed message passing with per-message
+  accounting (the E2/F2 benchmarks are message-count experiments),
+  configurable latency, and partitions;
+* :mod:`repro.net.rpc` -- synchronous request/response on top of the
+  transport;
+* :mod:`repro.net.switchboard` -- mutually authenticated channels in the
+  spirit of Switchboard: signed challenge-response handshake, MAC'd
+  frames, and optional dRBAC-role-credentialed acceptance.
+"""
+
+from repro.net.simnet import Simulation
+from repro.net.transport import Network, NetworkError, TrafficStats
+from repro.net.rpc import RpcError, RpcNode
+from repro.net.switchboard import Channel, HandshakeError, Switchboard
+
+__all__ = [
+    "Simulation",
+    "Network",
+    "NetworkError",
+    "TrafficStats",
+    "RpcError",
+    "RpcNode",
+    "Channel",
+    "HandshakeError",
+    "Switchboard",
+]

@@ -1,0 +1,88 @@
+"""Request/response RPC over the simulated transport.
+
+Method dispatch with structured errors: a handler exception travels back
+as an error reply and re-raises at the caller as :class:`RpcError`, so a
+remote wallet rejecting a publication behaves exactly like a local one.
+"""
+
+import traceback
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.transport import Network, NetworkError
+
+Method = Callable[[str, Any], Any]
+
+
+class RpcError(Exception):
+    """A remote handler raised; carries the remote error text."""
+
+    def __init__(self, method: str, remote_error: str) -> None:
+        super().__init__(f"remote error in {method!r}: {remote_error}")
+        self.method = method
+        self.remote_error = remote_error
+
+
+class RpcNode:
+    """One addressable RPC endpoint."""
+
+    def __init__(self, network: Network, address: str) -> None:
+        self.network = network
+        self.address = address
+        self._methods: Dict[str, Method] = {}
+        network.register(address, self._dispatch)
+
+    def expose(self, name: str, method: Method) -> None:
+        """Register ``method(src, params) -> result`` under ``name``."""
+        self._methods[name] = method
+
+    def call(self, dst: str, method: str, params: Any = None) -> Any:
+        """Invoke ``method`` on the node at ``dst``.
+
+        Request and reply each count as one message on the network.
+        """
+        reply = self.network.send(self.address, dst, f"rpc:{method}", {
+            "method": method,
+            "params": params,
+        })
+        # The reply crosses the wire too; account for it explicitly.
+        self.network.send(dst, self.address, f"rpc-reply:{method}", reply)
+        if reply.get("error") is not None:
+            raise RpcError(method, reply["error"])
+        return reply.get("result")
+
+    def notify(self, dst: str, method: str, params: Any = None) -> None:
+        """One-way message: no reply traffic, errors swallowed remotely."""
+        self.network.send(self.address, dst, f"notify:{method}", {
+            "method": method,
+            "params": params,
+            "oneway": True,
+        })
+
+    def _dispatch(self, src: str, topic: str, message: Any) -> Any:
+        if topic.startswith("rpc-reply:"):
+            # Reply leg of a call; accounting only.
+            return None
+        if not isinstance(message, dict) or "method" not in message:
+            return {"error": "malformed rpc envelope", "result": None}
+        name = message["method"]
+        handler = self._methods.get(name)
+        oneway = bool(message.get("oneway"))
+        if handler is None:
+            if oneway:
+                return None
+            return {"error": f"no such method {name!r}", "result": None}
+        try:
+            result = handler(src, message.get("params"))
+        except Exception as exc:  # noqa: BLE001 - fault boundary
+            if oneway:
+                return None
+            return {
+                "error": f"{type(exc).__name__}: {exc}",
+                "result": None,
+            }
+        if oneway:
+            return None
+        return {"error": None, "result": result}
+
+    def close(self) -> None:
+        self.network.unregister(self.address)

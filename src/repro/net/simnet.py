@@ -1,0 +1,103 @@
+"""A minimal discrete-event simulation loop.
+
+Owns the simulated clock and an ordered event queue. Wallet TTL sweeps,
+expiration sweeps, OCSP polling loops (baselines), and session epochs are
+all scheduled here, which makes every experiment deterministic and
+replayable: same inputs, same event order, same outputs.
+"""
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.clock import SimClock
+
+
+class Simulation:
+    """An event queue bound to a :class:`SimClock`."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.events_executed = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        self.schedule_at(self.clock.now() + delay, action)
+
+    def schedule_at(self, timestamp: float,
+                    action: Callable[[], None]) -> None:
+        """Run ``action`` at an absolute simulated time."""
+        if timestamp < self.clock.now():
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue,
+                       (timestamp, next(self._sequence), action))
+
+    def every(self, interval: float, action: Callable[[], None],
+              until: Optional[float] = None) -> None:
+        """Run ``action`` periodically (first firing after ``interval``)."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+
+        def tick() -> None:
+            action()
+            next_time = self.clock.now() + interval
+            if until is None or next_time <= until:
+                self.schedule_at(next_time, tick)
+
+        first = self.clock.now() + interval
+        if until is None or first <= until:
+            self.schedule_at(first, tick)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event; False when the queue is empty."""
+        if not self._queue:
+            return False
+        timestamp, _seq, action = heapq.heappop(self._queue)
+        self.clock.advance_to(timestamp)
+        action()
+        self.events_executed += 1
+        return True
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue; returns events executed. Guards runaway loops."""
+        executed = 0
+        while self._queue and executed < max_events:
+            self.step()
+            executed += 1
+        if self._queue and executed >= max_events:
+            raise RuntimeError(
+                f"simulation exceeded {max_events} events; likely a "
+                f"self-rescheduling loop with no 'until' bound"
+            )
+        return executed
+
+    def run_until(self, timestamp: float, max_events: int = 1_000_000) -> int:
+        """Execute events up to and including ``timestamp``; then advance
+        the clock to exactly ``timestamp``."""
+        executed = 0
+        while self._queue and self._queue[0][0] <= timestamp:
+            if executed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events before "
+                    f"t={timestamp}"
+                )
+            self.step()
+            executed += 1
+        if self.clock.now() < timestamp:
+            self.clock.advance_to(timestamp)
+        return executed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def now(self) -> float:
+        return self.clock.now()

@@ -1,0 +1,19 @@
+"""Delegation subscriptions: push-based credential status (Section 4.2.2).
+
+"A dRBAC wallet implements a monitored and secure pub/sub interface for
+each delegation... notify subscribers if the corresponding delegation is
+invalidated." This package provides the event vocabulary and the local
+subscription hub; cross-wallet subscription wiring rides on
+:mod:`repro.net` and is assembled in :mod:`repro.wallet` and
+:mod:`repro.discovery`.
+"""
+
+from repro.pubsub.events import DelegationEvent, EventKind
+from repro.pubsub.subscriptions import Subscription, SubscriptionHub
+
+__all__ = [
+    "DelegationEvent",
+    "EventKind",
+    "Subscription",
+    "SubscriptionHub",
+]

@@ -1,0 +1,58 @@
+"""Event vocabulary for delegation subscriptions."""
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class EventKind(str, Enum):
+    """What happened to a delegation (or an awaited proof)."""
+
+    REVOKED = "revoked"        # issuer revoked the delegation
+    EXPIRED = "expired"        # expiration date passed
+    UPDATED = "updated"        # delegation re-issued / lifetime extended
+    AVAILABLE = "available"    # a previously missing proof became available
+
+    @property
+    def invalidates(self) -> bool:
+        """True iff proofs depending on the delegation become invalid."""
+        return self in (EventKind.REVOKED, EventKind.EXPIRED)
+
+
+@dataclass(frozen=True)
+class DelegationEvent:
+    """A status change pushed over a delegation subscription.
+
+    ``delegation_id`` identifies the affected delegation; ``origin``
+    optionally names the wallet address that first published the event
+    (used to stop propagation loops in hierarchical cache meshes).
+    """
+
+    kind: EventKind
+    delegation_id: str
+    timestamp: float
+    origin: str = ""
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "delegation": self.delegation_id,
+            "timestamp": self.timestamp,
+            "origin": self.origin,
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "DelegationEvent":
+        return DelegationEvent(
+            kind=EventKind(data["kind"]),
+            delegation_id=data["delegation"],
+            timestamp=data["timestamp"],
+            origin=data.get("origin", ""),
+            detail=data.get("detail", ""),
+        )
+
+    def __str__(self) -> str:
+        return (f"{self.kind.value}({self.delegation_id[:12]}"
+                f"@{self.timestamp})")

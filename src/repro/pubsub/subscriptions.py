@@ -1,0 +1,131 @@
+"""The per-wallet subscription hub.
+
+Implements the push model of Section 4.2.2: subscribers register interest
+in individual delegations (or in the future availability of a proof) and
+are called back when a matching event is published. "Delegation
+subscriptions only require server and network resources when a credential
+has been updated" -- the hub does no polling; silence costs nothing. The
+E2 benchmark counts deliveries through this hub against OCSP/CRL baselines.
+"""
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.pubsub.events import DelegationEvent, EventKind
+
+EventCallback = Callable[[DelegationEvent], None]
+
+
+class Subscription:
+    """A handle to one registration; call :meth:`cancel` to unsubscribe."""
+
+    __slots__ = ("_hub", "_key", "_token", "active")
+
+    def __init__(self, hub: "SubscriptionHub", key, token: int) -> None:
+        self._hub = hub
+        self._key = key
+        self._token = token
+        self.active = True
+
+    def cancel(self) -> None:
+        if self.active:
+            self.active = False
+            self._hub._remove(self._key, self._token)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.cancel()
+
+
+class SubscriptionHub:
+    """Local pub/sub state for one wallet.
+
+    Two channel families:
+
+    * **delegation channels**, keyed by delegation id -- status pushes for
+      revocation/expiry/update;
+    * **awaiting-proof channels**, keyed by an opaque relationship key --
+      fired when a wallet that previously answered "no proof" acquires one
+      ("the entity object can register a callback that will be activated
+      when such a proof is available", Section 4.2.2).
+
+    Delivery is synchronous and exceptions in one callback do not prevent
+    delivery to the rest (errors are collected and re-raised afterwards).
+    """
+
+    def __init__(self) -> None:
+        self._channels: Dict[object, Dict[int, EventCallback]] = {}
+        self._tokens = itertools.count()
+        self.events_published = 0
+        self.callbacks_delivered = 0
+
+    # -- registration ---------------------------------------------------
+
+    def subscribe(self, delegation_id: str,
+                  callback: EventCallback) -> Subscription:
+        """Register for status events on one delegation."""
+        return self._add(("delegation", delegation_id), callback)
+
+    def subscribe_proof_available(self, relationship_key,
+                                  callback: EventCallback) -> Subscription:
+        """Register for the future availability of a proof."""
+        return self._add(("awaiting", relationship_key), callback)
+
+    def _add(self, key, callback: EventCallback) -> Subscription:
+        token = next(self._tokens)
+        self._channels.setdefault(key, {})[token] = callback
+        return Subscription(self, key, token)
+
+    def _remove(self, key, token: int) -> None:
+        channel = self._channels.get(key)
+        if channel is not None:
+            channel.pop(token, None)
+            if not channel:
+                self._channels.pop(key, None)
+
+    # -- publication -------------------------------------------------------
+
+    def publish(self, event: DelegationEvent) -> int:
+        """Push a delegation status event; returns deliveries made."""
+        return self._deliver(("delegation", event.delegation_id), event)
+
+    def publish_proof_available(self, relationship_key,
+                                event: DelegationEvent) -> int:
+        """Announce that a previously missing proof now exists."""
+        return self._deliver(("awaiting", relationship_key), event)
+
+    def _deliver(self, key, event: DelegationEvent) -> int:
+        self.events_published += 1
+        channel = self._channels.get(key)
+        if not channel:
+            return 0
+        errors: List[Exception] = []
+        delivered = 0
+        for callback in list(channel.values()):
+            try:
+                callback(event)
+            except Exception as exc:  # noqa: BLE001 - isolate subscribers
+                errors.append(exc)
+            else:
+                delivered += 1
+        self.callbacks_delivered += delivered
+        if errors:
+            raise errors[0]
+        return delivered
+
+    # -- introspection -------------------------------------------------------
+
+    def subscriber_count(self, delegation_id: str) -> int:
+        return len(self._channels.get(("delegation", delegation_id), ()))
+
+    def awaiting_count(self, relationship_key) -> int:
+        return len(self._channels.get(("awaiting", relationship_key), ()))
+
+    def awaiting_keys(self) -> List[object]:
+        """Relationship keys with at least one awaiting-proof subscriber."""
+        return [key[1] for key in self._channels if key[0] == "awaiting"]
+
+    def total_subscriptions(self) -> int:
+        return sum(len(channel) for channel in self._channels.values())

@@ -1,0 +1,35 @@
+"""Wallets: distributed credential repositories (paper, Section 4).
+
+"All user operations -- delegation publishing, queries..., and monitoring
+of existing proofs -- are performed against a local wallet." This package
+implements the single-wallet functionality of Figure 1:
+
+* :mod:`repro.wallet.storage` -- the persistent store of delegations,
+  support proofs, revocations, and base attribute allocations;
+* :mod:`repro.wallet.wallet` -- the Wallet itself: publication (with
+  support-proof enforcement), direct/subject/object queries, revocation,
+  and the local subscription hub;
+* :mod:`repro.wallet.cache` -- coherent caching of delegations whose home
+  is another wallet, kept fresh by delegation subscriptions.
+"""
+
+from repro.wallet.storage import WalletStore
+from repro.wallet.wallet import Wallet
+from repro.wallet.cache import CachedEntry, CoherentCache
+from repro.wallet.maintenance import (
+    MaintenanceStats,
+    WalletMaintenance,
+    schedule_maintenance,
+)
+from repro.wallet.journal import JournaledWallet
+
+__all__ = [
+    "WalletStore",
+    "Wallet",
+    "JournaledWallet",
+    "CachedEntry",
+    "CoherentCache",
+    "MaintenanceStats",
+    "WalletMaintenance",
+    "schedule_maintenance",
+]

@@ -1,0 +1,165 @@
+"""Coherent caching of remote delegations (paper, Section 4.2.2).
+
+"Wallets can serve as validated caches for copies of delegations whose
+home is in other wallets. The copies are kept coherent by registering a
+delegation subscription with either the delegation's home wallet or an
+authorized proxy."
+
+This module is transport-agnostic: the distributed layer hands it signed
+revocations received over remote subscriptions, and calls :meth:`sweep`
+from simulation ticks so cached entries lapse when their discovery-tag TTL
+passes without reconfirmation from home ("a time-to-live field that
+indicates the duration a delegation is valid following validity
+confirmation from its home wallet", Section 4.2.1).
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.delegation import Delegation, Revocation
+from repro.core.errors import PublicationError
+from repro.core.proof import Proof
+from repro.pubsub.events import DelegationEvent, EventKind
+from repro.wallet.wallet import Wallet
+
+
+@dataclass
+class CachedEntry:
+    """Bookkeeping for one cached remote delegation."""
+
+    delegation: Delegation
+    home: str
+    ttl: float
+    valid_until: float
+    confirmations: int = 0
+    cancel_remote: Optional[Callable[[], None]] = field(
+        default=None, repr=False)
+
+    @property
+    def requires_monitoring(self) -> bool:
+        return self.ttl > 0
+
+
+class CoherentCache:
+    """Manages remote-homed delegations inside a local wallet."""
+
+    def __init__(self, wallet: Wallet) -> None:
+        self._wallet = wallet
+        self._entries: Dict[str, CachedEntry] = {}
+
+    # -- insertion --------------------------------------------------------
+
+    def insert(self, delegation: Delegation, supports: Tuple[Proof, ...],
+               home: str, ttl: float,
+               cancel_remote: Optional[Callable[[], None]] = None) -> bool:
+        """Cache a delegation fetched from ``home``.
+
+        The delegation goes through the wallet's full publication checks.
+        A zero TTL marks a delegation that "does not require monitoring"
+        and never lapses. ``cancel_remote`` tears down the remote
+        subscription when the entry is dropped.
+        """
+        now = self._wallet.clock.now()
+        inserted = self._wallet.publish(delegation, supports)
+        valid_until = math.inf if ttl <= 0 else now + ttl
+        existing = self._entries.get(delegation.id)
+        if existing is not None:
+            existing.valid_until = max(existing.valid_until, valid_until)
+            existing.confirmations += 1
+            if cancel_remote is not None:
+                existing.cancel_remote = cancel_remote
+        else:
+            self._entries[delegation.id] = CachedEntry(
+                delegation=delegation, home=home, ttl=ttl,
+                valid_until=valid_until, confirmations=1,
+                cancel_remote=cancel_remote,
+            )
+        return inserted
+
+    # -- coherence ------------------------------------------------------------
+
+    def confirm(self, delegation_id: str) -> bool:
+        """Record a validity confirmation from home; extends the lease."""
+        entry = self._entries.get(delegation_id)
+        if entry is None:
+            return False
+        if entry.ttl > 0:
+            entry.valid_until = self._wallet.clock.now() + entry.ttl
+        entry.confirmations += 1
+        return True
+
+    def apply_remote_revocation(self, revocation: Revocation) -> bool:
+        """Handle a signed revocation pushed over a remote subscription."""
+        try:
+            accepted = self._wallet.publish_revocation(revocation)
+        except PublicationError:
+            return False
+        self._drop(revocation.delegation_id)
+        return accepted
+
+    def apply_remote_renewal(self, old_id: str, renewal: Delegation,
+                             cancel_remote: Optional[Callable[[], None]]
+                             = None) -> bool:
+        """Swap a cached delegation for its renewal (Section 3.2.2 over
+        the wire): the wallet validates the renewal relationship, the
+        cache entry is re-keyed, and the old upstream subscription is
+        torn down in favor of ``cancel_remote`` for the new id."""
+        entry = self._entries.get(old_id)
+        try:
+            self._wallet.publish_renewal(old_id, renewal)
+        except PublicationError:
+            if cancel_remote is not None:
+                cancel_remote()
+            return False
+        if entry is not None:
+            self._drop(old_id)
+            now = self._wallet.clock.now()
+            self._entries[renewal.id] = CachedEntry(
+                delegation=renewal, home=entry.home, ttl=entry.ttl,
+                valid_until=(math.inf if entry.ttl <= 0
+                             else now + entry.ttl),
+                confirmations=entry.confirmations + 1,
+                cancel_remote=cancel_remote,
+            )
+        return True
+
+    def sweep(self) -> List[str]:
+        """Evict entries whose lease lapsed without reconfirmation.
+
+        Each eviction removes the delegation from the wallet graph and
+        publishes an EXPIRED event with detail ``ttl-lapsed`` so that proof
+        monitors depending on the stale copy fire.
+        """
+        now = self._wallet.clock.now()
+        lapsed = [entry for entry in self._entries.values()
+                  if entry.valid_until <= now]
+        evicted = []
+        for entry in lapsed:
+            self._drop(entry.delegation.id)
+            self._wallet.store.remove_delegation(entry.delegation.id)
+            self._wallet.hub.publish(DelegationEvent(
+                kind=EventKind.EXPIRED,
+                delegation_id=entry.delegation.id,
+                timestamp=now,
+                origin=self._wallet.address,
+                detail="ttl-lapsed",
+            ))
+            evicted.append(entry.delegation.id)
+        return evicted
+
+    def _drop(self, delegation_id: str) -> None:
+        entry = self._entries.pop(delegation_id, None)
+        if entry is not None and entry.cancel_remote is not None:
+            entry.cancel_remote()
+
+    # -- introspection ---------------------------------------------------------
+
+    def entry(self, delegation_id: str) -> Optional[CachedEntry]:
+        return self._entries.get(delegation_id)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, delegation_id: str) -> bool:
+        return delegation_id in self._entries

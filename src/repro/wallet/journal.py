@@ -1,0 +1,224 @@
+"""Append-only journaled persistence for wallets.
+
+`WalletStore.save/load` snapshots the whole store; long-lived wallet
+servers want durability per operation instead. The journal records every
+state-changing wallet operation as a length-prefixed canonical record:
+
+    [u32 length][canonical {kind, payload}]
+
+Replay applies records in order through the wallet's normal publication
+checks (a corrupted or forged record is rejected exactly like a
+malicious message). A torn final record -- the crash case -- is detected
+by its length prefix and ignored. :meth:`JournaledWallet.compact`
+rewrites the journal from live state, dropping superseded records
+(revoked-and-gone certificates, pre-renewal versions).
+"""
+
+import os
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.clock import Clock
+from repro.core.delegation import Delegation, Revocation
+from repro.core.errors import DRBACError, PublicationError
+from repro.core.identity import Entity, Principal
+from repro.core.proof import Proof
+from repro.crypto.encoding import EncodingError, canonical_decode, canonical_encode
+from repro.wallet.wallet import Wallet
+
+_LEN = struct.Struct(">I")
+
+
+def _read_records(path: str) -> Iterator[dict]:
+    """Yield intact records; stop silently at a torn tail."""
+    if not os.path.exists(path):
+        return
+    with open(path, "rb") as handle:
+        data = handle.read()
+    offset = 0
+    total = len(data)
+    while offset + 4 <= total:
+        (length,) = _LEN.unpack_from(data, offset)
+        if offset + 4 + length > total:
+            return  # torn final record (crash mid-append)
+        blob = data[offset + 4:offset + 4 + length]
+        offset += 4 + length
+        try:
+            record = canonical_decode(blob)
+        except EncodingError:
+            return  # corrupted tail
+        if isinstance(record, dict) and "kind" in record:
+            yield record
+
+
+class JournaledWallet(Wallet):
+    """A wallet whose mutations are durably logged before returning."""
+
+    def __init__(self, journal_path: str, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.journal_path = journal_path
+        self._journal_handle = None
+        self._replaying = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, journal_path: str, owner=None, address: str = "",
+             clock: Optional[Clock] = None) -> "JournaledWallet":
+        """Open (replaying any existing journal) or create a wallet."""
+        wallet = cls(journal_path, owner=owner, address=address,
+                     clock=clock)
+        wallet._replay()
+        wallet._open_for_append()
+        return wallet
+
+    def _open_for_append(self) -> None:
+        directory = os.path.dirname(self.journal_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._journal_handle = open(self.journal_path, "ab")
+
+    def close(self) -> None:
+        if self._journal_handle is not None:
+            self._journal_handle.close()
+            self._journal_handle = None
+
+    def __enter__(self) -> "JournaledWallet":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- journaling -----------------------------------------------------------
+
+    def _append(self, kind: str, payload: dict) -> None:
+        if self._replaying or self._journal_handle is None:
+            return
+        blob = canonical_encode({"kind": kind, "payload": payload,
+                                 "t": self.clock.now()})
+        self._journal_handle.write(_LEN.pack(len(blob)))
+        self._journal_handle.write(blob)
+        self._journal_handle.flush()
+        os.fsync(self._journal_handle.fileno())
+
+    def _replay(self) -> None:
+        self._replaying = True
+        try:
+            for record in _read_records(self.journal_path):
+                self._apply(record)
+        finally:
+            self._replaying = False
+
+    def _apply(self, record: dict) -> None:
+        kind = record["kind"]
+        payload = record["payload"]
+        # Replay each operation at its original timestamp: a certificate
+        # that expired after being journaled must still replay (it may be
+        # the anchor of a later renewal record).
+        at = record.get("t", self.clock.now())
+        try:
+            if kind == "publish":
+                super().publish(
+                    Delegation.from_dict(payload["delegation"]),
+                    tuple(Proof.from_dict(p)
+                          for p in payload.get("supports", ())),
+                    at=at,
+                )
+            elif kind == "revoke":
+                super().publish_revocation(
+                    Revocation.from_dict(payload["revocation"]))
+            elif kind == "renew":
+                super().publish_renewal(
+                    payload["old_id"],
+                    Delegation.from_dict(payload["renewal"]),
+                    at=at)
+            elif kind == "base":
+                from repro.core.attributes import AttributeRef
+                super().set_base_allocation(
+                    AttributeRef(
+                        entity=Entity.from_dict(payload["entity"]),
+                        name=payload["name"]),
+                    payload["value"])
+            # Unknown kinds are skipped for forward compatibility.
+        except DRBACError:
+            # A record the current checks reject (e.g. it expired
+            # between append and replay) is dropped, not fatal.
+            pass
+
+    # -- journaled mutations --------------------------------------------------
+
+    def publish(self, delegation: Delegation, supports=()) -> bool:
+        supports = tuple(supports)
+        inserted = super().publish(delegation, supports)
+        if inserted:
+            self._append("publish", {
+                "delegation": delegation.to_dict(),
+                "supports": [p.to_dict() for p in supports],
+            })
+        return inserted
+
+    def publish_revocation(self, revocation: Revocation) -> bool:
+        accepted = super().publish_revocation(revocation)
+        if accepted:
+            self._append("revoke",
+                         {"revocation": revocation.to_dict()})
+        return accepted
+
+    def publish_renewal(self, old_delegation_id: str,
+                        renewal: Delegation) -> bool:
+        result = super().publish_renewal(old_delegation_id, renewal)
+        self._append("renew", {
+            "old_id": old_delegation_id,
+            "renewal": renewal.to_dict(),
+        })
+        return result
+
+    def set_base_allocation(self, attribute, value: float) -> None:
+        super().set_base_allocation(attribute, value)
+        self._append("base", {
+            "entity": attribute.entity.to_dict(),
+            "name": attribute.name,
+            "value": float(value),
+        })
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite the journal from live state; returns records written.
+
+        Superseded history disappears: only currently held delegations
+        (with supports), live revocations, and base allocations remain.
+        """
+        self.close()
+        temp_path = self.journal_path + ".compact"
+        records: List[Tuple[str, dict]] = []
+        for attribute, value in self.store.base_allocations().items():
+            records.append(("base", {
+                "entity": attribute.entity.to_dict(),
+                "name": attribute.name,
+                "value": value,
+            }))
+        for delegation in self.store.delegations():
+            records.append(("publish", {
+                "delegation": delegation.to_dict(),
+                "supports": [
+                    p.to_dict()
+                    for p in self.store.supports_for(delegation.id)
+                ],
+            }))
+        for revocation in self.store.revocations():
+            records.append(("revoke",
+                            {"revocation": revocation.to_dict()}))
+        with open(temp_path, "wb") as handle:
+            now = self.clock.now()
+            for kind, payload in records:
+                blob = canonical_encode({"kind": kind,
+                                         "payload": payload,
+                                         "t": now})
+                handle.write(_LEN.pack(len(blob)))
+                handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.journal_path)
+        self._open_for_append()
+        return len(records)

@@ -1,0 +1,445 @@
+"""The dRBAC wallet: publication, queries, revocation, monitoring.
+
+Figure 1's contract, implemented:
+
+* **Publication** -- an issuer posts delegations here so others can find
+  them. Signatures are verified at the door, and third-party delegations
+  must arrive with support proofs that validate *now* -- "freeing wallets
+  from having to conduct recursive searches to collect the supporting
+  chains when building proofs" (Section 4.1).
+* **Authorization queries** -- direct, object, and subject queries over
+  the wallet's trusted delegation graph (Section 4.1), with valued
+  attribute constraints.
+* **Proof monitoring** -- queries can return the proof wrapped in a
+  :class:`~repro.monitor.proof_monitor.ProofMonitor` registered on this
+  wallet's subscription hub; revocation or expiry of any constituent
+  delegation triggers the monitor's callback.
+
+A wallet trusts its own store: queries do not re-verify signatures (the
+publication boundary did), matching "delegations from this proof are
+inserted into the local wallet, which is trusted to verify signatures"
+(Section 5, Step 5).
+"""
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.core.attributes import AttributeRef, Constraint
+from repro.core.clock import Clock, SimClock
+from repro.core.delegation import Delegation, Revocation
+from repro.core.delegation import revoke as _sign_revocation
+from repro.core.errors import ProofError, PublicationError
+from repro.core.identity import Entity, Principal
+from repro.core.proof import Proof, validate_proof
+from repro.core.roles import Role, Subject, subject_key
+from repro.graph.search import (
+    SearchStats,
+    Strategy,
+    SupportProvider,
+    build_support_provider,
+    direct_query,
+    object_query,
+    subject_query,
+)
+from repro.pubsub.events import DelegationEvent, EventKind
+from repro.pubsub.subscriptions import Subscription, SubscriptionHub
+from repro.wallet.storage import WalletStore
+
+
+class Wallet:
+    """A credential repository hosted by one participating server.
+
+    ``owner`` identifies the hosting entity (used by discovery to check
+    the tag's authorizing role); ``address`` is the wallet's name on the
+    simulated network (e.g. ``wallet.bigISP.com``).
+    """
+
+    def __init__(self, owner: Union[Principal, Entity, None] = None,
+                 address: str = "",
+                 clock: Optional[Clock] = None,
+                 store: Optional[WalletStore] = None) -> None:
+        if isinstance(owner, Principal):
+            self.owner: Optional[Entity] = owner.entity
+        else:
+            self.owner = owner
+        self.address = address
+        self.clock = clock if clock is not None else SimClock()
+        self.store = store if store is not None else WalletStore()
+        self.hub = SubscriptionHub()
+        # Keys already announced as expired, to avoid duplicate events.
+        self._expired_announced: set = set()
+        # Awaited relationships: key -> (subject, obj, constraints)
+        self._awaited: Dict[tuple, Tuple[Subject, Role,
+                                         Tuple[Constraint, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # Publication (Figure 1, arrow "publish")
+    # ------------------------------------------------------------------
+
+    def publish(self, delegation: Delegation,
+                supports: Iterable[Proof] = (),
+                at: Optional[float] = None) -> bool:
+        """Accept a delegation into the wallet.
+
+        Returns False if the delegation was already present. Raises
+        :class:`PublicationError` when the signature fails, the delegation
+        is expired or revoked, or a third-party delegation arrives without
+        a complete, currently-valid set of support proofs.
+
+        ``at`` overrides the validation timestamp -- used by journal
+        replay to re-apply an operation at its original time.
+        """
+        now = self.clock.now() if at is None else at
+        if not delegation.verify_signature():
+            raise PublicationError(
+                f"rejecting {delegation}: signature does not verify"
+            )
+        if delegation.is_expired(now):
+            raise PublicationError(
+                f"rejecting {delegation}: already expired"
+            )
+        if self.store.is_revoked(delegation.id):
+            raise PublicationError(
+                f"rejecting {delegation}: already revoked"
+            )
+        supports = tuple(supports)
+        self._check_supports(delegation, supports, now)
+        inserted = self.store.add_delegation(delegation, supports)
+        if inserted:
+            self._satisfy_awaiting(now)
+        return inserted
+
+    def _check_supports(self, delegation: Delegation,
+                        supports: Tuple[Proof, ...], now: float) -> None:
+        required = delegation.required_supports()
+        if not required:
+            return
+        for role in required:
+            match = next(
+                (proof for proof in supports
+                 if isinstance(proof.subject, Entity)
+                 and proof.subject == delegation.issuer
+                 and proof.obj == role),
+                None,
+            )
+            if match is None:
+                raise PublicationError(
+                    f"rejecting {delegation}: third-party delegation "
+                    f"without a support proof for "
+                    f"{delegation.issuer.display_name} => {role}"
+                )
+            try:
+                validate_proof(match, at=now, revoked=self.store.is_revoked)
+            except ProofError as exc:
+                raise PublicationError(
+                    f"rejecting {delegation}: support proof for {role} "
+                    f"is invalid: {exc}"
+                ) from exc
+
+    def publish_many(self, items: Iterable[Tuple[Delegation,
+                                                 Iterable[Proof]]]) -> int:
+        """Publish (delegation, supports) pairs; returns insert count."""
+        inserted = 0
+        for delegation, supports in items:
+            if self.publish(delegation, supports):
+                inserted += 1
+        return inserted
+
+    # ------------------------------------------------------------------
+    # Revocation (Section 4.2.2)
+    # ------------------------------------------------------------------
+
+    def publish_revocation(self, revocation: Revocation) -> bool:
+        """Accept a signed revocation and push it to subscribers.
+
+        The revocation must verify against the stored delegation if the
+        wallet holds it, or stand alone otherwise (so a revocation can
+        outrun its delegation through a cache mesh).
+        """
+        delegation = self.store.get_delegation(revocation.delegation_id)
+        if delegation is not None:
+            if not revocation.verify(delegation):
+                raise PublicationError(
+                    "revocation does not verify against its delegation"
+                )
+        elif not revocation.verify_standalone():
+            raise PublicationError("revocation signature does not verify")
+        if not self.store.add_revocation(revocation):
+            return False
+        self.hub.publish(DelegationEvent(
+            kind=EventKind.REVOKED,
+            delegation_id=revocation.delegation_id,
+            timestamp=self.clock.now(),
+            origin=self.address,
+        ))
+        return True
+
+    def revoke(self, principal: Principal, delegation_id: str) -> Revocation:
+        """Sign and publish a revocation for a held delegation."""
+        delegation = self.store.get_delegation(delegation_id)
+        if delegation is None:
+            raise PublicationError(
+                f"wallet does not hold delegation {delegation_id[:12]}"
+            )
+        revocation = _sign_revocation(principal, delegation,
+                                      revoked_at=self.clock.now())
+        self.publish_revocation(revocation)
+        return revocation
+
+    def is_revoked(self, delegation_id: str) -> bool:
+        return self.store.is_revoked(delegation_id)
+
+    # ------------------------------------------------------------------
+    # Lifetime renewal (Section 3.2.2: subscriptions update lifetimes)
+    # ------------------------------------------------------------------
+
+    def publish_renewal(self, old_delegation_id: str,
+                        renewal: Delegation,
+                        at: Optional[float] = None) -> bool:
+        """Swap in a re-issued delegation with an extended lifetime.
+
+        The renewal must re-state the held delegation exactly (same
+        subject, object, issuer, modifiers, tags, depth limit) with a
+        later expiry. The wallet replaces the old certificate, carries
+        its support proofs over, and announces an UPDATED event on the
+        old delegation's channel -- proof monitors refresh silently
+        rather than invalidating.
+        """
+        from repro.core.delegation import is_renewal_of
+        old = self.store.get_delegation(old_delegation_id)
+        if old is None:
+            raise PublicationError(
+                f"wallet does not hold delegation "
+                f"{old_delegation_id[:12]} to renew"
+            )
+        if not renewal.verify_signature():
+            raise PublicationError("renewal signature does not verify")
+        if renewal.is_expired(self.clock.now() if at is None else at):
+            raise PublicationError("renewal is already expired")
+        if self.store.is_revoked(old_delegation_id) \
+                or self.store.is_revoked(renewal.id):
+            raise PublicationError("cannot renew a revoked delegation")
+        if not is_renewal_of(renewal, old):
+            raise PublicationError(
+                "renewal does not re-state the original delegation with "
+                "a later expiry"
+            )
+        supports = self.store.supports_for(old_delegation_id)
+        self.store.remove_delegation(old_delegation_id)
+        self._expired_announced.discard(old_delegation_id)
+        inserted = self.store.add_delegation(renewal, supports)
+        self.hub.publish(DelegationEvent(
+            kind=EventKind.UPDATED,
+            delegation_id=old_delegation_id,
+            timestamp=self.clock.now(),
+            origin=self.address,
+            detail=renewal.id,
+        ))
+        return inserted
+
+    # ------------------------------------------------------------------
+    # Expiration sweeps
+    # ------------------------------------------------------------------
+
+    def expire_sweep(self) -> List[str]:
+        """Announce EXPIRED events for delegations newly past expiry.
+
+        Drive this from simulation ticks; returns the announced ids.
+        """
+        now = self.clock.now()
+        announced = []
+        for delegation in self.store.delegations():
+            if delegation.id in self._expired_announced:
+                continue
+            if delegation.is_expired(now):
+                self._expired_announced.add(delegation.id)
+                announced.append(delegation.id)
+                self.hub.publish(DelegationEvent(
+                    kind=EventKind.EXPIRED,
+                    delegation_id=delegation.id,
+                    timestamp=now,
+                    origin=self.address,
+                ))
+        return announced
+
+    # ------------------------------------------------------------------
+    # Queries (Figure 1, arrows "query")
+    # ------------------------------------------------------------------
+
+    def support_provider(self) -> SupportProvider:
+        """Stored support proofs first, recursive in-graph search second.
+
+        Stored supports are re-validated against the wallet's *current*
+        revocation knowledge and clock: a support chain that was valid at
+        publication time may have been revoked since, and must not prop
+        up new proofs (the case-study epilogue depends on this -- revoking
+        Sheila's mktg role kills the coalition delegation's support).
+        """
+        from repro.core.proof import is_valid_proof
+        now = self.clock.now()
+        fallback = build_support_provider(
+            self.store.graph, at=now, revoked=self.store.is_revoked,
+        )
+        cache: Dict[str, Tuple[Proof, ...]] = {}
+
+        def provider(delegation: Delegation) -> Tuple[Proof, ...]:
+            cached = cache.get(delegation.id)
+            if cached is not None:
+                return cached
+            stored = tuple(
+                proof for proof in self.store.supports_for(delegation.id)
+                if is_valid_proof(proof, at=now,
+                                  revoked=self.store.is_revoked)
+            )
+            if len(stored) >= len(delegation.required_supports()):
+                cache[delegation.id] = stored
+                return stored
+            # Stored supports are missing or no longer valid: try to
+            # rediscover replacements inside the local graph.
+            rebuilt = fallback(delegation)
+            merged = stored + tuple(p for p in rebuilt
+                                    if p not in stored)
+            cache[delegation.id] = merged
+            return merged
+
+        return provider
+
+    def _merged_bases(self, bases: Optional[Mapping[AttributeRef, float]]
+                      ) -> Dict[AttributeRef, float]:
+        merged = self.store.base_allocations()
+        if bases:
+            merged.update(bases)
+        return merged
+
+    def query_direct(self, subject: Subject, obj: Role,
+                     constraints: Iterable[Constraint] = (),
+                     bases: Optional[Mapping[AttributeRef, float]] = None,
+                     strategy: Strategy = Strategy.BIDIRECTIONAL,
+                     stats: Optional[SearchStats] = None) -> Optional[Proof]:
+        """Direct query: one proof for ``subject => obj`` meeting the
+        constraints, or None (Section 4.1)."""
+        return direct_query(
+            self.store.graph, subject, obj,
+            at=self.clock.now(), revoked=self.store.is_revoked,
+            constraints=constraints, bases=self._merged_bases(bases),
+            strategy=strategy, support_provider=self.support_provider(),
+            stats=stats,
+        )
+
+    def query_subject(self, subject: Subject,
+                      constraints: Iterable[Constraint] = (),
+                      bases: Optional[Mapping[AttributeRef, float]] = None,
+                      stats: Optional[SearchStats] = None) -> List[Proof]:
+        """Subject query: the sub-proofs ``subject => *`` (Section 4.1)."""
+        return subject_query(
+            self.store.graph, subject,
+            at=self.clock.now(), revoked=self.store.is_revoked,
+            constraints=constraints, bases=self._merged_bases(bases),
+            support_provider=self.support_provider(), stats=stats,
+        )
+
+    def query_object(self, obj: Role,
+                     constraints: Iterable[Constraint] = (),
+                     bases: Optional[Mapping[AttributeRef, float]] = None,
+                     stats: Optional[SearchStats] = None) -> List[Proof]:
+        """Object query: the sub-proofs ``* => obj`` (Section 4.1)."""
+        return object_query(
+            self.store.graph, obj,
+            at=self.clock.now(), revoked=self.store.is_revoked,
+            constraints=constraints, bases=self._merged_bases(bases),
+            support_provider=self.support_provider(), stats=stats,
+        )
+
+    def validate(self, proof: Proof,
+                 constraints: Iterable[Constraint] = (),
+                 bases: Optional[Mapping[AttributeRef, float]] = None
+                 ) -> None:
+        """Full validation of an externally supplied proof against this
+        wallet's clock and revocation knowledge."""
+        validate_proof(proof, at=self.clock.now(),
+                       revoked=self.store.is_revoked,
+                       constraints=constraints,
+                       bases=self._merged_bases(bases))
+
+    # ------------------------------------------------------------------
+    # Monitoring (Figure 1, arrow "monitor")
+    # ------------------------------------------------------------------
+
+    def monitor(self, proof: Proof,
+                callback: Optional[Callable] = None,
+                constraints: Iterable[Constraint] = (),
+                discover: Optional[Callable] = None):
+        """Wrap ``proof`` in a proof monitor registered on this wallet.
+
+        ``discover`` optionally wires in distributed re-discovery for
+        revalidation (see :class:`ProofMonitor`)."""
+        from repro.monitor.proof_monitor import ProofMonitor
+        return ProofMonitor(wallet=self, proof=proof, callback=callback,
+                            constraints=tuple(constraints),
+                            discover=discover)
+
+    def authorize(self, subject: Subject, obj: Role,
+                  constraints: Iterable[Constraint] = (),
+                  callback: Optional[Callable] = None,
+                  strategy: Strategy = Strategy.BIDIRECTIONAL):
+        """Direct query + monitor wrap: the paper's full query contract
+        ("what it returns is a proof wrapped in a proof monitor object").
+
+        Returns a ProofMonitor, or None when no proof exists.
+        """
+        proof = self.query_direct(subject, obj, constraints=constraints,
+                                  strategy=strategy)
+        if proof is None:
+            return None
+        return self.monitor(proof, callback=callback,
+                            constraints=constraints)
+
+    def await_proof(self, subject: Subject, obj: Role,
+                    callback: Callable,
+                    constraints: Iterable[Constraint] = ()) -> Subscription:
+        """Register a callback for when ``subject => obj`` becomes provable
+        ("if the wallet initially cannot provide a proof..., the entity can
+        register a callback that will be activated when such a proof is
+        available", Section 4.2.2)."""
+        key = (subject_key(subject), subject_key(obj))
+        self._awaited[key] = (subject, obj, tuple(constraints))
+        return self.hub.subscribe_proof_available(key, callback)
+
+    def _satisfy_awaiting(self, now: float) -> None:
+        if not self._awaited:
+            return
+        live_keys = set(self.hub.awaiting_keys())
+        for key in list(self._awaited):
+            if key not in live_keys:
+                del self._awaited[key]
+                continue
+            subject, obj, constraints = self._awaited[key]
+            proof = self.query_direct(subject, obj, constraints=constraints)
+            if proof is not None:
+                del self._awaited[key]
+                self.hub.publish_proof_available(key, DelegationEvent(
+                    kind=EventKind.AVAILABLE,
+                    delegation_id=proof.chain[-1].id,
+                    timestamp=now,
+                    origin=self.address,
+                ))
+
+    # ------------------------------------------------------------------
+    # Base attribute allocations
+    # ------------------------------------------------------------------
+
+    def set_base_allocation(self, attribute: AttributeRef,
+                            value: float) -> None:
+        self.store.set_base(attribute, value)
+
+    def base_allocations(self) -> Dict[AttributeRef, float]:
+        return self.store.base_allocations()
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __repr__(self) -> str:
+        owner = self.owner.display_name if self.owner else "?"
+        return (f"Wallet(owner={owner}, address={self.address!r}, "
+                f"{len(self.store)} delegations)")

@@ -1,0 +1,401 @@
+"""Parameterized delegation topologies.
+
+All generators are deterministic under an explicit ``seed`` and return a
+:class:`GeneratedWorkload` bundling the principals, the signed
+delegations (with support proofs where required), a loaded
+:class:`~repro.graph.delegation_graph.DelegationGraph`, and the designated
+query endpoints.
+
+Generators mint real keys and real signatures; nothing in the benchmark
+path is stubbed.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.attributes import AttributeRef, Modifier, Operator
+from repro.core.delegation import Delegation, issue
+from repro.core.identity import Principal, create_principal
+from repro.core.proof import Proof
+from repro.core.roles import Role, Subject
+from repro.graph.delegation_graph import DelegationGraph
+
+
+@dataclass
+class GeneratedWorkload:
+    """A synthetic delegation topology plus its query endpoints."""
+
+    principals: Dict[str, Principal]
+    delegations: List[Tuple[Delegation, Tuple[Proof, ...]]]
+    subject: Subject
+    obj: Role
+    description: str = ""
+    attribute: Optional[AttributeRef] = None
+    extras: dict = field(default_factory=dict)
+
+    def graph(self) -> DelegationGraph:
+        """A fresh graph loaded with every delegation."""
+        return DelegationGraph(d for d, _supports in self.delegations)
+
+    def supports_map(self) -> Dict[str, Tuple[Proof, ...]]:
+        return {
+            delegation.id: supports
+            for delegation, supports in self.delegations
+            if supports
+        }
+
+    def support_provider(self):
+        """A search support provider backed by the stored supports."""
+        mapping = self.supports_map()
+        return lambda delegation: mapping.get(delegation.id, ())
+
+    def __len__(self) -> int:
+        return len(self.delegations)
+
+
+class _DeterministicRandom(random.Random):
+    """A seeded Random exposing the SystemRandom surface keygen needs."""
+
+
+def _rng(seed: Optional[int]) -> _DeterministicRandom:
+    return _DeterministicRandom(seed if seed is not None else 0)
+
+
+def make_chain(length: int, seed: Optional[int] = None,
+               modifier_every: int = 0,
+               attribute_op: Operator = Operator.SUBTRACT,
+               modifier_value: float = 1.0) -> GeneratedWorkload:
+    """A single delegation chain of ``length`` links.
+
+    ``user -> R1 -> R2 -> ... -> R_length`` with each role owned by its
+    own entity and every delegation self-certified. When
+    ``modifier_every`` is positive, every k-th delegation modulates one
+    attribute (owned by the final role's entity) so attribute
+    aggregation and pruning can be exercised on deep chains.
+    """
+    if length < 1:
+        raise ValueError("chain length must be >= 1")
+    rng = _rng(seed)
+    user = create_principal("user", rng=rng)
+    owners = [create_principal(f"org{i}", rng=rng) for i in range(length)]
+    roles = [Role(owners[i].entity, f"role{i}") for i in range(length)]
+    attribute = AttributeRef(owners[-1].entity, "quota")
+    delegations: List[Tuple[Delegation, Tuple[Proof, ...]]] = []
+    previous: Subject = user.entity
+    for i, role in enumerate(roles):
+        modifiers = []
+        if modifier_every and (i + 1) % modifier_every == 0 \
+                and role.entity == attribute.entity:
+            modifiers.append(Modifier(attribute, attribute_op,
+                                      modifier_value))
+        delegations.append(
+            (issue(owners[i], previous, role, modifiers=modifiers), ())
+        )
+        previous = role
+    principals = {p.nickname: p for p in [user, *owners]}
+    return GeneratedWorkload(
+        principals=principals, delegations=delegations,
+        subject=user.entity, obj=roles[-1],
+        description=f"chain(length={length})", attribute=attribute,
+    )
+
+
+def make_layered_dag(width: int, depth: int,
+                     seed: Optional[int] = None,
+                     attribute_fraction: float = 0.0,
+                     attribute_op: Operator = Operator.MIN,
+                     attribute_values: Sequence[float] = (50.0, 100.0, 200.0),
+                     ) -> GeneratedWorkload:
+    """A fully connected layered DAG: ``width ** (depth - 1)`` paths.
+
+    Layer 0 is the subject entity; layers 1..depth-1 each hold ``width``
+    roles; layer ``depth`` is the single object role. Every node connects
+    to every node of the next layer, so the number of subject-to-object
+    delegation chains is width^(depth-1) -- the "clearly exponential in
+    depth" structure of Section 4.2.3.
+
+    ``attribute_fraction`` of the edges (chosen deterministically from
+    ``seed``) additionally modulate a shared attribute, enabling the
+    pruning ablation.
+    """
+    if width < 1 or depth < 1:
+        raise ValueError("width and depth must be >= 1")
+    rng = _rng(seed)
+    user = create_principal("user", rng=rng)
+    target_owner = create_principal("target", rng=rng)
+    target = Role(target_owner.entity, "goal")
+    attribute = AttributeRef(target_owner.entity, "limit")
+
+    layer_owners: List[List[Principal]] = []
+    layers: List[List[Role]] = []
+    for level in range(1, depth):
+        owners = [create_principal(f"L{level}N{i}", rng=rng)
+                  for i in range(width)]
+        layer_owners.append(owners)
+        layers.append([Role(o.entity, "r") for o in owners])
+
+    delegations: List[Tuple[Delegation, Tuple[Proof, ...]]] = []
+
+    def maybe_modifiers(dst_role: Role) -> List[Modifier]:
+        if attribute_fraction <= 0:
+            return []
+        if rng.random() >= attribute_fraction:
+            return []
+        if dst_role.entity != attribute.entity:
+            # Strict namespace rule: only edges into the target's
+            # namespace may modulate its attribute.
+            return []
+        value = rng.choice(list(attribute_values))
+        return [Modifier(attribute, attribute_op, value)]
+
+    previous_nodes: List[Subject] = [user.entity]
+    for level in range(1, depth):
+        for src in previous_nodes:
+            for idx, dst in enumerate(layers[level - 1]):
+                owner = layer_owners[level - 1][idx]
+                delegations.append(
+                    (issue(owner, src, dst,
+                           modifiers=maybe_modifiers(dst)), ())
+                )
+        previous_nodes = list(layers[level - 1])
+    for src in previous_nodes:
+        delegations.append(
+            (issue(target_owner, src, target,
+                   modifiers=maybe_modifiers(target)), ())
+        )
+
+    principals = {user.nickname: user, target_owner.nickname: target_owner}
+    for owners in layer_owners:
+        for owner in owners:
+            principals[owner.nickname] = owner
+    return GeneratedWorkload(
+        principals=principals, delegations=delegations,
+        subject=user.entity, obj=target,
+        description=f"layered_dag(width={width}, depth={depth})",
+        attribute=attribute,
+        extras={"expected_paths": width ** max(depth - 1, 0)},
+    )
+
+
+def make_random_dag(n_roles: int, n_edges: int,
+                    seed: Optional[int] = None) -> GeneratedWorkload:
+    """A random acyclic delegation graph.
+
+    Roles are topologically ordered; each edge delegates a
+    higher-numbered role to a lower-numbered role (or to the subject
+    entity), so the graph is a DAG by construction. The subject is a
+    fresh entity wired to a few low-numbered roles; the object is the
+    highest-numbered role.
+    """
+    if n_roles < 2:
+        raise ValueError("need at least 2 roles")
+    rng = _rng(seed)
+    user = create_principal("user", rng=rng)
+    owners = [create_principal(f"org{i}", rng=rng) for i in range(n_roles)]
+    roles = [Role(owners[i].entity, "r") for i in range(n_roles)]
+
+    delegations: List[Tuple[Delegation, Tuple[Proof, ...]]] = []
+    seen_pairs = set()
+    # Guarantee a subject entry point and a spine to the object.
+    spine = sorted(rng.sample(range(n_roles), min(n_roles, 4)))
+    previous: Subject = user.entity
+    for index in spine:
+        delegations.append((issue(owners[index], previous, roles[index]), ()))
+        previous = roles[index]
+    if spine[-1] != n_roles - 1:
+        delegations.append(
+            (issue(owners[-1], roles[spine[-1]], roles[-1]), ())
+        )
+    for _ in range(n_edges):
+        hi = rng.randrange(1, n_roles)
+        lo = rng.randrange(0, hi)
+        if (lo, hi) in seen_pairs:
+            continue
+        seen_pairs.add((lo, hi))
+        delegations.append((issue(owners[hi], roles[lo], roles[hi]), ()))
+    principals = {p.nickname: p for p in [user, *owners]}
+    return GeneratedWorkload(
+        principals=principals, delegations=delegations,
+        subject=user.entity, obj=roles[-1],
+        description=f"random_dag(roles={n_roles}, edges~{n_edges})",
+    )
+
+
+def make_fan_tree(width: int, depth: int, seed: Optional[int] = None,
+                  heavy_side: str = "subject") -> GeneratedWorkload:
+    """An asymmetric search workload (Section 4.2.3's ablation).
+
+    ``heavy_side="subject"`` builds a full ``width``-ary tree of roles
+    fanning out from the subject (``(width^depth - 1)/(width - 1)``
+    nodes), with a single 2-link chain from one leaf to the object. A
+    forward (subject-towards-object) search must wade through the whole
+    tree; a reverse search walks the short chain back; bidirectional
+    meets near the object and stays cheap. ``heavy_side="object"`` is
+    the mirror image (fan-in tree converging on the object), punishing
+    reverse search instead.
+    """
+    if width < 2 or depth < 1:
+        raise ValueError("fan tree needs width >= 2, depth >= 1")
+    if heavy_side not in ("subject", "object"):
+        raise ValueError("heavy_side must be 'subject' or 'object'")
+    rng = _rng(seed)
+    user = create_principal("user", rng=rng)
+    target_owner = create_principal("target", rng=rng)
+    target = Role(target_owner.entity, "goal")
+    delegations: List[Tuple[Delegation, Tuple[Proof, ...]]] = []
+    principals = {user.nickname: user, target_owner.nickname: target_owner}
+
+    # One entity owns the whole tree (keygen cost stays linear in nodes
+    # only because each node is a distinct role name).
+    tree_owner = create_principal("tree", rng=rng)
+    principals[tree_owner.nickname] = tree_owner
+
+    def role_at(path: str) -> Role:
+        return Role(tree_owner.entity, f"n{path}")
+
+    # Build the tree level by level; record the last leaf created.
+    frontier: List[Tuple[Subject, str]]
+    if heavy_side == "subject":
+        frontier = [(user.entity, "r")]
+    else:
+        frontier = [(target, "r")]
+    last_leaf: Optional[Role] = None
+    for _level in range(depth):
+        next_frontier: List[Tuple[Subject, str]] = []
+        for node, path in frontier:
+            for child_index in range(width):
+                child = role_at(f"{path}{child_index}")
+                if heavy_side == "subject":
+                    # Fan OUT: node gains each child role.
+                    delegations.append((issue(tree_owner, node, child), ()))
+                else:
+                    # Fan IN: each child role gains the node. Issue
+                    # self-certified from the node's namespace owner.
+                    owner = (target_owner
+                             if node.entity == target_owner.entity
+                             else tree_owner)
+                    delegations.append((issue(owner, child, node), ()))
+                next_frontier.append((child, f"{path}{child_index}"))
+                last_leaf = child
+        frontier = next_frontier
+
+    bridge = Role(tree_owner.entity, "bridge")
+    if heavy_side == "subject":
+        # Narrow path: one leaf -> bridge -> target.
+        delegations.append((issue(tree_owner, last_leaf, bridge), ()))
+        delegations.append((issue(target_owner, bridge, target), ()))
+    else:
+        # Narrow path: user -> bridge -> one leaf (which fans into target).
+        delegations.append((issue(tree_owner, user.entity, bridge), ()))
+        delegations.append((issue(tree_owner, bridge, last_leaf), ()))
+    return GeneratedWorkload(
+        principals=principals, delegations=delegations,
+        subject=user.entity, obj=target,
+        description=(f"fan_tree(width={width}, depth={depth}, "
+                     f"heavy={heavy_side})"),
+        extras={"tree_nodes": sum(width ** (i + 1) for i in range(depth))},
+    )
+
+
+def make_coalition(domains: int, roles_per_domain: int,
+                   users_per_domain: int,
+                   seed: Optional[int] = None,
+                   partner_links: int = 1) -> GeneratedWorkload:
+    """A multi-domain coalition in the style of the paper's motivation.
+
+    Each domain is an entity owning a linear role hierarchy
+    ``D.role0 <- D.role1 <- ...`` (role0 most privileged) plus an admin
+    role holding rights of assignment. Users are entities granted the
+    least-privileged role of their home domain. Domains form a ring of
+    coalition agreements: domain i's admin issues a third-party-style
+    bridge granting ``D(i+1).role0``'s holders access to ``D(i).roleK``
+    -- signed by the *partner* admin using a support chain, exercising
+    exactly the Section 3.1 machinery at scale.
+
+    The designated query asks whether the first user of domain 1 can
+    reach the entry role of domain 0.
+    """
+    if domains < 2:
+        raise ValueError("a coalition needs at least 2 domains")
+    rng = _rng(seed)
+    delegations: List[Tuple[Delegation, Tuple[Proof, ...]]] = []
+    principals: Dict[str, Principal] = {}
+
+    domain_principals: List[Principal] = []
+    admin_principals: List[Principal] = []
+    role_grid: List[List[Role]] = []
+    admin_roles: List[Role] = []
+    users: List[List[Principal]] = []
+
+    for d in range(domains):
+        dom = create_principal(f"D{d}", rng=rng)
+        admin = create_principal(f"D{d}-admin", rng=rng)
+        domain_principals.append(dom)
+        admin_principals.append(admin)
+        principals[dom.nickname] = dom
+        principals[admin.nickname] = admin
+        roles = [Role(dom.entity, f"role{i}")
+                 for i in range(roles_per_domain)]
+        role_grid.append(roles)
+        admin_role = Role(dom.entity, "admin")
+        admin_roles.append(admin_role)
+        # Hierarchy: role(i+1) inherits role(i)'s permissions... in
+        # delegation terms the *more* privileged role is granted the
+        # less privileged one: role0 is the target resource role.
+        for i in range(roles_per_domain - 1):
+            delegations.append(
+                (issue(dom, roles[i + 1], roles[i]), ())
+            )
+        # Admin machinery: admin entity holds the admin role, and the
+        # admin role holds right-of-assignment on the entry role.
+        delegations.append((issue(dom, admin.entity, admin_role), ()))
+        delegations.append(
+            (issue(dom, admin_role, roles[-1].with_tick()), ())
+        )
+        domain_users = []
+        for u in range(users_per_domain):
+            user = create_principal(f"D{d}-u{u}", rng=rng)
+            principals[user.nickname] = user
+            domain_users.append(user)
+            delegations.append((issue(dom, user.entity, roles[-1]), ()))
+        users.append(domain_users)
+
+    # Coalition bridges: partner domain's entry role gains this domain's
+    # entry role, issued third-party by this domain's admin.
+    for d in range(domains):
+        for k in range(1, partner_links + 1):
+            partner = (d + k) % domains
+            if partner == d:
+                continue
+            admin = admin_principals[d]
+            dom = domain_principals[d]
+            entry = role_grid[d][-1]
+            partner_entry = role_grid[partner][-1]
+            support = Proof.single(
+                next(dl for dl, _s in delegations
+                     if dl.issuer == dom.entity
+                     and dl.subject == admin.entity
+                     and dl.obj == admin_roles[d])
+            ).extend(
+                next(dl for dl, _s in delegations
+                     if dl.issuer == dom.entity
+                     and dl.subject == admin_roles[d]
+                     and dl.obj == entry.with_tick())
+            )
+            bridge = issue(admin, partner_entry, entry)
+            delegations.append((bridge, (support,)))
+
+    subject = users[1][0].entity
+    obj = role_grid[0][0]
+    return GeneratedWorkload(
+        principals=principals, delegations=delegations,
+        subject=subject, obj=obj,
+        description=(f"coalition(domains={domains}, "
+                     f"roles={roles_per_domain}, users={users_per_domain})"),
+        extras={
+            "domains": domains,
+            "roles_per_domain": roles_per_domain,
+            "users_per_domain": users_per_domain,
+        },
+    )

@@ -1,0 +1,106 @@
+import pytest
+
+from repro.analysis.audit import (
+    entitlements,
+    exposure,
+    principals_with_access,
+    registry_gaps,
+)
+from repro.core import DiscoveryTag, Role, SubjectFlag, issue
+from repro.graph.delegation_graph import DelegationGraph
+
+
+@pytest.fixture()
+def graph(org, alice, bob):
+    staff = Role(org.entity, "staff")
+    admin = Role(org.entity, "admin")
+    return DelegationGraph([
+        issue(org, alice.entity, staff),
+        issue(org, bob.entity, staff),
+        issue(org, staff, admin.with_tick()),
+        issue(org, alice.entity, admin),
+    ]), staff, admin
+
+
+class TestEntitlements:
+    def test_roles_reached(self, graph, alice):
+        g, staff, admin = graph
+        report = entitlements(g, alice.entity)
+        names = {str(r) for r in report.roles()}
+        assert names == {"Org.staff", "Org.admin", "Org.admin'"}
+
+    def test_plain_vs_assignment_split(self, graph, alice):
+        g, staff, admin = graph
+        report = entitlements(g, alice.entity)
+        assert {str(r) for r in report.plain_roles()} == \
+            {"Org.staff", "Org.admin"}
+        assert [str(r) for r in report.assignment_rights()] == \
+            ["Org.admin'"]
+
+    def test_chain_for(self, graph, alice):
+        g, staff, _admin = graph
+        report = entitlements(g, alice.entity)
+        proof = report.chain_for(staff)
+        assert proof is not None and proof.depth() == 1
+        assert report.chain_for(Role(staff.entity, "ghost")) is None
+
+    def test_empty_for_stranger(self, graph, carol):
+        g, *_ = graph
+        assert len(entitlements(g, carol.entity)) == 0
+
+
+class TestExposure:
+    def test_who_holds_staff(self, graph, alice, bob):
+        g, staff, _admin = graph
+        principals = principals_with_access(g, staff)
+        assert {p.display_name for p in principals} == {"Alice", "Bob"}
+
+    def test_exposure_includes_role_subjects(self, graph):
+        g, _staff, admin = graph
+        subjects = {str(p.subject)
+                    for p in exposure(g, admin.with_tick())}
+        assert "Org.staff" in subjects
+
+    def test_revoked_excluded(self, graph, alice, bob):
+        g, staff, _admin = graph
+        victim = next(d for d in g
+                      if d.subject == bob.entity)
+        principals = principals_with_access(g, staff,
+                                            revoked={victim.id})
+        assert {p.display_name for p in principals} == {"Alice"}
+
+
+class TestRegistryGaps:
+    def test_honored_promise_no_gap(self, org, alice):
+        tag = DiscoveryTag(home="w.org", ttl=0,
+                           subject_flag=SubjectFlag.SEARCH)
+        staff = Role(org.entity, "staff")
+        d = issue(org, Role(org.entity, "junior"), staff,
+                  subject_tag=tag)
+        graph = DelegationGraph([d])
+        gaps = registry_gaps(graph, home_of={}, stored_at={d.id: "w.org"})
+        assert gaps == []
+
+    def test_misplaced_delegation_flagged(self, org):
+        tag = DiscoveryTag(home="w.org", ttl=0,
+                           subject_flag=SubjectFlag.SEARCH)
+        d = issue(org, Role(org.entity, "junior"),
+                  Role(org.entity, "staff"), subject_tag=tag)
+        graph = DelegationGraph([d])
+        gaps = registry_gaps(graph, home_of={},
+                             stored_at={d.id: "w.elsewhere"})
+        assert len(gaps) == 1
+        assert "promises storage at w.org" in gaps[0].reason
+
+    def test_unstored_delegation_flagged(self, org, alice):
+        d = issue(org, alice.entity, Role(org.entity, "staff"))
+        graph = DelegationGraph([d])
+        gaps = registry_gaps(graph, home_of={}, stored_at={})
+        assert len(gaps) == 1
+        assert "not stored" in gaps[0].reason
+
+    def test_untagged_delegation_ignored(self, org, alice):
+        d = issue(org, alice.entity, Role(org.entity, "staff"))
+        graph = DelegationGraph([d])
+        assert registry_gaps(graph, home_of={},
+                             stored_at={d.id: "anywhere"}) == []

@@ -1,0 +1,133 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cut import minimal_revocation_set
+from repro.core import Role, issue
+from repro.graph.delegation_graph import DelegationGraph
+from repro.graph.search import direct_query
+from repro.workloads.topology import make_layered_dag, make_random_dag
+
+
+class TestSimpleCuts:
+    def test_single_chain_cut_is_one(self, org, alice):
+        roles = [Role(org.entity, f"r{i}") for i in range(3)]
+        graph = DelegationGraph([
+            issue(org, alice.entity, roles[0]),
+            issue(org, roles[0], roles[1]),
+            issue(org, roles[1], roles[2]),
+        ])
+        cut = minimal_revocation_set(graph, alice.entity, roles[2])
+        assert len(cut) == 1
+        assert cut.max_disjoint_chains == 1
+
+    def test_parallel_paths_need_two(self, org, alice):
+        target = Role(org.entity, "t")
+        a, b = Role(org.entity, "a"), Role(org.entity, "b")
+        graph = DelegationGraph([
+            issue(org, alice.entity, a),
+            issue(org, a, target),
+            issue(org, alice.entity, b),
+            issue(org, b, target),
+        ])
+        cut = minimal_revocation_set(graph, alice.entity, target)
+        assert len(cut) == 2
+        assert cut.max_disjoint_chains == 2
+
+    def test_bottleneck_found(self, org, alice):
+        """Two paths that share one edge: the cut is that single edge."""
+        target = Role(org.entity, "t")
+        a, b, neck = (Role(org.entity, n) for n in ("a", "b", "neck"))
+        graph = DelegationGraph([
+            issue(org, alice.entity, a),
+            issue(org, alice.entity, b),
+            issue(org, a, neck),
+            issue(org, b, neck),
+            issue(org, neck, target),
+        ])
+        cut = minimal_revocation_set(graph, alice.entity, target)
+        assert len(cut) == 1
+        assert cut.delegations[0].subject == neck
+
+    def test_no_path_empty_cut(self, org, alice, bob):
+        graph = DelegationGraph([
+            issue(org, alice.entity, Role(org.entity, "r"))])
+        cut = minimal_revocation_set(graph, bob.entity,
+                                     Role(org.entity, "r"))
+        assert len(cut) == 0
+        assert cut.max_disjoint_chains == 0
+
+    def test_parallel_duplicate_edges_both_cut(self, org, alice):
+        """Two distinct delegations over the same (subject, object) pair
+        are independent credentials; both must fall."""
+        r = Role(org.entity, "r")
+        graph = DelegationGraph([
+            issue(org, alice.entity, r, issued_at=1.0),
+            issue(org, alice.entity, r, issued_at=2.0),
+        ])
+        cut = minimal_revocation_set(graph, alice.entity, r)
+        assert len(cut) == 2
+
+    def test_expired_edges_ignored(self, org, alice):
+        r = Role(org.entity, "r")
+        graph = DelegationGraph([
+            issue(org, alice.entity, r, expiry=10.0),
+        ])
+        cut = minimal_revocation_set(graph, alice.entity, r, at=20.0)
+        assert len(cut) == 0
+
+    def test_third_party_members_listed(self, table1):
+        graph = DelegationGraph([
+            table1.d1_mark_services,
+            table1.d2_services_assign,
+            table1.d3_maria_member,
+        ])
+        cut = minimal_revocation_set(graph, table1.maria.entity,
+                                     table1.member)
+        assert len(cut) == 1
+        assert cut.third_party_members() == [table1.d3_maria_member]
+
+
+class TestCutCorrectness:
+    def test_layered_dag_cut_equals_width(self):
+        workload = make_layered_dag(3, 3, seed=6)
+        graph = workload.graph()
+        cut = minimal_revocation_set(graph, workload.subject,
+                                     workload.obj)
+        # Every path crosses each layer once; the min cut is one layer
+        # of edges from the subject (3 first-layer edges).
+        assert cut.max_disjoint_chains == 3
+        assert len(cut) == 3
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=15, deadline=None)
+    def test_cut_actually_severs(self, seed):
+        """Property: revoking the cut always disconnects the pair, and
+        the cut is no larger than the max-flow bound."""
+        workload = make_random_dag(6, 12, seed=seed)
+        graph = workload.graph()
+        cut = minimal_revocation_set(graph, workload.subject,
+                                     workload.obj)
+        before = direct_query(graph, workload.subject, workload.obj,
+                              require_supports=False)
+        if before is None:
+            assert len(cut) == 0
+            return
+        assert len(cut) == cut.max_disjoint_chains
+        after = direct_query(graph, workload.subject, workload.obj,
+                             revoked=cut.ids, require_supports=False)
+        assert after is None
+
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=10, deadline=None)
+    def test_cut_is_minimal_no_single_member_removable(self, seed):
+        """Dropping any one member of the cut leaves a live chain."""
+        workload = make_random_dag(5, 10, seed=seed)
+        graph = workload.graph()
+        cut = minimal_revocation_set(graph, workload.subject,
+                                     workload.obj)
+        for spared in cut.ids:
+            partial = cut.ids - {spared}
+            proof = direct_query(graph, workload.subject, workload.obj,
+                                 revoked=partial, require_supports=False)
+            assert proof is not None

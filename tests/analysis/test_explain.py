@@ -1,0 +1,73 @@
+import pytest
+
+from repro.analysis.explain import explain_proof, graph_to_dot, proof_to_dot
+from repro.core import Role, issue
+from repro.graph.delegation_graph import DelegationGraph
+
+
+class TestExplainProof:
+    def test_table1_rendering(self, table1):
+        text = explain_proof(table1.full_proof())
+        assert text.splitlines()[0] == "Maria => BigISP.member"
+        assert "[1] [Maria -> BigISP.member] Mark (third-party)" in text
+        assert "requires Mark => BigISP.member'" in text
+        assert "[Mark -> BigISP.memberServices] BigISP" in text
+        assert "[BigISP.memberServices -> BigISP.member'] BigISP" in text
+
+    def test_modulation_shown(self, case_study, clock):
+        from repro.wallet import Wallet
+        wallet = case_study.populate_wallet(
+            Wallet(owner=case_study.air_net, clock=clock))
+        proof = wallet.query_direct(case_study.maria.entity,
+                                    case_study.airnet_access)
+        text = explain_proof(proof)
+        assert "modulation:" in text
+        assert "AirNet.BW <= 100" in text
+
+    def test_depth_budget_shown(self, org, alice):
+        from repro.core import Proof
+        d = issue(org, alice.entity, Role(org.entity, "r"),
+                  depth_limit=3)
+        text = explain_proof(Proof.single(d))
+        assert "re-delegation budget remaining: 3" in text
+
+    def test_nested_supports_indented(self, table1):
+        text = explain_proof(table1.full_proof())
+        support_line = next(line for line in text.splitlines()
+                            if "memberServices] BigISP" in line)
+        top_line = next(line for line in text.splitlines()
+                        if "(third-party)" in line)
+        assert len(support_line) - len(support_line.lstrip()) > \
+            len(top_line) - len(top_line.lstrip())
+
+
+class TestDot:
+    def test_proof_dot_structure(self, table1):
+        dot = proof_to_dot(table1.full_proof())
+        assert dot.startswith("digraph proof {")
+        assert dot.rstrip().endswith("}")
+        assert "shape=ellipse" in dot   # entities
+        assert "shape=box" in dot       # roles
+        assert "style=dashed" in dot    # third-party edge
+        assert 'label="Mark"' in dot
+
+    def test_proof_dot_without_supports(self, table1):
+        full = proof_to_dot(table1.full_proof(), include_supports=True)
+        bare = proof_to_dot(table1.full_proof(), include_supports=False)
+        assert full.count("->") > bare.count("->")
+
+    def test_graph_dot_marks_revoked(self, org, alice):
+        d = issue(org, alice.entity, Role(org.entity, "r"))
+        graph = DelegationGraph([d])
+        dot = graph_to_dot(graph, revoked={d.id})
+        assert "REVOKED" in dot and "color=red" in dot
+        clean = graph_to_dot(graph)
+        assert "REVOKED" not in clean
+
+    def test_dot_ids_are_valid_identifiers(self, table1):
+        dot = proof_to_dot(table1.full_proof())
+        for line in dot.splitlines():
+            line = line.strip()
+            if line.startswith("n") and "->" in line:
+                left = line.split("->")[0].strip()
+                assert left.replace("_", "").isalnum()

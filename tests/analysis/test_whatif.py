@@ -1,0 +1,83 @@
+import pytest
+
+from repro.analysis.whatif import what_if_issued, what_if_revoked
+from repro.core import Role, issue
+from repro.graph.delegation_graph import DelegationGraph
+
+
+@pytest.fixture()
+def setup(org, alice, bob):
+    staff = Role(org.entity, "staff")
+    admin = Role(org.entity, "admin")
+    graph = DelegationGraph([
+        issue(org, alice.entity, staff),
+        issue(org, staff, admin),
+    ])
+    scope_subjects = [alice.entity, bob.entity]
+    scope_roles = [staff, admin]
+    return graph, staff, admin, scope_subjects, scope_roles
+
+
+class TestWhatIfIssued:
+    def test_gain_reported(self, setup, org, bob):
+        graph, staff, admin, subjects, roles = setup
+        candidate = issue(org, bob.entity, staff)
+        delta = what_if_issued(graph, candidate, subjects, roles)
+        gained = {(str(s), str(r)) for s, r in delta.gained}
+        assert gained == {("Bob", "Org.staff"), ("Bob", "Org.admin")}
+        assert delta.lost == []
+
+    def test_noop_delegation(self, setup, org, alice):
+        graph, staff, _admin, subjects, roles = setup
+        redundant = issue(org, alice.entity, staff, issued_at=9.0)
+        delta = what_if_issued(graph, redundant, subjects, roles)
+        assert delta.is_noop
+
+    def test_live_graph_untouched(self, setup, org, bob):
+        graph, staff, _admin, subjects, roles = setup
+        before = len(graph)
+        what_if_issued(graph, issue(org, bob.entity, staff), subjects,
+                       roles)
+        assert len(graph) == before
+
+
+class TestWhatIfRevoked:
+    def test_loss_reported(self, setup, alice):
+        graph, staff, admin, subjects, roles = setup
+        bridge = next(d for d in graph if d.obj == admin)
+        delta = what_if_revoked(graph, bridge.id, subjects, roles)
+        assert {(str(s), str(r)) for s, r in delta.lost} == \
+            {("Alice", "Org.admin")}
+        assert delta.gained == []
+
+    def test_root_revocation_cascades(self, setup, alice):
+        graph, staff, admin, subjects, roles = setup
+        root = next(d for d in graph if d.subject == alice.entity)
+        delta = what_if_revoked(graph, root.id, subjects, roles)
+        assert {(str(s), str(r)) for s, r in delta.lost} == \
+            {("Alice", "Org.staff"), ("Alice", "Org.admin")}
+
+    def test_composes_with_existing_revocations(self, setup, org, alice):
+        graph, staff, admin, subjects, roles = setup
+        # A parallel path that keeps admin reachable.
+        hub = Role(org.entity, "hub")
+        graph.add(issue(org, alice.entity, hub))
+        graph.add(issue(org, hub, admin))
+        bridge = next(d for d in graph
+                      if d.obj == admin and d.subject == staff)
+        hub_link = next(d for d in graph
+                        if d.obj == admin and d.subject == hub)
+        # With the hub path already revoked, losing the bridge matters.
+        delta = what_if_revoked(graph, bridge.id, subjects, roles,
+                                revoked={hub_link.id})
+        assert ("Alice", "Org.admin") in {
+            (str(s), str(r)) for s, r in delta.lost}
+
+    def test_string_rendering(self, setup, alice):
+        graph, staff, admin, subjects, roles = setup
+        root = next(d for d in graph if d.subject == alice.entity)
+        delta = what_if_revoked(graph, root.id, subjects, roles)
+        text = str(delta)
+        assert "- Alice => Org.staff" in text
+        assert str(what_if_revoked(graph, "ghost", subjects, roles)) == \
+            "(no change)"

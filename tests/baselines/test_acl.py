@@ -1,0 +1,69 @@
+import pytest
+
+from repro.baselines.acl import ACLSystem
+
+
+@pytest.fixture()
+def acl():
+    system = ACLSystem()
+    system.create_resource("printer")
+    system.create_resource("scanner")
+    return system
+
+
+class TestDecisions:
+    def test_grant_then_check(self, acl):
+        acl.grant("printer", "alice")
+        assert acl.check("printer", "alice")
+        assert not acl.check("printer", "bob")
+        assert not acl.check("scanner", "alice")
+
+    def test_deny(self, acl):
+        acl.grant("printer", "alice")
+        acl.deny("printer", "alice")
+        assert not acl.check("printer", "alice")
+
+    def test_unknown_resource_check_false(self, acl):
+        assert not acl.check("ghost", "alice")
+
+    def test_grant_unknown_resource_rejected(self, acl):
+        with pytest.raises(KeyError):
+            acl.grant("ghost", "alice")
+
+    def test_duplicate_resource_rejected(self, acl):
+        with pytest.raises(ValueError):
+            acl.create_resource("printer")
+
+
+class TestAdminCostAccounting:
+    def test_every_mutation_counted(self, acl):
+        start = acl.admin_operations  # 2 resources created
+        acl.grant("printer", "alice")
+        acl.grant("scanner", "alice")
+        acl.deny("printer", "alice")
+        assert acl.admin_operations == start + 3
+
+    def test_coalition_cost_is_users_times_resources(self):
+        system = ACLSystem()
+        users = [f"u{i}" for i in range(10)]
+        resources = [f"r{i}" for i in range(5)]
+        for resource in resources:
+            system.create_resource(resource)
+        for resource in resources:
+            for user in users:
+                system.grant(resource, user)
+        assert system.total_entries() == 50
+
+    def test_revoke_everywhere_linear_in_resources(self, acl):
+        acl.grant("printer", "alice")
+        acl.grant("scanner", "alice")
+        before = acl.admin_operations
+        touched = acl.revoke_principal_everywhere("alice")
+        assert touched == 2
+        assert acl.admin_operations == before + 2
+        assert not acl.check("printer", "alice")
+
+    def test_checks_counted(self, acl):
+        acl.check("printer", "x")
+        acl.check("printer", "y")
+        assert acl.checks_performed == 2

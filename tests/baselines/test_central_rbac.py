@@ -1,0 +1,89 @@
+import pytest
+
+from repro.baselines.central_rbac import CentralRBAC
+
+
+@pytest.fixture()
+def rbac():
+    system = CentralRBAC()
+    for role in ("employee", "engineer", "admin"):
+        system.add_role(role)
+    for permission in ("read", "write", "deploy"):
+        system.add_permission(permission)
+    system.assign_permission("employee", "read")
+    system.assign_permission("engineer", "write")
+    system.assign_permission("admin", "deploy")
+    # admin > engineer > employee
+    system.add_inheritance("engineer", "employee")
+    system.add_inheritance("admin", "engineer")
+    system.add_user("alice")
+    return system
+
+
+class TestDecisions:
+    def test_direct_permission(self, rbac):
+        rbac.assign_user("alice", "employee")
+        assert rbac.check("alice", "read")
+        assert not rbac.check("alice", "write")
+
+    def test_inherited_permission(self, rbac):
+        rbac.assign_user("alice", "admin")
+        assert rbac.check("alice", "read")
+        assert rbac.check("alice", "write")
+        assert rbac.check("alice", "deploy")
+
+    def test_effective_permissions(self, rbac):
+        assert rbac.effective_permissions("engineer") == {"read", "write"}
+
+    def test_deassign(self, rbac):
+        rbac.assign_user("alice", "admin")
+        rbac.deassign_user("alice", "admin")
+        assert not rbac.check("alice", "read")
+
+    def test_unknown_user_check_false(self, rbac):
+        assert not rbac.check("ghost", "read")
+
+
+class TestValidation:
+    def test_cyclic_hierarchy_rejected(self, rbac):
+        with pytest.raises(ValueError):
+            rbac.add_inheritance("employee", "admin")
+
+    def test_self_inheritance_rejected(self, rbac):
+        with pytest.raises(ValueError):
+            rbac.add_inheritance("admin", "admin")
+
+    def test_duplicate_role_rejected(self, rbac):
+        with pytest.raises(ValueError):
+            rbac.add_role("admin")
+
+    def test_unknown_role_assignment_rejected(self, rbac):
+        with pytest.raises(KeyError):
+            rbac.assign_user("alice", "ghost")
+        with pytest.raises(KeyError):
+            rbac.assign_permission("ghost", "read")
+
+
+class TestCentralization:
+    def test_every_coalition_user_must_enroll_centrally(self):
+        """The E3 premise: partner users all become central admin ops."""
+        system = CentralRBAC()
+        system.add_role("guest")
+        system.add_permission("use")
+        system.assign_permission("guest", "use")
+        before = system.admin_operations
+        partner_users = [f"partner-u{i}" for i in range(20)]
+        for user in partner_users:
+            system.add_user(user)
+            system.assign_user(user, "guest")
+        # 2 operations per foreign user, all at the single authority.
+        assert system.admin_operations == before + 40
+
+    def test_policy_size(self, rbac):
+        rbac.assign_user("alice", "admin")
+        assert rbac.policy_size() == (
+            3 + 1 + 3      # roles + users + permissions
+            + 2            # inheritance edges
+            + 1            # user assignment
+            + 3            # permission assignments
+        )

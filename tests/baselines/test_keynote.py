@@ -1,0 +1,137 @@
+import pytest
+
+from repro.baselines.keynote import (
+    KeyNoteAssertion,
+    KeyNoteError,
+    KeyNoteSystem,
+    evaluate_conditions,
+    evaluate_licensees,
+)
+from repro.core import create_principal
+
+
+@pytest.fixture()
+def system(org, alice, bob):
+    kn = KeyNoteSystem()
+    kn.register_key("Org", org.entity)
+    kn.register_key("Alice", alice.entity)
+    kn.register_key("Bob", bob.entity)
+    return kn
+
+
+class TestExpressions:
+    def test_licensee_combinators(self):
+        truth = {"A": True, "B": False}
+        assert evaluate_licensees("A", truth)
+        assert not evaluate_licensees("B", truth)
+        assert evaluate_licensees("A || B", truth)
+        assert not evaluate_licensees("A && B", truth)
+        assert evaluate_licensees("!(B) && A", truth)
+        assert evaluate_licensees("(A || B) && A", truth)
+
+    def test_unknown_licensee_false(self):
+        assert not evaluate_licensees("Ghost", {})
+
+    def test_conditions(self):
+        env = {"app_domain": "wifi", "bw": 100.0}
+        assert evaluate_conditions('app_domain == "wifi"', env)
+        assert evaluate_conditions("bw >= 50", env)
+        assert not evaluate_conditions("bw > 100", env)
+        assert evaluate_conditions(
+            'app_domain == "wifi" && bw >= 50', env)
+        assert evaluate_conditions("", env)  # empty = true
+
+    def test_unbound_attribute_rejected(self):
+        with pytest.raises(KeyNoteError):
+            evaluate_conditions("missing == 1", {})
+
+    def test_cross_type_equality(self):
+        env = {"x": "5"}
+        assert not evaluate_conditions("x == 5", env)
+        assert evaluate_conditions("x != 5", env)
+        with pytest.raises(KeyNoteError):
+            evaluate_conditions("x < 5", env)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(KeyNoteError):
+            evaluate_licensees("A &&", {"A": True})
+        with pytest.raises(KeyNoteError):
+            evaluate_licensees("A # B", {"A": True})
+
+
+class TestCompliance:
+    def test_direct_policy_grant(self, system):
+        system.add_policy("Alice")
+        assert system.check(["Alice"])
+        assert not system.check(["Bob"])
+
+    def test_delegation_chain(self, system, org):
+        system.add_policy("Org")
+        system.add_assertion(org, "Org", "Alice || Bob")
+        assert system.check(["Alice"])
+        assert system.check(["Bob"])
+
+    def test_conjunction_requires_both(self, system, org):
+        system.add_policy("Org")
+        system.add_assertion(org, "Org", "Alice && Bob")
+        assert not system.check(["Alice"])
+        assert system.check(["Alice", "Bob"])
+
+    def test_conditions_gate_delegation(self, system, org):
+        system.add_policy("Org")
+        system.add_assertion(org, "Org", "Alice",
+                             conditions='bw <= 100')
+        assert system.check(["Alice"], {"bw": 80})
+        assert not system.check(["Alice"], {"bw": 200})
+
+    def test_cyclic_assertions_terminate(self, system, org, alice):
+        system.add_policy("Org")
+        system.add_assertion(org, "Org", "Alice")
+        system.add_assertion(alice, "Alice", "Org")  # cycle
+        assert system.check(["Alice"])
+        assert not system.check(["Bob"])
+
+    def test_unknown_requester_rejected(self, system):
+        with pytest.raises(KeyNoteError):
+            system.check(["Ghost"])
+
+
+class TestSignatures:
+    def test_foreign_assertion_accepted_when_signed(self, system, org):
+        unsigned = KeyNoteAssertion(authorizer="Org", licensees="Alice")
+        signed = KeyNoteAssertion(
+            authorizer="Org", licensees="Alice",
+            signature=org.sign(unsigned.signing_bytes()))
+        assert system.accept_assertion(signed)
+        system.add_policy("Org")
+        assert system.check(["Alice"])
+
+    def test_forged_assertion_rejected(self, system, bob):
+        forged = KeyNoteAssertion(
+            authorizer="Org", licensees="Bob",
+            signature=bob.sign(b"whatever"))
+        assert not system.accept_assertion(forged)
+
+    def test_unknown_authorizer_rejected(self, system, org):
+        unsigned = KeyNoteAssertion(authorizer="Ghost", licensees="Bob")
+        assert not system.accept_assertion(unsigned)
+
+    def test_wrong_principal_cannot_speak_for_key(self, system, bob):
+        with pytest.raises(KeyNoteError):
+            system.add_assertion(bob, "Org", "Bob")
+
+
+class TestPaperComparison:
+    def test_no_discovery_no_revocation(self, system, org):
+        """The Section 6 contrast, executable: KeyNote decides correctly
+        when handed all assertions, but offers no credential discovery
+        (missing assertions simply fail) and no revocation (the only way
+        to withdraw trust is rebuilding the assertion set)."""
+        system.add_policy("Org")
+        # Without the Org assertion in hand, Alice is denied -- there is
+        # no mechanism to go find it.
+        assert not system.check(["Alice"])
+        system.add_assertion(org, "Org", "Alice")
+        assert system.check(["Alice"])
+        # No revocation API exists; KeyNoteSystem has no 'revoke'.
+        assert not hasattr(system, "revoke")

@@ -1,0 +1,94 @@
+import pytest
+
+from repro.baselines.revocation import (
+    CRLBroadcast,
+    OCSPPolling,
+    RevocationWorkload,
+    SubscriptionPush,
+    compare_schemes,
+)
+
+
+class TestWorkload:
+    def test_deterministic_under_seed(self):
+        a = RevocationWorkload(credentials=50, epochs=20,
+                               revocation_rate=0.1, seed=7)
+        b = RevocationWorkload(credentials=50, epochs=20,
+                               revocation_rate=0.1, seed=7)
+        assert a.schedule == b.schedule
+
+    def test_zero_rate_no_revocations(self):
+        workload = RevocationWorkload(credentials=50, epochs=20,
+                                      revocation_rate=0.0, seed=1)
+        assert workload.total_revocations == 0
+
+    def test_each_credential_revoked_at_most_once(self):
+        workload = RevocationWorkload(credentials=30, epochs=50,
+                                      revocation_rate=0.5, seed=3)
+        revoked = [c for ids in workload.schedule.values() for c in ids]
+        assert len(revoked) == len(set(revoked))
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RevocationWorkload(credentials=1, epochs=1,
+                               revocation_rate=1.5)
+
+
+class TestSchemes:
+    @pytest.fixture()
+    def workload(self):
+        return RevocationWorkload(credentials=100, epochs=50,
+                                  revocation_rate=0.02, seed=11)
+
+    def test_subscription_silent_when_nothing_changes(self):
+        quiet = RevocationWorkload(credentials=100, epochs=50,
+                                   revocation_rate=0.0, seed=1)
+        result = SubscriptionPush(count_registration=False).run(quiet)
+        assert result.messages == 0
+
+    def test_ocsp_polls_even_when_quiet(self):
+        quiet = RevocationWorkload(credentials=100, epochs=50,
+                                   revocation_rate=0.0, seed=1)
+        result = OCSPPolling(poll_interval=1).run(quiet)
+        assert result.messages == 100 * 50 * 2
+
+    def test_crl_broadcasts_even_when_quiet(self):
+        quiet = RevocationWorkload(credentials=100, epochs=50,
+                                   revocation_rate=0.0, seed=1)
+        result = CRLBroadcast().run(quiet)
+        assert result.messages == 100 * 50
+
+    def test_paper_claim_subscriptions_cheapest(self, workload):
+        sub, ocsp, crl = compare_schemes(workload)
+        assert sub.messages < ocsp.messages
+        assert sub.messages < crl.messages
+        assert sub.bytes < crl.bytes
+
+    def test_all_schemes_deliver_every_notification(self, workload):
+        for result in compare_schemes(workload):
+            assert result.notifications_delivered == \
+                workload.total_revocations, result.scheme
+
+    def test_subscription_lag_zero(self, workload):
+        sub = SubscriptionPush().run(workload)
+        assert sub.mean_lag == 0.0
+
+    def test_slower_polls_cheaper_but_staler(self, workload):
+        fast = OCSPPolling(poll_interval=1).run(workload)
+        slow = OCSPPolling(poll_interval=5).run(workload)
+        assert slow.messages < fast.messages
+        assert slow.mean_lag >= fast.mean_lag
+
+    def test_crl_bytes_grow_with_revocations(self):
+        light = RevocationWorkload(credentials=100, epochs=50,
+                                   revocation_rate=0.01, seed=2)
+        heavy = RevocationWorkload(credentials=100, epochs=50,
+                                   revocation_rate=0.2, seed=2)
+        assert CRLBroadcast().run(heavy).bytes > \
+            CRLBroadcast().run(light).bytes
+
+    def test_ocsp_interval_validation(self):
+        with pytest.raises(ValueError):
+            OCSPPolling(poll_interval=0)
+        with pytest.raises(ValueError):
+            CRLBroadcast(publish_interval=0)

@@ -1,0 +1,109 @@
+import pytest
+
+from repro.baselines.rt0 import (
+    RT0System,
+    containment,
+    intersection,
+    linked,
+    member,
+)
+
+
+@pytest.fixture()
+def rt0():
+    return RT0System()
+
+
+class TestMembership:
+    def test_simple_member(self, rt0):
+        rt0.add(member(("A", "r"), "alice"))
+        assert rt0.is_member("alice", ("A", "r"))
+        assert not rt0.is_member("bob", ("A", "r"))
+
+    def test_containment(self, rt0):
+        rt0.add(member(("B", "staff"), "alice"))
+        rt0.add(containment(("A", "guests"), ("B", "staff")))
+        assert rt0.is_member("alice", ("A", "guests"))
+
+    def test_containment_chain(self, rt0):
+        rt0.add(member(("C", "r"), "alice"))
+        rt0.add(containment(("B", "r"), ("C", "r")))
+        rt0.add(containment(("A", "r"), ("B", "r")))
+        assert rt0.is_member("alice", ("A", "r"))
+
+    def test_linked_role(self, rt0):
+        # A.partners <- {B};  B.staff <- {alice};  A.r <- A.partners.staff
+        rt0.add(member(("A", "partners"), "B"))
+        rt0.add(member(("B", "staff"), "alice"))
+        rt0.add(linked(("A", "r"), "A", "partners", "staff"))
+        assert rt0.is_member("alice", ("A", "r"))
+
+    def test_linked_role_multiple_middles(self, rt0):
+        rt0.add(member(("A", "partners"), "B"))
+        rt0.add(member(("A", "partners"), "C"))
+        rt0.add(member(("B", "staff"), "alice"))
+        rt0.add(member(("C", "staff"), "bob"))
+        rt0.add(linked(("A", "r"), "A", "partners", "staff"))
+        assert rt0.members(("A", "r")) == {"alice", "bob"}
+
+    def test_intersection(self, rt0):
+        rt0.add(member(("B", "x"), "alice"))
+        rt0.add(member(("B", "x"), "bob"))
+        rt0.add(member(("C", "y"), "alice"))
+        rt0.add(intersection(("A", "r"), ("B", "x"), ("C", "y")))
+        assert rt0.members(("A", "r")) == {"alice"}
+
+    def test_cyclic_credentials_terminate(self, rt0):
+        rt0.add(containment(("A", "r"), ("B", "r")))
+        rt0.add(containment(("B", "r"), ("A", "r")))
+        assert rt0.members(("A", "r")) == set()
+
+    def test_cycle_with_seed_member(self, rt0):
+        rt0.add(containment(("A", "r"), ("B", "r")))
+        rt0.add(containment(("B", "r"), ("A", "r")))
+        rt0.add(member(("B", "r"), "alice"))
+        assert rt0.is_member("alice", ("A", "r"))
+        assert rt0.is_member("alice", ("B", "r"))
+
+    def test_empty_role(self, rt0):
+        assert rt0.members(("A", "nothing")) == set()
+
+
+class TestChainDiscovery:
+    def test_witness_chain(self, rt0):
+        rt0.add(member(("C", "r"), "alice"))
+        rt0.add(containment(("B", "r"), ("C", "r")))
+        rt0.add(containment(("A", "r"), ("B", "r")))
+        chain = rt0.discover_chain("alice", ("A", "r"))
+        assert chain is not None
+        assert chain[0].head == ("A", "r")
+        assert chain[-1].kind == "member"
+
+    def test_none_for_non_member(self, rt0):
+        rt0.add(member(("A", "r"), "alice"))
+        assert rt0.discover_chain("bob", ("A", "r")) is None
+
+    def test_chain_through_linked_role(self, rt0):
+        rt0.add(member(("A", "partners"), "B"))
+        rt0.add(member(("B", "staff"), "alice"))
+        rt0.add(linked(("A", "r"), "A", "partners", "staff"))
+        chain = rt0.discover_chain("alice", ("A", "r"))
+        assert chain is not None
+        assert any(c.kind == "linked" for c in chain)
+
+
+class TestPhantomIdiom:
+    def test_grant_works(self, rt0):
+        rt0.grant_via_phantom("owner", "access", "third", "maria")
+        assert rt0.is_member("maria", ("owner", "access"))
+
+    def test_namespace_pollution(self, rt0):
+        for privilege in ("a", "b", "c"):
+            rt0.grant_via_phantom("owner", privilege, "third", "maria")
+        assert rt0.namespace_size("third") == 3
+
+    def test_link_reused(self, rt0):
+        rt0.grant_via_phantom("owner", "p", "third", "u1")
+        issued = rt0.grant_via_phantom("owner", "p", "third", "u2")
+        assert len(issued) == 1
+        assert rt0.members(("owner", "p")) == {"u1", "u2"}

@@ -1,0 +1,104 @@
+import pytest
+
+from repro.baselines.spki import (
+    NameCert,
+    SPKISystem,
+    key_name,
+    local_name,
+)
+
+
+@pytest.fixture()
+def spki():
+    return SPKISystem()
+
+
+class TestNameResolution:
+    def test_direct_membership(self, spki):
+        spki.define("K_org", "staff", key_name("K_alice"))
+        assert spki.members("K_org", "staff") == {"K_alice"}
+        assert spki.is_member("K_alice", "K_org", "staff")
+
+    def test_containment(self, spki):
+        spki.define("K_org", "staff", key_name("K_alice"))
+        spki.define("K_org", "all", local_name("K_org", "staff"))
+        assert spki.is_member("K_alice", "K_org", "all")
+
+    def test_cross_namespace_containment(self, spki):
+        spki.define("K_a", "friends", key_name("K_x"))
+        spki.define("K_b", "guests", local_name("K_a", "friends"))
+        assert spki.is_member("K_x", "K_b", "guests")
+
+    def test_extended_name(self, spki):
+        # K_b.partners-staff -> (K_a, partner, staff): members of the
+        # 'staff' name of every member of K_a.partner.
+        spki.define("K_a", "partner", key_name("K_c"))
+        spki.define("K_c", "staff", key_name("K_alice"))
+        spki.add_cert(NameCert(issuer="K_b", name="partners-staff",
+                               subject=("K_a", ("partner", "staff"))))
+        assert spki.is_member("K_alice", "K_b", "partners-staff")
+
+    def test_cycle_terminates_empty(self, spki):
+        spki.define("K_a", "x", local_name("K_b", "y"))
+        spki.define("K_b", "y", local_name("K_a", "x"))
+        assert spki.members("K_a", "x") == set()
+
+    def test_undefined_name_empty(self, spki):
+        assert spki.members("K_a", "nothing") == set()
+
+
+class TestChainDiscovery:
+    def test_chain_witnesses_membership(self, spki):
+        spki.define("K_org", "staff", key_name("K_alice"))
+        spki.define("K_org", "all", local_name("K_org", "staff"))
+        chain = spki.discover_chain("K_alice", "K_org", "all")
+        assert chain is not None
+        assert len(chain) == 2
+        assert chain[0].name == "all"
+        assert chain[-1].subject == key_name("K_alice")
+
+    def test_no_chain_for_non_member(self, spki):
+        spki.define("K_org", "staff", key_name("K_alice"))
+        assert spki.discover_chain("K_bob", "K_org", "staff") is None
+
+    def test_chain_through_extended_name(self, spki):
+        spki.define("K_a", "partner", key_name("K_c"))
+        spki.define("K_c", "staff", key_name("K_alice"))
+        spki.add_cert(NameCert(issuer="K_b", name="guests",
+                               subject=("K_a", ("partner", "staff"))))
+        chain = spki.discover_chain("K_alice", "K_b", "guests")
+        assert chain is not None
+        assert spki.is_member("K_alice", "K_b", "guests")
+
+
+class TestPhantomRoleIdiom:
+    def test_grant_via_phantom_works(self, spki):
+        spki.grant_via_phantom("K_owner", "access", "K_third", "K_maria")
+        assert spki.is_member("K_maria", "K_owner", "access")
+
+    def test_namespace_pollution_measured(self, spki):
+        """One phantom name per (owner-privilege, third party): the
+        Section 6 administration complaint, quantified."""
+        assert spki.namespace_size("K_third") == 0
+        for privilege in ("access", "storage", "bandwidth"):
+            spki.grant_via_phantom("K_owner", privilege, "K_third",
+                                   "K_maria")
+        assert spki.namespace_size("K_third") == 3
+
+    def test_link_issued_once_per_pair(self, spki):
+        first = spki.grant_via_phantom("K_o", "p", "K_t", "K_u1")
+        second = spki.grant_via_phantom("K_o", "p", "K_t", "K_u2")
+        assert len(first) == 2   # link + grant
+        assert len(second) == 1  # grant only
+        assert spki.is_member("K_u2", "K_o", "p")
+
+    def test_aliasing_hazard(self, spki):
+        """The paper's 'accidental aliasing' hazard: two authorities
+        linking to the SAME phantom name makes grants bleed across
+        privileges."""
+        spki.define("K_o1", "secret", local_name("K_t", "phantom"))
+        spki.define("K_o2", "public", local_name("K_t", "phantom"))
+        spki.define("K_t", "phantom", key_name("K_user"))
+        # One grant made the user a member of both privileges.
+        assert spki.is_member("K_user", "K_o1", "secret")
+        assert spki.is_member("K_user", "K_o2", "public")

@@ -1,0 +1,63 @@
+"""Shared fixtures.
+
+Key generation costs ~1 ms per entity; the fixtures below are
+module/session scoped where reuse is safe (entities are immutable), so
+the suite stays fast without stubbing any cryptography.
+"""
+
+import pytest
+
+from repro.core import Role, SimClock, create_principal
+from repro.workloads import (
+    build_case_study,
+    build_distributed_case_study,
+    build_table1,
+)
+
+
+@pytest.fixture(scope="session")
+def alice():
+    return create_principal("Alice")
+
+
+@pytest.fixture(scope="session")
+def bob():
+    return create_principal("Bob")
+
+
+@pytest.fixture(scope="session")
+def carol():
+    return create_principal("Carol")
+
+
+@pytest.fixture(scope="session")
+def org():
+    return create_principal("Org")
+
+
+@pytest.fixture(scope="session")
+def org_role(org):
+    return Role(org.entity, "staff")
+
+
+@pytest.fixture()
+def clock():
+    return SimClock()
+
+
+@pytest.fixture(scope="session")
+def table1():
+    """The immutable Table 1 scenario (shared; contains no mutable state)."""
+    return build_table1()
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The immutable Table 3 delegation set."""
+    return build_case_study()
+
+
+@pytest.fixture()
+def distributed_case():
+    """A fresh Figure 2 deployment per test (wallets are mutable)."""
+    return build_distributed_case_study()

@@ -1,0 +1,256 @@
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import (
+    AttributeRef,
+    Constraint,
+    Modifier,
+    ModifierSet,
+    Operator,
+    check_constraints,
+)
+from repro.core.errors import AttributeError_
+
+
+@pytest.fixture(scope="module")
+def attrs(org):
+    return {
+        "bw": AttributeRef(org.entity, "BW"),
+        "storage": AttributeRef(org.entity, "storage"),
+        "hours": AttributeRef(org.entity, "hours"),
+    }
+
+
+class TestOperator:
+    def test_tokens(self):
+        assert Operator.SUBTRACT.token == "-="
+        assert Operator.MULTIPLY.token == "*="
+        assert Operator.MIN.token == "<="
+
+    def test_identities(self):
+        assert Operator.SUBTRACT.identity == 0.0
+        assert Operator.MULTIPLY.identity == 1.0
+        assert Operator.MIN.identity == math.inf
+
+    def test_from_token(self):
+        for op in Operator:
+            assert Operator.from_token(op.token) is op
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(AttributeError_):
+            Operator.from_token(">=")
+
+
+class TestModifierValidation:
+    def test_subtract_requires_positive(self, attrs):
+        Modifier(attrs["storage"], Operator.SUBTRACT, 20)
+        with pytest.raises(AttributeError_):
+            Modifier(attrs["storage"], Operator.SUBTRACT, -1)
+        with pytest.raises(AttributeError_):
+            Modifier(attrs["storage"], Operator.SUBTRACT, math.inf)
+
+    def test_multiply_requires_unit_interval(self, attrs):
+        Modifier(attrs["hours"], Operator.MULTIPLY, 0.3)
+        Modifier(attrs["hours"], Operator.MULTIPLY, 1.0)
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(AttributeError_):
+                Modifier(attrs["hours"], Operator.MULTIPLY, bad)
+
+    def test_min_requires_non_negative(self, attrs):
+        Modifier(attrs["bw"], Operator.MIN, 0)
+        with pytest.raises(AttributeError_):
+            Modifier(attrs["bw"], Operator.MIN, -1)
+
+    def test_nan_rejected(self, attrs):
+        with pytest.raises(AttributeError_):
+            Modifier(attrs["bw"], Operator.MIN, float("nan"))
+
+    def test_non_number_rejected(self, attrs):
+        with pytest.raises(AttributeError_):
+            Modifier(attrs["bw"], Operator.MIN, "100")
+        with pytest.raises(AttributeError_):
+            Modifier(attrs["bw"], Operator.MIN, True)
+
+    def test_invalid_attribute_name(self, org):
+        with pytest.raises(AttributeError_):
+            AttributeRef(org.entity, "9lives")
+        with pytest.raises(AttributeError_):
+            AttributeRef(org.entity, "")
+        with pytest.raises(AttributeError_):
+            AttributeRef(org.entity, "has space")
+
+
+class TestComposition:
+    def test_paper_case_study_aggregation(self, attrs):
+        modifiers = ModifierSet([
+            Modifier(attrs["bw"], Operator.MIN, 100),
+            Modifier(attrs["storage"], Operator.SUBTRACT, 20),
+            Modifier(attrs["hours"], Operator.MULTIPLY, 0.3),
+        ])
+        grants = modifiers.apply({attrs["bw"]: 200.0,
+                                  attrs["storage"]: 50.0,
+                                  attrs["hours"]: 60.0})
+        assert grants[attrs["bw"]] == 100.0
+        assert grants[attrs["storage"]] == 30.0
+        assert grants[attrs["hours"]] == pytest.approx(18.0)
+
+    def test_subtract_accumulates(self, attrs):
+        a = ModifierSet([Modifier(attrs["storage"], Operator.SUBTRACT, 5)])
+        b = ModifierSet([Modifier(attrs["storage"], Operator.SUBTRACT, 7)])
+        combined = a.combine(b)
+        assert combined.value_of(attrs["storage"]) == 12.0
+
+    def test_multiply_accumulates(self, attrs):
+        a = ModifierSet([Modifier(attrs["hours"], Operator.MULTIPLY, 0.5)])
+        b = ModifierSet([Modifier(attrs["hours"], Operator.MULTIPLY, 0.5)])
+        assert a.combine(b).value_of(attrs["hours"]) == 0.25
+
+    def test_min_takes_minimum(self, attrs):
+        a = ModifierSet([Modifier(attrs["bw"], Operator.MIN, 100)])
+        b = ModifierSet([Modifier(attrs["bw"], Operator.MIN, 40)])
+        assert a.combine(b).value_of(attrs["bw"]) == 40.0
+
+    def test_identity_neutral(self, attrs):
+        a = ModifierSet([Modifier(attrs["bw"], Operator.MIN, 100)])
+        assert a.combine(ModifierSet.identity()) == a
+        assert ModifierSet.identity().combine(a) == a
+
+    def test_mixed_operator_rejected(self, attrs):
+        a = ModifierSet([Modifier(attrs["bw"], Operator.MIN, 100)])
+        b = ModifierSet([Modifier(attrs["bw"], Operator.SUBTRACT, 1)])
+        with pytest.raises(AttributeError_):
+            a.combine(b)
+
+    def test_mixed_operator_in_constructor_rejected(self, attrs):
+        with pytest.raises(AttributeError_):
+            ModifierSet([
+                Modifier(attrs["bw"], Operator.MIN, 100),
+                Modifier(attrs["bw"], Operator.MULTIPLY, 0.5),
+            ])
+
+    def test_duplicate_attribute_composes_in_constructor(self, attrs):
+        modifiers = ModifierSet([
+            Modifier(attrs["storage"], Operator.SUBTRACT, 5),
+            Modifier(attrs["storage"], Operator.SUBTRACT, 10),
+        ])
+        assert modifiers.value_of(attrs["storage"]) == 15.0
+
+    def test_to_modifiers_round_trip(self, attrs):
+        original = ModifierSet([
+            Modifier(attrs["bw"], Operator.MIN, 100),
+            Modifier(attrs["storage"], Operator.SUBTRACT, 20),
+        ])
+        assert ModifierSet(original.to_modifiers()) == original
+
+
+class TestApply:
+    def test_unmodified_attribute_passes_through(self, attrs):
+        modifiers = ModifierSet([Modifier(attrs["bw"], Operator.MIN, 10)])
+        grants = modifiers.apply({attrs["bw"]: 50.0,
+                                  attrs["storage"]: 7.0})
+        assert grants[attrs["storage"]] == 7.0
+
+    def test_min_without_base_uses_bound(self, attrs):
+        modifiers = ModifierSet([Modifier(attrs["bw"], Operator.MIN, 10)])
+        assert modifiers.apply({})[attrs["bw"]] == 10.0
+
+    def test_subtract_without_base_rejected(self, attrs):
+        modifiers = ModifierSet(
+            [Modifier(attrs["storage"], Operator.SUBTRACT, 10)])
+        with pytest.raises(AttributeError_):
+            modifiers.apply({})
+
+    def test_grant_upper_bound_identity(self, attrs):
+        assert ModifierSet.identity().grant_upper_bound(
+            attrs["bw"], 42.0) == 42.0
+
+
+class TestConstraints:
+    def test_satisfied(self, attrs):
+        modifiers = ModifierSet([Modifier(attrs["bw"], Operator.MIN, 100)])
+        assert check_constraints(modifiers, [Constraint(attrs["bw"], 50)],
+                                 {attrs["bw"]: 200.0})
+
+    def test_violated(self, attrs):
+        modifiers = ModifierSet([Modifier(attrs["bw"], Operator.MIN, 30)])
+        assert not check_constraints(
+            modifiers, [Constraint(attrs["bw"], 50)], {attrs["bw"]: 200.0})
+
+    def test_base_caps_grant(self, attrs):
+        # No modifier, but the base itself is below the requirement.
+        assert not check_constraints(
+            ModifierSet.identity(), [Constraint(attrs["bw"], 50)],
+            {attrs["bw"]: 30.0})
+
+    def test_unknown_attribute_fails_closed(self, attrs):
+        assert not check_constraints(
+            ModifierSet.identity(), [Constraint(attrs["bw"], 1)], {})
+
+    def test_nan_minimum_rejected(self, attrs):
+        with pytest.raises(AttributeError_):
+            Constraint(attrs["bw"], float("nan"))
+
+
+# -- property-based: the monotone algebra --------------------------------
+
+_ops = st.sampled_from(list(Operator))
+
+
+def _value_for(op):
+    if op is Operator.SUBTRACT:
+        return st.floats(min_value=0, max_value=1e6, allow_nan=False)
+    if op is Operator.MULTIPLY:
+        return st.floats(min_value=1e-6, max_value=1.0, allow_nan=False,
+                         exclude_min=False)
+    return st.floats(min_value=0, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def _modifier_sets(draw, attribute):
+    op = draw(st.sampled_from(list(Operator)))
+    values = draw(st.lists(_value_for(op), min_size=0, max_size=4))
+    return ModifierSet([Modifier(attribute, op, v) for v in values]), op
+
+
+class TestAlgebraProperties:
+    @given(st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_monotone_nonincreasing(self, org, data):
+        """Extending a chain never increases the grant (Section 3.2.1)."""
+        attribute = AttributeRef(org.entity, "q")
+        a, op = data.draw(_modifier_sets(attribute))
+        extra = data.draw(_value_for(op))
+        base = data.draw(st.floats(min_value=0, max_value=1e6,
+                                   allow_nan=False))
+        extended = a.combine(ModifierSet([Modifier(attribute, op, extra)]))
+        assert extended.grant_upper_bound(attribute, base) <= \
+            a.grant_upper_bound(attribute, base) + 1e-9
+
+    @given(st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_associative(self, org, data):
+        attribute = AttributeRef(org.entity, "q")
+        op = data.draw(_ops)
+        values = data.draw(st.lists(_value_for(op), min_size=3, max_size=3))
+        sets = [ModifierSet([Modifier(attribute, op, v)]) for v in values]
+        left = sets[0].combine(sets[1]).combine(sets[2])
+        right = sets[0].combine(sets[1].combine(sets[2]))
+        lv, rv = left.value_of(attribute), right.value_of(attribute)
+        assert lv == pytest.approx(rv, rel=1e-12)
+
+    @given(st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_commutative(self, org, data):
+        attribute = AttributeRef(org.entity, "q")
+        a, op = data.draw(_modifier_sets(attribute))
+        b, _ = data.draw(_modifier_sets(attribute).filter(
+            lambda pair: pair[1] is op))
+        ab = a.combine(b).value_of(attribute)
+        ba = b.combine(a).value_of(attribute)
+        if ab is None or ba is None:
+            assert ab == ba
+        else:
+            assert ab == pytest.approx(ba, rel=1e-12)

@@ -1,0 +1,61 @@
+import time
+
+import pytest
+
+from repro.core.clock import SimClock, WallClock, resolve_clock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=100.0).now() == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now() == 5.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(42.0)
+        assert clock.now() == 42.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_advance_zero_allowed(self):
+        clock = SimClock(start=3.0)
+        clock.advance(0.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+
+
+class TestWallClock:
+    def test_tracks_real_time(self):
+        clock = WallClock()
+        before = time.time()
+        reading = clock.now()
+        after = time.time()
+        assert before <= reading <= after
+
+
+class TestResolve:
+    def test_none_gives_wall_clock(self):
+        assert isinstance(resolve_clock(None), WallClock)
+
+    def test_passthrough(self):
+        clock = SimClock()
+        assert resolve_clock(clock) is clock

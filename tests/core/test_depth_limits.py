@@ -1,0 +1,150 @@
+"""The Section 6 extension: limiting re-delegation depth.
+
+"dRBAC does not currently support any provision for limiting transitive
+trust. While dRBAC can be extended to limit delegation depth..." -- this
+reproduction implements that extension: a delegation may carry a
+``depth_limit`` bounding how many further links may follow it in a
+proof's primary chain.
+"""
+
+import pytest
+
+from repro.core import (
+    DelegationError,
+    EntityDirectory,
+    ProofError,
+    Proof,
+    Role,
+    format_delegation,
+    issue,
+    parse_delegation,
+    validate_proof,
+)
+from repro.graph.delegation_graph import DelegationGraph
+from repro.graph.search import SearchStats, Strategy, direct_query
+
+
+@pytest.fixture()
+def chain_roles(org):
+    return [Role(org.entity, f"r{i}") for i in range(4)]
+
+
+class TestDelegationField:
+    def test_negative_limit_rejected(self, org, alice):
+        with pytest.raises(DelegationError):
+            issue(org, alice.entity, Role(org.entity, "r"),
+                  depth_limit=-1)
+
+    def test_limit_signed_and_serialized(self, org, alice):
+        d = issue(org, alice.entity, Role(org.entity, "r"), depth_limit=2)
+        from repro.core import Delegation
+        restored = Delegation.from_dict(d.to_dict())
+        assert restored.depth_limit == 2
+        assert restored.verify_signature()
+
+    def test_limit_tamper_breaks_signature(self, org, alice):
+        from repro.core import Delegation
+        d = issue(org, alice.entity, Role(org.entity, "r"), depth_limit=1)
+        tampered = Delegation(
+            subject=d.subject, obj=d.obj, issuer=d.issuer,
+            depth_limit=99, signature=d.signature)
+        assert not tampered.verify_signature()
+
+    def test_syntax_round_trip(self, org, alice):
+        directory = EntityDirectory([org.entity, alice.entity])
+        d = issue(org, alice.entity, Role(org.entity, "r"), depth_limit=3)
+        text = format_delegation(d)
+        assert "<depth: 3>" in text
+        assert parse_delegation(text, directory).depth_limit == 3
+
+
+class TestProofEnforcement:
+    def _chain(self, org, alice, roles, limit_at, limit):
+        delegations = [issue(org, alice.entity, roles[0],
+                             depth_limit=limit if limit_at == 0 else None)]
+        for i in range(len(roles) - 1):
+            delegations.append(issue(
+                org, roles[i], roles[i + 1],
+                depth_limit=limit if limit_at == i + 1 else None))
+        proof = Proof.single(delegations[0])
+        for d in delegations[1:]:
+            proof = proof.extend(d)
+        return proof
+
+    def test_budget_computation(self, org, alice, chain_roles):
+        proof = self._chain(org, alice, chain_roles, limit_at=0, limit=3)
+        assert proof.depth_budget == 0  # 3 links followed, limit 3
+
+    def test_unlimited_chain_has_no_budget(self, org, alice, chain_roles):
+        proof = self._chain(org, alice, chain_roles, limit_at=0,
+                            limit=None)
+        assert proof.depth_budget is None
+
+    def test_exact_limit_validates(self, org, alice, chain_roles):
+        proof = self._chain(org, alice, chain_roles, limit_at=0, limit=3)
+        validate_proof(proof, at=0.0)
+
+    def test_exceeded_limit_rejected(self, org, alice, chain_roles):
+        proof = self._chain(org, alice, chain_roles, limit_at=0, limit=2)
+        with pytest.raises(ProofError, match="depth limit"):
+            validate_proof(proof, at=0.0)
+
+    def test_limit_mid_chain(self, org, alice, chain_roles):
+        # Limit on the second link: 2 links follow it, limit 1 -> invalid.
+        proof = self._chain(org, alice, chain_roles, limit_at=1, limit=1)
+        with pytest.raises(ProofError, match="depth limit"):
+            validate_proof(proof, at=0.0)
+
+    def test_limit_on_last_link_is_free(self, org, alice, chain_roles):
+        proof = self._chain(org, alice, chain_roles,
+                            limit_at=len(chain_roles) - 1, limit=0)
+        validate_proof(proof, at=0.0)
+
+    def test_zero_limit_means_no_redelegation(self, org, alice):
+        r1, r2 = Role(org.entity, "r1"), Role(org.entity, "r2")
+        d1 = issue(org, alice.entity, r1, depth_limit=0)
+        d2 = issue(org, r1, r2)
+        proof = Proof.single(d1).extend(d2)
+        with pytest.raises(ProofError, match="depth limit"):
+            validate_proof(proof, at=0.0)
+
+
+class TestSearchEnforcement:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_search_respects_limits(self, org, alice, chain_roles,
+                                    strategy):
+        delegations = [issue(org, alice.entity, chain_roles[0],
+                             depth_limit=1)]
+        for i in range(len(chain_roles) - 1):
+            delegations.append(issue(org, chain_roles[i],
+                                     chain_roles[i + 1]))
+        graph = DelegationGraph(delegations)
+        # Within budget: one further hop is fine.
+        assert direct_query(graph, alice.entity, chain_roles[1],
+                            strategy=strategy) is not None
+        # Beyond budget: unreachable despite the edges existing.
+        stats = SearchStats()
+        assert direct_query(graph, alice.entity, chain_roles[3],
+                            strategy=strategy, stats=stats) is None
+
+    def test_search_finds_alternate_within_budget(self, org, alice):
+        target = Role(org.entity, "t")
+        hop = Role(org.entity, "hop")
+        limited_direct = issue(org, alice.entity, hop, depth_limit=0)
+        open_entry = issue(org, alice.entity, hop)
+        onward = issue(org, hop, target)
+        graph = DelegationGraph([limited_direct, open_entry, onward])
+        proof = direct_query(graph, alice.entity, target)
+        assert proof is not None
+        assert proof.chain[0].id == open_entry.id
+        validate_proof(proof, at=0.0)
+
+    def test_pruning_stat_recorded(self, org, alice, chain_roles):
+        delegations = [issue(org, alice.entity, chain_roles[0],
+                             depth_limit=0)]
+        delegations.append(issue(org, chain_roles[0], chain_roles[1]))
+        graph = DelegationGraph(delegations)
+        stats = SearchStats()
+        direct_query(graph, alice.entity, chain_roles[1],
+                     strategy=Strategy.FORWARD, stats=stats)
+        assert stats.pruned_by_depth_limit > 0

@@ -1,0 +1,89 @@
+"""Equality/hash laws for the core value types.
+
+Proofs, delegations, roles, and entities are used as dict keys and set
+members throughout the wallet and search layers; these properties pin
+down the contracts that usage relies on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Entity, Proof, Role, issue
+from repro.core.attributes import AttributeRef, Modifier, ModifierSet, Operator
+
+
+class TestEntityLaws:
+    def test_eq_hash_consistent(self, alice):
+        clone = Entity(public_key=alice.entity.public_key,
+                       nickname="Somebody Else")
+        assert clone == alice.entity
+        assert hash(clone) == hash(alice.entity)
+        assert len({clone, alice.entity}) == 1
+
+    def test_not_equal_to_other_types(self, alice):
+        assert alice.entity != "Alice"
+        assert alice.entity != alice  # Principal is not Entity
+
+
+class TestRoleLaws:
+    def test_set_membership(self, org):
+        roles = {Role(org.entity, "a"), Role(org.entity, "a"),
+                 Role(org.entity, "a", ticks=1)}
+        assert len(roles) == 2
+
+    def test_dict_key_stability(self, org):
+        mapping = {Role(org.entity, "a"): 1}
+        assert mapping[Role(org.entity, "a")] == 1
+
+
+class TestDelegationLaws:
+    def test_identical_content_equal(self, org, alice):
+        a = issue(org, alice.entity, Role(org.entity, "r"))
+        b = issue(org, alice.entity, Role(org.entity, "r"))
+        # Deterministic signatures: identical content = identical cert.
+        assert a == b and hash(a) == hash(b)
+
+    def test_different_content_unequal(self, org, alice, bob):
+        a = issue(org, alice.entity, Role(org.entity, "r"))
+        b = issue(org, bob.entity, Role(org.entity, "r"))
+        assert a != b
+
+
+class TestModifierSetLaws:
+    # Integer-valued floats keep composition exact; with arbitrary
+    # floats, order independence holds only up to FP rounding (addition
+    # is commutative but not associative), which is documented behavior
+    # of the attribute algebra, not an equality-law violation.
+    @given(st.lists(st.tuples(
+        st.sampled_from(["x", "y"]),
+        st.integers(min_value=1, max_value=1000).map(float)),
+        max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_order_independent_equality(self, org, pairs):
+        modifiers = [
+            Modifier(AttributeRef(org.entity, name), Operator.SUBTRACT,
+                     value)
+            for name, value in pairs
+        ]
+        forward = ModifierSet(modifiers)
+        backward = ModifierSet(list(reversed(modifiers)))
+        assert forward == backward
+        assert hash(forward) == hash(backward)
+
+
+class TestProofLaws:
+    def test_eq_hash_after_wire_round_trip(self, table1):
+        original = table1.full_proof()
+        restored = Proof.from_dict(original.to_dict())
+        assert original == restored
+        assert hash(original) == hash(restored)
+        assert len({original, restored}) == 1
+
+    def test_different_supports_unequal(self, table1):
+        with_support = table1.full_proof()
+        without = Proof.single(table1.d3_maria_member)
+        assert with_support != without
+
+    def test_not_equal_to_other_types(self, table1):
+        assert table1.full_proof() != "a proof"

@@ -1,0 +1,79 @@
+import pytest
+
+from repro.core.identity import (
+    Entity,
+    EntityDirectory,
+    Principal,
+    create_principal,
+)
+
+
+class TestEntity:
+    def test_equality_by_key_not_nickname(self, alice):
+        renamed = Entity(public_key=alice.entity.public_key,
+                         nickname="NotAlice")
+        assert renamed == alice.entity
+        assert hash(renamed) == hash(alice.entity)
+
+    def test_distinct_keys_not_equal(self, alice, bob):
+        assert alice.entity != bob.entity
+
+    def test_display_name_prefers_nickname(self, alice):
+        assert alice.entity.display_name == "Alice"
+
+    def test_display_name_falls_back_to_fingerprint(self):
+        anon = create_principal()
+        assert anon.entity.display_name == \
+            anon.entity.public_key.short_fingerprint
+
+    def test_serialization_round_trip(self, alice):
+        restored = Entity.from_dict(alice.entity.to_dict())
+        assert restored == alice.entity
+        assert restored.nickname == "Alice"
+
+    def test_verify_delegates_to_key(self, alice):
+        sig = alice.sign(b"hello")
+        assert alice.entity.verify(b"hello", sig)
+        assert not alice.entity.verify(b"hellx", sig)
+
+
+class TestPrincipal:
+    def test_mismatched_keypair_rejected(self, alice, bob):
+        with pytest.raises(ValueError):
+            Principal(entity=alice.entity, keypair=bob.keypair)
+
+    def test_id_matches_entity(self, alice):
+        assert alice.id == alice.entity.id
+
+
+class TestEntityDirectory:
+    def test_lookup(self, alice, bob):
+        directory = EntityDirectory([alice.entity, bob.entity])
+        assert directory.lookup("Alice") == alice.entity
+        assert "Bob" in directory
+        assert len(directory) == 2
+
+    def test_unknown_name_raises(self, alice):
+        directory = EntityDirectory([alice.entity])
+        with pytest.raises(KeyError):
+            directory.lookup("Nobody")
+
+    def test_duplicate_nickname_conflict_rejected(self, alice):
+        directory = EntityDirectory([alice.entity])
+        impostor = create_principal("Alice")
+        with pytest.raises(ValueError):
+            directory.add(impostor.entity)
+
+    def test_re_adding_same_entity_ok(self, alice):
+        directory = EntityDirectory([alice.entity])
+        directory.add(alice.entity)
+        assert len(directory) == 1
+
+    def test_anonymous_entity_rejected(self):
+        directory = EntityDirectory()
+        with pytest.raises(ValueError):
+            directory.add(create_principal().entity)
+
+    def test_entities_iteration(self, alice, bob):
+        directory = EntityDirectory([alice.entity, bob.entity])
+        assert set(directory.entities()) == {alice.entity, bob.entity}

@@ -1,0 +1,249 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import AttributeRef, Modifier, ModifierSet, Operator
+from repro.core.delegation import issue
+from repro.core.errors import ParseError
+from repro.core.identity import EntityDirectory
+from repro.core.parser import (
+    format_delegation,
+    parse_and_issue,
+    parse_delegation,
+    parse_many,
+    parse_role,
+)
+from repro.core.roles import Role, attribute_right
+from repro.core.tags import DiscoveryTag
+
+
+@pytest.fixture(scope="module")
+def directory(org, alice, bob, carol):
+    return EntityDirectory([org.entity, alice.entity, bob.entity,
+                            carol.entity])
+
+
+class TestBasicForms:
+    def test_self_certified(self, directory, org, alice):
+        d = parse_delegation("[Alice -> Org.staff] Org", directory)
+        assert d.subject == alice.entity
+        assert d.obj == Role(org.entity, "staff")
+        assert d.issuer == org.entity
+        assert d.is_self_certified
+
+    def test_unicode_arrow(self, directory, org, alice):
+        d = parse_delegation("[Alice → Org.staff] Org", directory)
+        assert d.obj == Role(org.entity, "staff")
+
+    def test_role_subject(self, directory, org):
+        d = parse_delegation("[Org.junior -> Org.staff] Org", directory)
+        assert d.subject == Role(org.entity, "junior")
+
+    def test_assignment_delegation(self, directory, org, alice):
+        d = parse_delegation("[Alice -> Org.staff'] Org", directory)
+        assert d.obj.ticks == 1
+
+    def test_double_tick(self, directory, org, alice):
+        d = parse_delegation("[Alice -> Org.staff''] Org", directory)
+        assert d.obj.ticks == 2
+
+    def test_third_party(self, directory, org, bob, alice):
+        d = parse_delegation("[Alice -> Org.staff] Bob", directory)
+        assert d.is_third_party
+
+    def test_whitespace_insensitive(self, directory, org, alice):
+        d1 = parse_delegation("[Alice->Org.staff]Org", directory)
+        d2 = parse_delegation("[ Alice  ->  Org.staff ]  Org", directory)
+        assert d1.signing_bytes() == d2.signing_bytes()
+
+
+class TestAttributeForms:
+    def test_with_clause(self, directory, org, alice):
+        d = parse_delegation(
+            "[Alice -> Org.staff with Org.BW <= 100 and "
+            "Org.storage -= 20 and Org.hours *= 0.3] Org", directory)
+        bw = AttributeRef(org.entity, "BW")
+        assert d.modifiers.value_of(bw) == 100.0
+        assert d.modifiers.operator_of(bw) is Operator.MIN
+        assert len(d.modifiers) == 3
+
+    def test_attribute_right_object(self, directory, org, alice):
+        d = parse_delegation("[Alice -> Org.storage -= '] Org", directory)
+        assert d.obj.is_attribute_right
+        assert d.obj.operator is Operator.SUBTRACT
+        assert d.obj.ticks == 1
+
+    def test_attribute_right_needs_tick(self, directory):
+        with pytest.raises(ParseError):
+            parse_delegation("[Alice -> Org.storage -= ] Org", directory)
+
+    def test_paper_table2_example(self, directory, org, alice, bob):
+        # Structure of delegation (4) from Table 2.
+        d = parse_delegation(
+            "[Org.member -> Bob.member with Bob.BW <= 100 "
+            "and Bob.storage -= 20] Carol", directory)
+        assert d.issuer.nickname == "Carol"
+        assert d.is_third_party
+        assert len(d.required_supports()) == 3  # role' + two attr rights
+
+
+class TestAnnotations:
+    def test_expiry(self, directory, org, alice):
+        d = parse_delegation("[Alice -> Org.staff] Org <expiry: 3600>",
+                             directory)
+        assert d.expiry == 3600.0
+
+    def test_discovery_tag_on_object(self, directory, org, alice):
+        d = parse_delegation(
+            "[Alice -> Org.staff<w.org.com:Org.wallet:30:S->] Org",
+            directory)
+        assert d.object_tag == DiscoveryTag.parse(
+            "<w.org.com:Org.wallet:30:S->")
+
+    def test_discovery_tag_on_subject(self, directory, org):
+        d = parse_delegation(
+            "[Org.junior<w.org.com::0:s-> -> Org.staff] Org", directory)
+        assert d.subject_tag.home == "w.org.com"
+
+    def test_issuer_tag(self, directory, org, alice):
+        d = parse_delegation(
+            "[Alice -> Org.staff] Org<w.org.com::0:-->", directory)
+        assert d.issuer_tag.home == "w.org.com"
+
+    def test_acting_as(self, directory, org, alice, bob):
+        d = parse_delegation(
+            "[Alice -> Org.staff] Bob <acting as Org.staff'>", directory)
+        assert d.acting_as == (Role(org.entity, "staff", ticks=1),)
+
+    def test_acting_as_multiple(self, directory, org, alice, bob):
+        d = parse_delegation(
+            "[Alice -> Org.staff] Bob "
+            "<acting as Org.staff', Org.quota <= '>", directory)
+        assert len(d.acting_as) == 2
+        assert d.acting_as[1].is_attribute_right
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "Alice -> Org.staff] Org",        # missing [
+        "[Alice -> Org.staff Org",        # missing ]
+        "[Alice Org.staff] Org",          # missing arrow
+        "[Alice -> Bob] Org",             # entity object
+        "[Alice -> Org.staff]",           # missing issuer
+        "[Alice -> Org.staff] Org junk",  # trailing tokens
+        "[Alice -> Org.staff with Org.BW <= ] Org",  # missing value
+    ])
+    def test_malformed(self, directory, bad):
+        with pytest.raises(ParseError):
+            parse_delegation(bad, directory)
+
+    def test_unknown_entity(self, directory):
+        with pytest.raises(ParseError):
+            parse_delegation("[Zed -> Org.staff] Org", directory)
+
+    def test_unterminated_tag(self, directory):
+        with pytest.raises(ParseError):
+            parse_delegation("[Alice -> Org.staff<w:a:3:So] Org",
+                             directory)
+
+
+class TestParseAndIssue:
+    def test_signs_with_principal(self, directory, org, alice):
+        d = parse_and_issue("[Alice -> Org.staff] Org", org, directory)
+        assert d.verify_signature()
+
+    def test_wrong_principal_rejected(self, directory, org, bob):
+        with pytest.raises(ParseError):
+            parse_and_issue("[Alice -> Org.staff] Org", bob, directory)
+
+    def test_matches_programmatic_issue(self, directory, org, alice):
+        parsed = parse_and_issue("[Alice -> Org.staff] Org", org,
+                                 directory)
+        programmatic = issue(org, alice.entity, Role(org.entity, "staff"))
+        assert parsed.id == programmatic.id
+
+
+class TestParseRole:
+    def test_plain(self, directory, org):
+        assert parse_role("Org.staff", directory) == \
+            Role(org.entity, "staff")
+
+    def test_ticked(self, directory, org):
+        assert parse_role("Org.staff'", directory).ticks == 1
+
+    def test_attribute_right(self, directory, org):
+        role = parse_role("Org.BW <= '", directory)
+        assert role == attribute_right(AttributeRef(org.entity, "BW"),
+                                       Operator.MIN)
+
+    def test_entity_rejected(self, directory):
+        with pytest.raises(ParseError):
+            parse_role("Alice", directory)
+
+
+class TestFormatRoundTrip:
+    def test_simple(self, directory, org, alice):
+        d = issue(org, alice.entity, Role(org.entity, "staff"))
+        assert parse_delegation(format_delegation(d),
+                                directory).signing_bytes() == \
+            d.signing_bytes()
+
+    def test_full_featured(self, directory, org, alice):
+        tag = DiscoveryTag.parse("<w.org.com:Org.wallet:30:So>")
+        attr = AttributeRef(org.entity, "BW")
+        d = issue(org, Role(org.entity, "junior"),
+                  Role(org.entity, "staff"),
+                  modifiers=[Modifier(attr, Operator.MIN, 100)],
+                  expiry=3600.0, subject_tag=tag, object_tag=tag,
+                  issuer_tag=tag,
+                  acting_as=[Role(org.entity, "staff", ticks=1)])
+        text = format_delegation(d)
+        reparsed = parse_delegation(text, directory)
+        assert reparsed.signing_bytes() == d.signing_bytes()
+
+    def test_parse_many(self, directory, org, alice, bob):
+        texts = ["[Alice -> Org.staff] Org", "[Bob -> Org.staff] Org"]
+        parsed = parse_many(texts, directory)
+        assert len(parsed) == 2
+        assert parsed[0].subject == alice.entity
+
+
+# -- property-based round-trip over generated delegations ----------------
+
+_local_names = st.sampled_from(["member", "staff", "access", "mktg", "r1"])
+_attr_names = st.sampled_from(["BW", "storage", "hours", "quota"])
+
+
+class TestRoundTripProperty:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_format_parse_identity(self, directory, org, alice, bob, data):
+        entities = {"Org": org, "Alice": alice, "Bob": bob}
+        subject_pick = data.draw(st.sampled_from(["Alice", "Org-role",
+                                                  "Bob"]))
+        if subject_pick == "Org-role":
+            subject = Role(org.entity, data.draw(_local_names))
+        else:
+            subject = entities[subject_pick].entity
+        obj_name = data.draw(_local_names)
+        ticks = data.draw(st.integers(min_value=0, max_value=2))
+        obj = Role(org.entity, obj_name, ticks=ticks)
+        if isinstance(subject, Role) and subject == obj:
+            obj = obj.with_tick()
+        issuer = entities[data.draw(st.sampled_from(["Org", "Bob"]))]
+        op = data.draw(st.sampled_from(list(Operator)))
+        value = {
+            Operator.SUBTRACT: data.draw(st.integers(0, 1000)),
+            Operator.MULTIPLY: 0.5,
+            Operator.MIN: data.draw(st.integers(0, 1000)),
+        }[op]
+        modifiers = []
+        if data.draw(st.booleans()):
+            modifiers.append(Modifier(
+                AttributeRef(org.entity, data.draw(_attr_names)),
+                op, value))
+        expiry = data.draw(st.one_of(
+            st.none(), st.integers(1, 10**6).map(float)))
+        d = issue(issuer, subject, obj, modifiers=modifiers, expiry=expiry)
+        reparsed = parse_delegation(format_delegation(d), directory)
+        assert reparsed.signing_bytes() == d.signing_bytes()

@@ -1,0 +1,74 @@
+"""Parser robustness: arbitrary input never crashes with anything but
+ParseError (or the model-level errors for structurally invalid but
+syntactically parseable delegations)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DelegationError,
+    AttributeError_,
+    EntityDirectory,
+    ParseError,
+    parse_delegation,
+)
+
+ACCEPTED_ERRORS = (ParseError, DelegationError, AttributeError_)
+
+
+@pytest.fixture(scope="module")
+def directory(org, alice, bob):
+    return EntityDirectory([org.entity, alice.entity, bob.entity])
+
+
+class TestParserTotality:
+    @given(st.text(max_size=120))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_text(self, directory, text):
+        try:
+            parse_delegation(text, directory)
+        except ACCEPTED_ERRORS:
+            pass  # rejection is the expected outcome
+
+    @given(st.text(
+        alphabet=list("[]->.'<>:= AliceBobOrgwithand0123456789*"),
+        max_size=80,
+    ))
+    @settings(max_examples=400, deadline=None)
+    def test_near_miss_syntax(self, directory, text):
+        """Strings built from the grammar's own alphabet -- the inputs
+        most likely to confuse a tokenizer."""
+        try:
+            parse_delegation(text, directory)
+        except ACCEPTED_ERRORS:
+            pass
+
+    @given(st.sampled_from([
+        "[{s} -> {o}] {i}",
+        "[{s}->{o}]{i}",
+        "[{s} -> {o} with Org.q <= {n}] {i}",
+        "[{s} -> {o}] {i} <expiry: {n}>",
+        "[{s} -> {o}] {i} <depth: {d}>",
+    ]), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_template_mutations(self, directory, template, data):
+        """Valid templates with mutated fields either parse or raise the
+        accepted error family."""
+        filled = template.format(
+            s=data.draw(st.sampled_from(["Alice", "Org.a", "Zed",
+                                         "Org.", ".a", "Org.a''"])),
+            o=data.draw(st.sampled_from(["Org.b", "Bob", "Org.b'",
+                                         "Org.q <= '", "Org"])),
+            i=data.draw(st.sampled_from(["Org", "Bob", "Nobody", ""])),
+            n=data.draw(st.sampled_from(["100", "0.5", "-3", "1e4",
+                                         "NaN"])),
+            d=data.draw(st.sampled_from(["0", "3", "-1", "x"])),
+        )
+        try:
+            result = parse_delegation(filled, directory)
+        except ACCEPTED_ERRORS:
+            return
+        # If it parsed, it must be structurally coherent.
+        assert result.issuer is not None
+        assert result.obj is not None

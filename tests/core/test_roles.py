@@ -1,0 +1,115 @@
+import pytest
+
+from repro.core.attributes import AttributeRef, Operator
+from repro.core.errors import DelegationError
+from repro.core.roles import Role, attribute_right, subject_key
+
+
+class TestRoleBasics:
+    def test_qualified_name(self, org):
+        assert Role(org.entity, "staff").qualified_name == "Org.staff"
+
+    def test_str_with_ticks(self, org):
+        role = Role(org.entity, "staff", ticks=2)
+        assert str(role) == "Org.staff''"
+
+    def test_invalid_names_rejected(self, org):
+        for bad in ("", "9x", "a.b", "sp ace"):
+            with pytest.raises(DelegationError):
+                Role(org.entity, bad)
+
+    def test_negative_ticks_rejected(self, org):
+        with pytest.raises(DelegationError):
+            Role(org.entity, "staff", ticks=-1)
+
+    def test_equality_requires_same_ticks(self, org):
+        assert Role(org.entity, "staff") != Role(org.entity, "staff",
+                                                 ticks=1)
+
+    def test_equality_across_entities(self, org, alice):
+        assert Role(org.entity, "staff") != Role(alice.entity, "staff")
+
+
+class TestTicks:
+    def test_with_tick(self, org):
+        role = Role(org.entity, "staff")
+        assert role.with_tick().ticks == 1
+        assert role.with_tick().is_assignment_right
+
+    def test_without_tick(self, org):
+        role = Role(org.entity, "staff", ticks=1)
+        assert role.without_tick() == Role(org.entity, "staff")
+
+    def test_without_tick_at_zero_rejected(self, org):
+        with pytest.raises(DelegationError):
+            Role(org.entity, "staff").without_tick()
+
+    def test_base_strips_all_ticks(self, org):
+        role = Role(org.entity, "staff", ticks=3)
+        assert role.base == Role(org.entity, "staff")
+
+    def test_tick_round_trip(self, org):
+        role = Role(org.entity, "staff")
+        assert role.with_tick().without_tick() == role
+
+
+class TestAttributeRights:
+    def test_construction(self, org):
+        attr = AttributeRef(org.entity, "BW")
+        right = attribute_right(attr, Operator.MIN)
+        assert right.is_attribute_right
+        assert right.is_assignment_right
+        assert right.ticks == 1
+        assert right.attribute == attr
+
+    def test_str_form(self, org):
+        attr = AttributeRef(org.entity, "storage")
+        right = attribute_right(attr, Operator.SUBTRACT)
+        assert str(right) == "Org.storage -= '"
+
+    def test_zero_tick_attribute_right_rejected(self, org):
+        with pytest.raises(DelegationError):
+            Role(org.entity, "BW", ticks=0, operator=Operator.MIN)
+
+    def test_base_keeps_one_tick(self, org):
+        attr = AttributeRef(org.entity, "BW")
+        right = attribute_right(attr, Operator.MIN, ticks=3)
+        assert right.base.ticks == 1
+        assert right.base.is_attribute_right
+
+    def test_without_tick_floor(self, org):
+        attr = AttributeRef(org.entity, "BW")
+        right = attribute_right(attr, Operator.MIN, ticks=1)
+        with pytest.raises(DelegationError):
+            right.without_tick()
+
+    def test_attribute_of_plain_role_rejected(self, org):
+        with pytest.raises(DelegationError):
+            _ = Role(org.entity, "staff").attribute
+
+    def test_distinct_from_plain_role_with_same_name(self, org):
+        plain = Role(org.entity, "BW", ticks=1)
+        right = attribute_right(AttributeRef(org.entity, "BW"),
+                                Operator.MIN)
+        assert plain != right
+
+
+class TestSubjectKey:
+    def test_entity_key(self, alice):
+        assert subject_key(alice.entity) == ("entity", alice.entity.id)
+
+    def test_role_key_includes_ticks_and_operator(self, org):
+        plain = subject_key(Role(org.entity, "BW", ticks=1))
+        right = subject_key(attribute_right(
+            AttributeRef(org.entity, "BW"), Operator.MIN))
+        assert plain != right
+
+    def test_key_nickname_independent(self, org):
+        from repro.core.identity import Entity
+        renamed = Entity(public_key=org.entity.public_key, nickname="X")
+        assert subject_key(Role(org.entity, "staff")) == \
+            subject_key(Role(renamed, "staff"))
+
+    def test_invalid_subject_rejected(self):
+        with pytest.raises(DelegationError):
+            subject_key("a string")

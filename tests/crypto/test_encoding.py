@@ -1,0 +1,150 @@
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.encoding import (
+    EncodingError,
+    canonical_decode,
+    canonical_encode,
+)
+
+
+class TestScalars:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -1, 255, 256, -256, 10**30, -(10**30),
+        0.0, 1.5, -2.25, 1e300, "", "hello", "üñïçødé", b"", b"\x00\xff",
+    ])
+    def test_round_trip(self, value):
+        assert canonical_decode(canonical_encode(value)) == value
+
+    def test_int_float_distinct(self):
+        # 1 and 1.0 are different canonical values.
+        assert canonical_encode(1) != canonical_encode(1.0)
+
+    def test_bool_int_distinct(self):
+        assert canonical_encode(True) != canonical_encode(1)
+
+    def test_negative_zero_normalized(self):
+        assert canonical_encode(-0.0) == canonical_encode(0.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_encode(float("nan"))
+
+    def test_infinity_round_trips(self):
+        assert canonical_decode(canonical_encode(math.inf)) == math.inf
+
+
+class TestContainers:
+    def test_nested_round_trip(self):
+        value = {"z": [1, {"a": b"bytes"}], "a": None,
+                 "m": {"k": [True, 2.5]}}
+        assert canonical_decode(canonical_encode(value)) == value
+
+    def test_tuple_encodes_as_list(self):
+        assert canonical_encode((1, 2)) == canonical_encode([1, 2])
+
+    def test_key_order_irrelevant(self):
+        assert canonical_encode({"a": 1, "b": 2}) == \
+            canonical_encode({"b": 2, "a": 1})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_encode({1: "x"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_encode(object())
+
+    def test_set_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_encode({1, 2})
+
+
+class TestStrictDecoding:
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_decode(canonical_encode(1) + b"x")
+
+    def test_truncated_rejected(self):
+        encoded = canonical_encode("hello")
+        with pytest.raises(EncodingError):
+            canonical_decode(encoded[:-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_decode(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_decode(b"Z")
+
+    def test_unsorted_map_keys_rejected(self):
+        # Hand-build a map with keys out of order: M, count=2, "b", "a".
+        good = canonical_encode({"a": 1, "b": 2})
+        # Swap the two key-value segments by re-encoding manually.
+        import struct
+        parts = [b"M", struct.pack(">I", 2)]
+        for key, val in (("b", 2), ("a", 1)):
+            raw = key.encode()
+            parts += [b"S", struct.pack(">I", len(raw)), raw,
+                      canonical_encode(val)]
+        bad = b"".join(parts)
+        assert bad != good
+        with pytest.raises(EncodingError):
+            canonical_decode(bad)
+
+    def test_non_minimal_int_rejected(self):
+        import struct
+        # Integer 1 (zigzag 2) padded to two bytes.
+        bad = b"I" + struct.pack(">I", 2) + b"\x00\x02"
+        with pytest.raises(EncodingError):
+            canonical_decode(bad)
+
+    def test_non_bytes_input_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_decode("text")
+
+
+# Strategy for arbitrary canonically encodable values.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+class TestProperties:
+    @given(_values)
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip(self, value):
+        decoded = canonical_decode(canonical_encode(value))
+        assert decoded == value
+
+    @given(_values)
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_is_canonical(self, value):
+        # decode(encode(v)) re-encodes to the identical bytes.
+        encoded = canonical_encode(value)
+        assert canonical_encode(canonical_decode(encoded)) == encoded
+
+    @given(_values, _values)
+    @settings(max_examples=100, deadline=None)
+    def test_injective_on_distinct_values(self, left, right):
+        if canonical_encode(left) == canonical_encode(right):
+            # Encodings are equal only for equal values (up to the
+            # list/tuple identification, which the strategy never emits).
+            assert left == right

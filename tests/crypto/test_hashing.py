@@ -1,0 +1,66 @@
+import hashlib
+
+import pytest
+
+from repro.crypto.hashing import (
+    digest_to_int,
+    fingerprint,
+    hmac_sha256,
+    sha256,
+    sha256_hex,
+)
+
+
+class TestSha256:
+    def test_matches_hashlib(self):
+        assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_hex_form(self):
+        assert sha256_hex(b"abc") == hashlib.sha256(b"abc").hexdigest()
+
+    def test_empty_input(self):
+        assert sha256(b"") == hashlib.sha256(b"").digest()
+
+    def test_accepts_bytearray_and_memoryview(self):
+        assert sha256(bytearray(b"xy")) == sha256(b"xy")
+        assert sha256(memoryview(b"xy")) == sha256(b"xy")
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeError):
+            sha256("not bytes")
+
+
+class TestHmac:
+    def test_known_relationship(self):
+        # Different keys give different MACs over the same data.
+        assert hmac_sha256(b"k1", b"data") != hmac_sha256(b"k2", b"data")
+
+    def test_deterministic(self):
+        assert hmac_sha256(b"k", b"d") == hmac_sha256(b"k", b"d")
+
+    def test_rejects_str_key(self):
+        with pytest.raises(TypeError):
+            hmac_sha256("key", b"d")
+
+
+class TestDigestToInt:
+    def test_in_range(self):
+        value = digest_to_int(sha256(b"seed"), order=97)
+        assert 1 <= value < 97
+
+    def test_zero_maps_to_one(self):
+        # A digest that is an exact multiple of the order maps to 1.
+        assert digest_to_int((97).to_bytes(32, "big"), order=97) == 1
+
+
+class TestFingerprint:
+    def test_prefix_of_hex_digest(self):
+        assert fingerprint(b"abc", 8) == sha256_hex(b"abc")[:8]
+
+    def test_default_length(self):
+        assert len(fingerprint(b"abc")) == 16
+
+    @pytest.mark.parametrize("bad", [0, -1, 65])
+    def test_rejects_bad_lengths(self, bad):
+        with pytest.raises(ValueError):
+            fingerprint(b"abc", bad)

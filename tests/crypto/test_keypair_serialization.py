@@ -1,0 +1,52 @@
+import random
+
+import pytest
+
+from repro.crypto.keys import (
+    ALGORITHMS,
+    SignatureError,
+    deserialize_keypair,
+    generate_keypair,
+    serialize_keypair,
+)
+
+
+@pytest.fixture(scope="module", params=ALGORITHMS)
+def keypair(request):
+    return generate_keypair(request.param, rng=random.Random(77),
+                            rsa_bits=512)
+
+
+class TestRoundTrip:
+    def test_signing_survives_round_trip(self, keypair):
+        restored = deserialize_keypair(serialize_keypair(keypair))
+        assert restored.fingerprint == keypair.fingerprint
+        signature = restored.sign(b"message")
+        assert keypair.public.verify(b"message", signature)
+
+    def test_record_is_canonically_encodable(self, keypair):
+        from repro.crypto.encoding import canonical_decode, canonical_encode
+        record = serialize_keypair(keypair)
+        assert canonical_decode(canonical_encode(record)) is not None
+
+
+class TestTamperDetection:
+    def test_mismatched_private_key_rejected(self, keypair):
+        other = generate_keypair(keypair.algorithm,
+                                 rng=random.Random(78), rsa_bits=512)
+        record = serialize_keypair(keypair)
+        record["private"] = serialize_keypair(other)["private"]
+        with pytest.raises(SignatureError, match="does not match"):
+            deserialize_keypair(record)
+
+    def test_unknown_algorithm_rejected(self, keypair):
+        record = serialize_keypair(keypair)
+        record["algorithm"] = "caesar-cipher"
+        with pytest.raises(SignatureError):
+            deserialize_keypair(record)
+
+    def test_truncated_record_rejected(self, keypair):
+        record = serialize_keypair(keypair)
+        del record["private"]
+        with pytest.raises(SignatureError):
+            deserialize_keypair(record)

@@ -1,0 +1,69 @@
+import random
+
+import pytest
+
+from repro.crypto.primes import (
+    generate_prime,
+    generate_safe_modulus_primes,
+    is_probable_prime,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 7919, 104729, 2**61 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 100, 7917, 104730, 2**61 + 1,
+                    3825123056546413051]  # strong pseudoprime to few bases
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_primes_accepted(self, n):
+        assert is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_composites_rejected(self, n):
+        assert not is_probable_prime(n)
+
+    def test_negative_rejected(self):
+        assert not is_probable_prime(-7)
+
+    def test_carmichael_rejected(self):
+        # 561 = 3 * 11 * 17 fools Fermat but not Miller-Rabin.
+        assert not is_probable_prime(561)
+        assert not is_probable_prime(41041)
+
+    def test_deterministic_with_seeded_rng(self):
+        rng = random.Random(7)
+        assert is_probable_prime(104729, rng=rng)
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self):
+        rng = random.Random(1)
+        for bits in (16, 32, 64):
+            p = generate_prime(bits, rng=rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_top_two_bits_set(self):
+        rng = random.Random(2)
+        p = generate_prime(32, rng=rng)
+        assert (p >> 30) & 0b11 == 0b11
+
+    def test_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+    def test_seeded_generation_reproducible(self):
+        assert generate_prime(32, rng=random.Random(42)) == \
+            generate_prime(32, rng=random.Random(42))
+
+
+class TestModulusPrimes:
+    def test_product_has_exact_bits(self):
+        rng = random.Random(3)
+        p, q = generate_safe_modulus_primes(128, rng=rng)
+        assert p != q
+        assert (p * q).bit_length() == 128
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_safe_modulus_primes(127)

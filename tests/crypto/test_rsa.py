@@ -1,0 +1,83 @@
+import random
+
+import pytest
+
+from repro.crypto.rsa import (
+    MIN_MODULUS_BITS,
+    RSAError,
+    RSAPublicKey,
+    generate_rsa_keypair,
+)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_rsa_keypair(bits=512, rng=random.Random(11))
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, key):
+        assert key.n.bit_length() == 512
+
+    def test_public_half_consistent(self, key):
+        assert key.public_key.n == key.n
+        assert key.public_key.e == key.e
+
+    def test_private_exponent_inverts(self, key):
+        phi = (key.p - 1) * (key.q - 1)
+        assert (key.d * key.e) % phi == 1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(RSAError):
+            generate_rsa_keypair(bits=MIN_MODULUS_BITS - 2)
+
+    def test_seeded_reproducible(self):
+        a = generate_rsa_keypair(bits=256, rng=random.Random(5))
+        b = generate_rsa_keypair(bits=256, rng=random.Random(5))
+        assert a.n == b.n
+
+
+class TestSignVerify:
+    def test_round_trip(self, key):
+        sig = key.sign(b"message")
+        assert key.public_key.verify(b"message", sig)
+
+    def test_deterministic_signatures(self, key):
+        assert key.sign(b"m") == key.sign(b"m")
+
+    def test_wrong_message_rejected(self, key):
+        sig = key.sign(b"message")
+        assert not key.public_key.verify(b"messagf", sig)
+
+    def test_bitflip_rejected(self, key):
+        sig = bytearray(key.sign(b"message"))
+        sig[0] ^= 0x01
+        assert not key.public_key.verify(b"message", bytes(sig))
+
+    def test_wrong_length_rejected(self, key):
+        sig = key.sign(b"message")
+        assert not key.public_key.verify(b"message", sig + b"\x00")
+        assert not key.public_key.verify(b"message", sig[:-1])
+
+    def test_cross_key_rejected(self, key):
+        other = generate_rsa_keypair(bits=512, rng=random.Random(12))
+        sig = other.sign(b"message")
+        assert not key.public_key.verify(b"message", sig)
+
+    def test_signature_length_matches_modulus(self, key):
+        assert len(key.sign(b"x")) == (key.n.bit_length() + 7) // 8
+
+
+class TestPublicKeyValidation:
+    def test_even_exponent_rejected(self, key):
+        with pytest.raises(RSAError):
+            RSAPublicKey(n=key.n, e=4)
+
+    def test_small_modulus_rejected(self):
+        with pytest.raises(RSAError):
+            RSAPublicKey(n=15, e=3)
+
+    def test_oversized_signature_integer_rejected(self, key):
+        width = (key.n.bit_length() + 7) // 8
+        too_big = (key.n + 1).to_bytes(width, "big")
+        assert not key.public_key.verify(b"m", too_big)

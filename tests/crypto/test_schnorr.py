@@ -1,0 +1,94 @@
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import ec
+from repro.crypto.schnorr import (
+    SIGNATURE_SIZE,
+    SchnorrError,
+    SchnorrPrivateKey,
+    SchnorrPublicKey,
+    generate_schnorr_keypair,
+)
+
+
+@pytest.fixture(scope="module")
+def key():
+    return generate_schnorr_keypair(rng=random.Random(21))
+
+
+class TestKeys:
+    def test_scalar_in_range(self, key):
+        assert 1 <= key.d < ec.N
+
+    def test_out_of_range_scalar_rejected(self):
+        with pytest.raises(SchnorrError):
+            SchnorrPrivateKey(0)
+        with pytest.raises(SchnorrError):
+            SchnorrPrivateKey(ec.N)
+
+    def test_public_key_round_trip(self, key):
+        encoded = key.public_key.encode()
+        assert SchnorrPublicKey.decode(encoded) == key.public_key
+
+    def test_identity_public_key_rejected(self):
+        with pytest.raises(SchnorrError):
+            SchnorrPublicKey(ec.INFINITY)
+
+    def test_seeded_reproducible(self):
+        a = generate_schnorr_keypair(rng=random.Random(9))
+        b = generate_schnorr_keypair(rng=random.Random(9))
+        assert a.d == b.d
+
+
+class TestSignVerify:
+    def test_round_trip(self, key):
+        sig = key.sign(b"hello")
+        assert len(sig) == SIGNATURE_SIZE
+        assert key.public_key.verify(b"hello", sig)
+
+    def test_deterministic(self, key):
+        assert key.sign(b"m") == key.sign(b"m")
+
+    def test_distinct_messages_distinct_nonces(self, key):
+        # Leading 33 bytes encode R = kG; equal R across messages would
+        # leak the key.
+        assert key.sign(b"m1")[:33] != key.sign(b"m2")[:33]
+
+    def test_wrong_message_rejected(self, key):
+        assert not key.public_key.verify(b"other", key.sign(b"hello"))
+
+    def test_wrong_key_rejected(self, key):
+        other = generate_schnorr_keypair(rng=random.Random(22))
+        assert not other.public_key.verify(b"hello", key.sign(b"hello"))
+
+    def test_truncated_rejected(self, key):
+        sig = key.sign(b"hello")
+        assert not key.public_key.verify(b"hello", sig[:-1])
+
+    def test_empty_signature_rejected(self, key):
+        assert not key.public_key.verify(b"hello", b"")
+
+    def test_garbage_r_point_rejected(self, key):
+        sig = bytearray(key.sign(b"hello"))
+        sig[0] = 0x07  # invalid SEC1 prefix
+        assert not key.public_key.verify(b"hello", bytes(sig))
+
+    def test_zero_s_rejected(self, key):
+        sig = key.sign(b"hello")
+        forged = sig[:33] + (0).to_bytes(32, "big")
+        assert not key.public_key.verify(b"hello", forged)
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=10, deadline=None)
+    def test_sign_verify_property(self, key, message):
+        assert key.public_key.verify(message, key.sign(message))
+
+    @given(st.integers(min_value=0, max_value=SIGNATURE_SIZE - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_any_bitflip_rejected(self, key, index):
+        sig = bytearray(key.sign(b"fixed message"))
+        sig[index] ^= 0x01
+        assert not key.public_key.verify(b"fixed message", bytes(sig))

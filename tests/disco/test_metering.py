@@ -1,0 +1,78 @@
+"""Attribute metering: the modulated allocations, enforced per session."""
+
+import pytest
+
+from repro.core import AttributeRef, Modifier, Operator, Role, issue
+from repro.disco.service import DiscoService
+from repro.wallet.wallet import Wallet
+from repro.workloads.scenarios import build_case_study
+
+
+@pytest.fixture()
+def metered_session(org, alice, clock):
+    wallet = Wallet(owner=org, clock=clock)
+    svc = DiscoService(wallet)
+    hours = AttributeRef(org.entity, "hours")
+    svc.register_resource("svc", Role(org.entity, "access"),
+                          bases={hours: 10.0})
+    d = issue(org, alice.entity, Role(org.entity, "access"),
+              modifiers=[Modifier(hours, Operator.MULTIPLY, 0.5)])
+    session = svc.request_access(alice.entity, "svc",
+                                 presented=[(d, ())])
+    return session, hours, svc
+
+
+class TestConsume:
+    def test_budget_drawn_down(self, metered_session):
+        session, hours, _svc = metered_session
+        assert session.remaining(hours) == 5.0   # 10 * 0.5
+        assert session.consume(hours, 2.0) == 3.0
+        assert session.consumed(hours) == 2.0
+        assert session.remaining(hours) == 3.0
+
+    def test_exhaustion_refused(self, metered_session):
+        session, hours, _svc = metered_session
+        session.consume(hours, 5.0)
+        with pytest.raises(PermissionError, match="budget exceeded"):
+            session.consume(hours, 0.1)
+
+    def test_exact_budget_allowed(self, metered_session):
+        session, hours, _svc = metered_session
+        session.consume(hours, 5.0)
+        assert session.remaining(hours) == 0.0
+
+    def test_negative_amount_rejected(self, metered_session):
+        session, hours, _svc = metered_session
+        with pytest.raises(ValueError):
+            session.consume(hours, -1.0)
+
+    def test_unknown_attribute_rejected(self, metered_session, org):
+        session, _hours, _svc = metered_session
+        ghost = AttributeRef(org.entity, "ghost")
+        with pytest.raises(PermissionError, match="no allocation"):
+            session.consume(ghost, 1.0)
+        assert session.remaining(ghost) == 0.0
+
+    def test_terminated_session_cannot_consume(self, metered_session):
+        session, hours, _svc = metered_session
+        session.terminate()
+        with pytest.raises(PermissionError):
+            session.consume(hours, 1.0)
+
+
+class TestCaseStudyMetering:
+    def test_maria_gets_exactly_18_hours(self, clock):
+        """The paper's aggregation, drawn down to the last hour."""
+        case = build_case_study()
+        wallet = case.populate_wallet(
+            Wallet(owner=case.air_net, clock=clock))
+        svc = DiscoService(wallet)
+        svc.register_resource("wifi", case.airnet_access,
+                              bases=case.base_allocations())
+        session = svc.request_access(case.maria.entity, "wifi")
+        for _hour in range(18):
+            session.consume(case.hours, 1.0)
+        with pytest.raises(PermissionError, match="budget exceeded"):
+            session.consume(case.hours, 1.0)  # the 19th hour
+        # Storage is an independent budget.
+        assert session.consume(case.storage, 30.0) == 0.0

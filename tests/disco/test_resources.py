@@ -1,0 +1,54 @@
+import pytest
+
+from repro.core import AttributeRef, Constraint, Role
+from repro.disco.resources import ProtectedResource, ResourceRegistry
+
+
+@pytest.fixture()
+def registry():
+    return ResourceRegistry()
+
+
+class TestRegistry:
+    def test_register_and_get(self, registry, org):
+        role = Role(org.entity, "access")
+        resource = registry.register("feed", role)
+        assert registry.get("feed") is resource
+        assert "feed" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self, registry, org):
+        role = Role(org.entity, "access")
+        registry.register("feed", role)
+        with pytest.raises(ValueError):
+            registry.register("feed", role)
+
+    def test_unknown_rejected(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("ghost")
+
+    def test_unregister(self, registry, org):
+        registry.register("feed", Role(org.entity, "access"))
+        registry.unregister("feed")
+        assert "feed" not in registry
+
+    def test_resources_listing(self, registry, org):
+        registry.register("a", Role(org.entity, "r1"))
+        registry.register("b", Role(org.entity, "r2"))
+        assert {r.name for r in registry.resources()} == {"a", "b"}
+
+
+class TestProtectedResource:
+    def test_base_allocations(self, org):
+        attr = AttributeRef(org.entity, "BW")
+        resource = ProtectedResource(
+            name="feed", required_role=Role(org.entity, "access"),
+            bases=((attr, 100.0),))
+        assert resource.base_allocations() == {attr: 100.0}
+
+    def test_constraints_carried(self, org):
+        attr = AttributeRef(org.entity, "BW")
+        resource = ProtectedResource(
+            name="feed", required_role=Role(org.entity, "access"),
+            constraints=(Constraint(attr, 10.0),))
+        assert resource.constraints[0].minimum == 10.0

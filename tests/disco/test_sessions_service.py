@@ -1,0 +1,170 @@
+import pytest
+
+from repro.core import (
+    AttributeRef,
+    AuthorizationDenied,
+    Constraint,
+    Modifier,
+    Operator,
+    Role,
+    issue,
+)
+from repro.disco.service import DiscoService
+from repro.disco.sessions import SessionState
+from repro.wallet.wallet import Wallet
+
+
+@pytest.fixture()
+def service(org, clock):
+    wallet = Wallet(owner=org, clock=clock)
+    svc = DiscoService(wallet)
+    svc.register_resource("portal", Role(org.entity, "access"))
+    return svc
+
+
+class TestRequestAccess:
+    def test_granted_with_presented_credentials(self, service, org, alice):
+        d = issue(org, alice.entity, Role(org.entity, "access"))
+        session = service.request_access(alice.entity, "portal",
+                                         presented=[(d, ())])
+        assert session.active
+        session.use()
+
+    def test_denied_without_credentials(self, service, alice):
+        with pytest.raises(AuthorizationDenied):
+            service.request_access(alice.entity, "portal")
+        assert service.denials == 1
+
+    def test_presented_credentials_published_once(self, service, org,
+                                                  alice):
+        d = issue(org, alice.entity, Role(org.entity, "access"))
+        service.request_access(alice.entity, "portal", presented=[(d, ())])
+        session = service.request_access(alice.entity, "portal",
+                                         presented=[(d, ())])
+        assert session.active
+
+    def test_unknown_resource(self, service, alice):
+        with pytest.raises(KeyError):
+            service.request_access(alice.entity, "ghost")
+
+    def test_constraint_denial(self, org, alice, clock):
+        wallet = Wallet(owner=org, clock=clock)
+        svc = DiscoService(wallet)
+        attr = AttributeRef(org.entity, "BW")
+        svc.register_resource("feed", Role(org.entity, "access"),
+                              bases={attr: 100.0},
+                              constraints=[Constraint(attr, 50)])
+        weak = issue(org, alice.entity, Role(org.entity, "access"),
+                     modifiers=[Modifier(attr, Operator.MIN, 10)])
+        with pytest.raises(AuthorizationDenied):
+            svc.request_access(alice.entity, "feed",
+                               presented=[(weak, ())])
+
+    def test_grants_exposed_on_session(self, org, alice, clock):
+        wallet = Wallet(owner=org, clock=clock)
+        svc = DiscoService(wallet)
+        attr = AttributeRef(org.entity, "BW")
+        svc.register_resource("feed", Role(org.entity, "access"),
+                              bases={attr: 100.0})
+        d = issue(org, alice.entity, Role(org.entity, "access"),
+                  modifiers=[Modifier(attr, Operator.MIN, 60)])
+        session = svc.request_access(alice.entity, "feed",
+                                     presented=[(d, ())])
+        assert session.grants()[attr] == 60.0
+
+
+class TestSessionLifecycle:
+    def test_revocation_terminates_without_alternative(self, service, org,
+                                                       alice):
+        d = issue(org, alice.entity, Role(org.entity, "access"))
+        session = service.request_access(alice.entity, "portal",
+                                         presented=[(d, ())])
+        service.wallet.revoke(org, d.id)
+        assert session.state is SessionState.TERMINATED
+        assert session.history == [SessionState.ACTIVE,
+                                   SessionState.SUSPENDED,
+                                   SessionState.TERMINATED]
+        with pytest.raises(PermissionError):
+            session.use()
+
+    def test_revocation_recovers_with_alternative(self, service, org,
+                                                  alice):
+        access = Role(org.entity, "access")
+        hub = Role(org.entity, "hub")
+        d_direct = issue(org, alice.entity, access)
+        service.wallet.publish(issue(org, alice.entity, hub))
+        service.wallet.publish(issue(org, hub, access))
+        session = service.request_access(alice.entity, "portal",
+                                         presented=[(d_direct, ())])
+        service.wallet.revoke(org, d_direct.id)
+        # Whichever path the proof used, a surviving path exists.
+        assert session.state is SessionState.ACTIVE
+        assert session.interruptions in (0, 1)
+
+    def test_manual_resume(self, service, org, alice):
+        access = Role(org.entity, "access")
+        d = issue(org, alice.entity, access)
+        session = service.request_access(
+            alice.entity, "portal", presented=[(d, ())],
+            auto_revalidate=False)
+        service.wallet.revoke(org, d.id)
+        assert session.state is SessionState.SUSPENDED
+        assert not session.resume()  # no alternative yet
+        service.wallet.publish(issue(org, alice.entity, access,
+                                     expiry=None, issued_at=1.0))
+        assert session.resume()
+        assert session.active
+
+    def test_state_change_callback(self, service, org, alice):
+        d = issue(org, alice.entity, Role(org.entity, "access"))
+        states = []
+        session = service.request_access(
+            alice.entity, "portal", presented=[(d, ())],
+            on_state_change=lambda s: states.append(s.state))
+        service.wallet.revoke(org, d.id)
+        assert states == [SessionState.SUSPENDED, SessionState.TERMINATED]
+
+    def test_terminate_idempotent(self, service, org, alice):
+        d = issue(org, alice.entity, Role(org.entity, "access"))
+        session = service.request_access(alice.entity, "portal",
+                                         presented=[(d, ())])
+        session.terminate()
+        session.terminate()
+        assert session.state is SessionState.TERMINATED
+
+    def test_active_sessions_listing(self, service, org, alice, bob):
+        access = Role(org.entity, "access")
+        s1 = service.request_access(
+            alice.entity, "portal",
+            presented=[(issue(org, alice.entity, access), ())])
+        s2 = service.request_access(
+            bob.entity, "portal",
+            presented=[(issue(org, bob.entity, access), ())])
+        assert len(service.active_sessions()) == 2
+        s1.terminate()
+        assert service.active_sessions() == [s2]
+
+    def test_terminate_all(self, service, org, alice):
+        access = Role(org.entity, "access")
+        service.request_access(
+            alice.entity, "portal",
+            presented=[(issue(org, alice.entity, access), ())])
+        service.terminate_all()
+        assert service.active_sessions() == []
+
+
+class TestDistributedService:
+    def test_engine_fallback(self, distributed_case):
+        from repro.disco.service import DiscoService
+        d = distributed_case
+        svc = DiscoService(d.server.wallet, engine=d.engine)
+        svc.register_resource("internet", d.case.airnet_access,
+                              bases=d.case.base_allocations())
+        session = svc.request_access(
+            d.case.maria.entity, "internet",
+            presented=[(d.case.d1_maria_member, ())])
+        assert session.active
+        grants = session.grants()
+        assert grants[d.case.bw] == 100.0
+        assert grants[d.case.storage] == 30.0
+        assert grants[d.case.hours] == pytest.approx(18.0)

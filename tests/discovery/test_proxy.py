@@ -1,0 +1,238 @@
+"""Validation proxies and hierarchical caches (Sections 4.2.1 and 6)."""
+
+import pytest
+
+from repro.core import Role, SimClock, issue
+from repro.core.errors import DiscoveryError
+from repro.discovery.proxy import ValidationProxy, build_proxy_chain
+from repro.discovery.resolver import WalletServer
+from repro.net.transport import Network
+from repro.wallet.wallet import Wallet
+
+
+@pytest.fixture()
+def hierarchy(org, alice, clock):
+    """home <- proxy <- two leaf caches, all mirroring one delegation."""
+    network = Network(clock=clock)
+    role = Role(org.entity, "r")
+    d = issue(org, alice.entity, role)
+
+    def server(address):
+        wallet = Wallet(owner=org, address=address, clock=clock)
+        return WalletServer(network, wallet, principal=org)
+
+    home = server("home")
+    home.wallet.publish(d)
+    proxy_server = server("proxy")
+    leaf_a = server("leaf.a")
+    leaf_b = server("leaf.b")
+
+    proxy = ValidationProxy(proxy_server, upstream="home")
+    proxy.mirror_delegation(d)
+    for leaf in (leaf_a, leaf_b):
+        leaf_proxy = ValidationProxy(leaf, upstream="proxy")
+        leaf_proxy.mirror_delegation(d)
+    return network, home, proxy_server, (leaf_a, leaf_b), d, role
+
+
+class TestProxyBasics:
+    def test_proxy_serves_queries(self, hierarchy, alice):
+        _net, _home, proxy_server, _leaves, d, role = hierarchy
+        proof = proxy_server.wallet.query_direct(alice.entity, role)
+        assert proof is not None
+
+    def test_self_upstream_rejected(self, hierarchy):
+        _net, home, *_rest = hierarchy
+        with pytest.raises(DiscoveryError):
+            ValidationProxy(home, upstream="home")
+
+    def test_mirror_idempotent(self, org, alice, clock):
+        network = Network(clock=clock)
+        d = issue(org, alice.entity, Role(org.entity, "r"))
+        home = WalletServer(network,
+                            Wallet(owner=org, address="h", clock=clock),
+                            principal=org)
+        home.wallet.publish(d)
+        cache = WalletServer(network,
+                             Wallet(owner=org, address="c", clock=clock),
+                             principal=org)
+        proxy = ValidationProxy(cache, upstream="h")
+        assert proxy.mirror_delegation(d)
+        assert not proxy.mirror_delegation(d)
+        assert proxy.mirrored_count() == 1
+
+    def test_mirror_proofs_for(self, org, alice, clock):
+        network = Network(clock=clock)
+        r1, r2 = Role(org.entity, "r1"), Role(org.entity, "r2")
+        home = WalletServer(network,
+                            Wallet(owner=org, address="h", clock=clock),
+                            principal=org)
+        home.wallet.publish(issue(org, alice.entity, r1))
+        home.wallet.publish(issue(org, r1, r2))
+        cache = WalletServer(network,
+                             Wallet(owner=org, address="c", clock=clock),
+                             principal=org)
+        proxy = ValidationProxy(cache, upstream="h")
+        assert proxy.mirror_proofs_for(alice.entity) == 2
+        assert cache.wallet.query_direct(alice.entity, r2) is not None
+
+
+class TestHierarchicalPush:
+    def test_revocation_cascades_through_hierarchy(self, hierarchy, org,
+                                                   alice):
+        net, home, proxy_server, leaves, d, role = hierarchy
+        net.reset_counters()
+        home.wallet.revoke(org, d.id)
+        # Every cache learned the (signed) revocation.
+        assert proxy_server.wallet.is_revoked(d.id)
+        for leaf in leaves:
+            assert leaf.wallet.is_revoked(d.id)
+            assert leaf.wallet.query_direct(alice.entity, role) is None
+
+    def test_home_pays_one_push_regardless_of_leaves(self, hierarchy,
+                                                     org):
+        net, home, _proxy_server, _leaves, d, _role = hierarchy
+        net.reset_counters()
+        home.wallet.revoke(org, d.id)
+        # Exactly 3 pushes total: home -> proxy once, proxy -> each of
+        # its two leaves. The home never pushes to a leaf directly.
+        # (Additional unsubscribe round-trips are cache cleanup.)
+        pushes = net.by_topic["notify:delegation_event"]
+        assert pushes.messages == 3
+        assert ("home", "leaf.a") not in net.by_link
+        assert ("home", "leaf.b") not in net.by_link
+
+    def test_irrelevant_updates_absorbed(self, org, alice, bob, clock):
+        """A proxy that mirrors delegation A does not hear about B."""
+        network = Network(clock=clock)
+        role = Role(org.entity, "r")
+        d_a = issue(org, alice.entity, role)
+        d_b = issue(org, bob.entity, role)
+        home = WalletServer(network,
+                            Wallet(owner=org, address="h", clock=clock),
+                            principal=org)
+        home.wallet.publish(d_a)
+        home.wallet.publish(d_b)
+        cache = WalletServer(network,
+                             Wallet(owner=org, address="c", clock=clock),
+                             principal=org)
+        ValidationProxy(cache, upstream="h").mirror_delegation(d_a)
+        network.reset_counters()
+        home.wallet.revoke(org, d_b.id)  # irrelevant to the cache
+        assert network.totals.messages == 0
+
+    def test_build_proxy_chain(self, org, alice, clock):
+        network = Network(clock=clock)
+        role = Role(org.entity, "r")
+        d = issue(org, alice.entity, role)
+        servers = []
+        for index in range(4):
+            wallet = Wallet(owner=org, address=f"n{index}", clock=clock)
+            servers.append(WalletServer(network, wallet, principal=org))
+        servers[0].wallet.publish(d)
+        proxies = build_proxy_chain(servers)
+        assert len(proxies) == 3
+        for proxy in proxies:
+            proxy.mirror_delegation(d)
+        servers[0].wallet.revoke(org, d.id)
+        assert servers[-1].wallet.is_revoked(d.id)
+
+    def test_chain_needs_two_servers(self, hierarchy):
+        _net, home, *_rest = hierarchy
+        with pytest.raises(DiscoveryError):
+            build_proxy_chain([home])
+
+
+class TestWalletAuthority:
+    @pytest.fixture()
+    def authority_setup(self, org, alice, clock):
+        network = Network(clock=clock)
+        wallet_role = Role(org.entity, "wallet")
+        host = create = __import__("repro.core.identity",
+                                   fromlist=["create_principal"])
+        host = create.create_principal("HostCo")
+        rogue = create.create_principal("RogueCo")
+        home_wallet = Wallet(owner=host, address="home", clock=clock)
+        home_wallet.publish(issue(org, host.entity, wallet_role))
+        home = WalletServer(network, home_wallet, principal=host)
+        rogue_wallet = Wallet(owner=rogue, address="rogue", clock=clock)
+        rogue_server = WalletServer(network, rogue_wallet,
+                                    principal=rogue)
+        client = WalletServer(network,
+                              Wallet(owner=org, address="client",
+                                     clock=clock), principal=org)
+        return client, home, rogue_server, wallet_role
+
+    def test_authorized_host_accepted(self, authority_setup):
+        client, home, _rogue, wallet_role = authority_setup
+        assert client.verify_wallet_authority("home", wallet_role)
+
+    def test_rogue_host_rejected(self, authority_setup):
+        client, _home, rogue, wallet_role = authority_setup
+        assert not client.verify_wallet_authority("rogue", wallet_role)
+
+    def test_unreachable_host_rejected(self, authority_setup):
+        client, _home, _rogue, wallet_role = authority_setup
+        assert not client.verify_wallet_authority("ghost", wallet_role)
+
+
+class TestEngineAuthorityCheck:
+    def test_engine_skips_unauthorized_home(self, org, alice, clock):
+        from repro.core import (DiscoveryTag, EntityDirectory,
+                                SubjectFlag)
+        from repro.core.roles import subject_key
+        from repro.discovery.engine import DiscoveryEngine, DiscoveryStats
+
+        network = Network(clock=clock)
+        role = Role(org.entity, "r")
+        wallet_role = Role(org.entity, "wallet")
+        from repro.core.identity import create_principal
+        rogue = create_principal("Rogue")
+        # The rogue host serves the delegation but holds no authority.
+        rogue_wallet = Wallet(owner=rogue, address="rogue.home",
+                              clock=clock)
+        rogue_wallet.publish(issue(org, alice.entity, role))
+        WalletServer(network, rogue_wallet, principal=rogue)
+
+        client = WalletServer(network,
+                              Wallet(owner=org, address="client",
+                                     clock=clock), principal=org)
+        directory = EntityDirectory([org.entity])
+        engine = DiscoveryEngine(client, verify_home_authority=True,
+                                 entity_directory=directory)
+        tag = DiscoveryTag(home="rogue.home", auth_role_name="Org.wallet",
+                           ttl=0, subject_flag=SubjectFlag.SEARCH)
+        stats = DiscoveryStats()
+        proof = engine.discover(alice.entity, role,
+                                hints={subject_key(alice.entity): tag},
+                                stats=stats)
+        assert proof is None
+        assert "rogue.home" in stats.wallets_rejected
+
+    def test_engine_accepts_authorized_home(self, org, alice, clock):
+        from repro.core import (DiscoveryTag, EntityDirectory,
+                                SubjectFlag)
+        from repro.core.roles import subject_key
+        from repro.discovery.engine import DiscoveryEngine
+
+        network = Network(clock=clock)
+        role = Role(org.entity, "r")
+        wallet_role = Role(org.entity, "wallet")
+        from repro.core.identity import create_principal
+        host = create_principal("HostCo")
+        home_wallet = Wallet(owner=host, address="good.home", clock=clock)
+        home_wallet.publish(issue(org, host.entity, wallet_role))
+        home_wallet.publish(issue(org, alice.entity, role))
+        WalletServer(network, home_wallet, principal=host)
+
+        client = WalletServer(network,
+                              Wallet(owner=org, address="client",
+                                     clock=clock), principal=org)
+        directory = EntityDirectory([org.entity])
+        engine = DiscoveryEngine(client, verify_home_authority=True,
+                                 entity_directory=directory)
+        tag = DiscoveryTag(home="good.home", auth_role_name="Org.wallet",
+                           ttl=0, subject_flag=SubjectFlag.SEARCH)
+        proof = engine.discover(alice.entity, role,
+                                hints={subject_key(alice.entity): tag})
+        assert proof is not None

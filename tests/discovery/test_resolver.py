@@ -1,0 +1,134 @@
+import pytest
+
+from repro.core import Role, SimClock, issue
+from repro.core.errors import DiscoveryError
+from repro.discovery.resolver import WalletDirectory, WalletServer
+from repro.net.rpc import RpcError
+from repro.net.transport import Network
+from repro.wallet.wallet import Wallet
+
+
+@pytest.fixture()
+def deployment(org, alice, clock):
+    network = Network(clock=clock)
+    w1 = Wallet(owner=org, address="w1", clock=clock)
+    w2 = Wallet(owner=org, address="w2", clock=clock)
+    s1 = WalletServer(network, w1, principal=org)
+    s2 = WalletServer(network, w2, principal=org)
+    role = Role(org.entity, "staff")
+    w2.publish(issue(org, alice.entity, role))
+    return network, s1, s2, role
+
+
+class TestRemoteQueries:
+    def test_direct_query(self, deployment, alice, org):
+        _net, s1, _s2, role = deployment
+        proof = s1.remote_direct_query("w2", alice.entity, role)
+        assert proof is not None
+        assert proof.subject == alice.entity
+
+    def test_direct_query_miss(self, deployment, bob, org):
+        _net, s1, _s2, role = deployment
+        assert s1.remote_direct_query("w2", bob.entity, role) is None
+
+    def test_subject_query(self, deployment, alice):
+        _net, s1, _s2, role = deployment
+        proofs = s1.remote_subject_query("w2", alice.entity)
+        assert [p.obj for p in proofs] == [role]
+
+    def test_object_query(self, deployment, alice):
+        _net, s1, _s2, role = deployment
+        proofs = s1.remote_object_query("w2", role)
+        assert [p.subject for p in proofs] == [alice.entity]
+
+    def test_remote_publish(self, deployment, bob, org):
+        _net, s1, s2, role = deployment
+        d = issue(org, bob.entity, role)
+        assert s1.remote_publish("w2", d)
+        assert s2.wallet.store.get_delegation(d.id) is not None
+
+    def test_remote_publish_rejection_propagates(self, deployment, table1):
+        _net, s1, _s2, _role = deployment
+        with pytest.raises(RpcError, match="support"):
+            s1.remote_publish("w2", table1.d3_maria_member)
+
+    def test_whoami(self, deployment, org):
+        net, s1, _s2, _role = deployment
+        from repro.core import Entity
+        reply = s1.rpc.call("w2", "whoami")
+        assert Entity.from_dict(reply) == org.entity
+
+
+class TestRemoteSubscriptions:
+    def test_revocation_pushed_to_subscriber(self, deployment, org, alice):
+        _net, s1, s2, role = deployment
+        d = s2.wallet.store.graph.out_edges(alice.entity)[0]
+        # s1 caches the delegation and subscribes at w2.
+        cancel = s1.remote_subscribe("w2", d.id)
+        s1.cache.insert(d, (), home="w2", ttl=30.0, cancel_remote=cancel)
+        s2.wallet.revoke(org, d.id)
+        assert s1.wallet.is_revoked(d.id)
+        assert s2.events_pushed == 1
+
+    def test_unsubscribe_stops_pushes(self, deployment, org, alice):
+        _net, s1, s2, role = deployment
+        d = s2.wallet.store.graph.out_edges(alice.entity)[0]
+        cancel = s1.remote_subscribe("w2", d.id)
+        cancel()
+        s2.wallet.revoke(org, d.id)
+        assert not s1.wallet.is_revoked(d.id)
+
+    def test_subscribe_reports_current_status(self, deployment):
+        _net, s1, _s2, _role = deployment
+        reply = s1.rpc.call("w2", "subscribe",
+                            {"delegation_id": "ghost",
+                             "subscriber": "w1"})
+        assert reply["known"] is False
+        assert reply["revoked"] is False
+
+
+class TestConfirm:
+    def test_confirm_valid(self, deployment, alice, clock):
+        _net, s1, s2, role = deployment
+        d = s2.wallet.store.graph.out_edges(alice.entity)[0]
+        s1.cache.insert(d, (), home="w2", ttl=10.0)
+        clock.advance(8.0)
+        assert s1.remote_confirm("w2", d.id)
+        assert s1.cache.entry(d.id).valid_until == 18.0
+
+    def test_confirm_revoked_is_false(self, deployment, org, alice):
+        _net, s1, s2, role = deployment
+        d = s2.wallet.store.graph.out_edges(alice.entity)[0]
+        s1.cache.insert(d, (), home="w2", ttl=10.0)
+        s2.wallet.store.add_revocation(
+            __import__("repro.core.delegation", fromlist=["revoke"]
+                       ).revoke(org, d, revoked_at=0.0))
+        assert not s1.remote_confirm("w2", d.id)
+
+
+class TestDirectory:
+    def test_add_get(self, deployment):
+        _net, s1, s2, _role = deployment
+        directory = WalletDirectory()
+        directory.add(s1)
+        directory.add(s2)
+        assert directory.get("w1") is s1
+        assert "w2" in directory
+        assert len(directory) == 2
+
+    def test_duplicate_rejected(self, deployment):
+        _net, s1, _s2, _role = deployment
+        directory = WalletDirectory()
+        directory.add(s1)
+        with pytest.raises(DiscoveryError):
+            directory.add(s1)
+
+    def test_unknown_address(self):
+        with pytest.raises(DiscoveryError):
+            WalletDirectory().get("ghost")
+
+    def test_server_requires_address(self, org, clock):
+        network = Network(clock=clock)
+        wallet = Wallet(owner=org, clock=clock)  # no address
+        with pytest.raises(DiscoveryError):
+            WalletServer(network, wallet)

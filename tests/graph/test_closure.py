@@ -1,0 +1,84 @@
+import pytest
+
+from repro.core.delegation import issue
+from repro.core.roles import Role, subject_key
+from repro.graph.closure import (
+    count_dag_paths,
+    count_paths,
+    reachability_closure,
+)
+from repro.graph.delegation_graph import DelegationGraph
+from repro.workloads.topology import make_layered_dag
+
+
+@pytest.fixture()
+def chain(org, alice):
+    roles = [Role(org.entity, f"r{i}") for i in range(3)]
+    graph = DelegationGraph([
+        issue(org, alice.entity, roles[0]),
+        issue(org, roles[0], roles[1]),
+        issue(org, roles[1], roles[2]),
+    ])
+    return graph, roles
+
+
+class TestClosure:
+    def test_chain_closure(self, chain, alice):
+        graph, roles = chain
+        closure = reachability_closure(graph)
+        a = subject_key(alice.entity)
+        assert (a, subject_key(roles[0])) in closure
+        assert (a, subject_key(roles[2])) in closure
+        assert (subject_key(roles[0]), subject_key(roles[2])) in closure
+        # 3 from alice + 2 from r0 + 1 from r1 = 6 pairs.
+        assert len(closure) == 6
+
+    def test_revoked_excluded(self, chain, alice):
+        graph, roles = chain
+        middle = graph.out_edges(roles[0])[0]
+        closure = reachability_closure(graph, revoked={middle.id})
+        assert (subject_key(alice.entity),
+                subject_key(roles[2])) not in closure
+
+    def test_expired_excluded(self, org, alice):
+        r = Role(org.entity, "r")
+        graph = DelegationGraph([
+            issue(org, alice.entity, r, expiry=10.0)])
+        assert reachability_closure(graph, at=20.0) == set()
+        assert len(reachability_closure(graph, at=5.0)) == 1
+
+
+class TestCountPaths:
+    def test_chain_has_one_path(self, chain, alice):
+        graph, roles = chain
+        assert count_paths(graph, alice.entity, roles[2]) == 1
+
+    def test_layered_exponential(self):
+        workload = make_layered_dag(width=2, depth=4, seed=1)
+        graph = workload.graph()
+        expected = workload.extras["expected_paths"]
+        assert expected == 8
+        assert count_paths(graph, workload.subject, workload.obj) == expected
+
+    def test_dag_count_matches_simple_count_on_dag(self):
+        workload = make_layered_dag(width=3, depth=3, seed=2)
+        graph = workload.graph()
+        simple = count_paths(graph, workload.subject, workload.obj)
+        dag = count_dag_paths(graph, workload.subject, workload.obj)
+        assert simple == dag == 9
+
+    def test_dag_count_rejects_cycles(self, org, alice):
+        r1, r2, target = (Role(org.entity, n) for n in ("a", "b", "t"))
+        graph = DelegationGraph([
+            issue(org, alice.entity, r1),
+            issue(org, r1, r2),
+            issue(org, r2, r1),
+            issue(org, r2, target),
+        ])
+        with pytest.raises(ValueError):
+            count_dag_paths(graph, alice.entity, target)
+
+    def test_count_respects_max_depth(self, chain, alice):
+        graph, roles = chain
+        assert count_paths(graph, alice.entity, roles[2],
+                           max_depth=2) == 0

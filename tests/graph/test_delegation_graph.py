@@ -1,0 +1,86 @@
+import pytest
+
+from repro.core.delegation import issue
+from repro.core.roles import Role
+from repro.graph.delegation_graph import DelegationGraph
+
+
+@pytest.fixture()
+def simple(org, alice):
+    r1, r2 = Role(org.entity, "r1"), Role(org.entity, "r2")
+    d1 = issue(org, alice.entity, r1)
+    d2 = issue(org, r1, r2)
+    graph = DelegationGraph([d1, d2])
+    return graph, d1, d2, r1, r2
+
+
+class TestMutation:
+    def test_add_and_len(self, simple):
+        graph, d1, d2, *_ = simple
+        assert len(graph) == 2
+        assert d1.id in graph and d2.id in graph
+
+    def test_duplicate_add_ignored(self, simple):
+        graph, d1, *_ = simple
+        assert not graph.add(d1)
+        assert len(graph) == 2
+
+    def test_remove(self, simple, alice):
+        graph, d1, d2, r1, _ = simple
+        removed = graph.remove(d1.id)
+        assert removed == d1
+        assert len(graph) == 1
+        assert graph.out_edges(alice.entity) == ()
+        assert graph.in_edges(r1) == ()
+
+    def test_remove_unknown_returns_none(self, simple):
+        graph, *_ = simple
+        assert graph.remove("nonexistent") is None
+
+    def test_remove_keeps_siblings(self, org, alice, bob):
+        r = Role(org.entity, "r")
+        d1 = issue(org, alice.entity, r)
+        d2 = issue(org, bob.entity, r)
+        graph = DelegationGraph([d1, d2])
+        graph.remove(d1.id)
+        assert graph.in_edges(r) == (d2,)
+
+
+class TestIndexes:
+    def test_out_edges(self, simple, alice):
+        graph, d1, d2, r1, _ = simple
+        assert graph.out_edges(alice.entity) == (d1,)
+        assert graph.out_edges(r1) == (d2,)
+
+    def test_in_edges(self, simple):
+        graph, d1, d2, r1, r2 = simple
+        assert graph.in_edges(r1) == (d1,)
+        assert graph.in_edges(r2) == (d2,)
+
+    def test_unknown_node_empty(self, simple, bob):
+        graph, *_ = simple
+        assert graph.out_edges(bob.entity) == ()
+
+    def test_nodes(self, simple, alice):
+        graph, _d1, _d2, r1, r2 = simple
+        from repro.core.roles import subject_key
+        assert subject_key(alice.entity) in graph.nodes()
+        assert subject_key(r2) in graph.nodes()
+
+    def test_iteration(self, simple):
+        graph, d1, d2, *_ = simple
+        assert set(graph) == {d1, d2}
+
+    def test_get(self, simple):
+        graph, d1, *_ = simple
+        assert graph.get(d1.id) == d1
+        assert graph.get("missing") is None
+
+
+class TestCopy:
+    def test_copy_independent(self, simple):
+        graph, d1, *_ = simple
+        clone = graph.copy()
+        clone.remove(d1.id)
+        assert d1.id in graph
+        assert d1.id not in clone

@@ -1,0 +1,64 @@
+"""Set-valued queries (paper, Section 4.1: subject/object queries take
+'a set of subjects' / 'a set of objects')."""
+
+import pytest
+
+from repro.core import Role, issue
+from repro.graph.delegation_graph import DelegationGraph
+from repro.graph.search import (
+    direct_query_any,
+    object_query_multi,
+    subject_query_multi,
+)
+
+
+@pytest.fixture()
+def graph(org, alice, bob):
+    r1, r2, r3 = (Role(org.entity, n) for n in ("r1", "r2", "r3"))
+    return DelegationGraph([
+        issue(org, alice.entity, r1),
+        issue(org, bob.entity, r2),
+        issue(org, r1, r3),
+        issue(org, r2, r3),
+    ]), (r1, r2, r3)
+
+
+class TestSubjectQueryMulti:
+    def test_union_of_reachability(self, graph, alice, bob):
+        g, (r1, r2, r3) = graph
+        proofs = subject_query_multi(g, [alice.entity, bob.entity])
+        pairs = {(str(p.subject), str(p.obj)) for p in proofs}
+        assert ("Alice", "Org.r1") in pairs
+        assert ("Bob", "Org.r2") in pairs
+        assert ("Alice", "Org.r3") in pairs
+        assert ("Bob", "Org.r3") in pairs
+
+    def test_empty_set(self, graph):
+        g, _roles = graph
+        assert subject_query_multi(g, []) == []
+
+    def test_deduplicates(self, graph, alice):
+        g, _roles = graph
+        once = subject_query_multi(g, [alice.entity])
+        twice = subject_query_multi(g, [alice.entity, alice.entity])
+        assert len(once) == len(twice)
+
+
+class TestObjectQueryMulti:
+    def test_union_of_grantees(self, graph, alice, bob):
+        g, (r1, r2, _r3) = graph
+        proofs = object_query_multi(g, [r1, r2])
+        subjects = {str(p.subject) for p in proofs}
+        assert subjects == {"Alice", "Bob"}
+
+
+class TestDirectQueryAny:
+    def test_first_provable_target_wins(self, graph, alice):
+        g, (r1, r2, r3) = graph
+        proof = direct_query_any(g, alice.entity, [r2, r3])
+        assert proof is not None
+        assert proof.obj == r3  # r2 unreachable for alice
+
+    def test_none_when_no_target_provable(self, graph, carol):
+        g, (r1, r2, r3) = graph
+        assert direct_query_any(g, carol.entity, [r1, r2, r3]) is None

@@ -1,0 +1,150 @@
+"""End-to-end reproduction of the Section 5 case study (Figure 2).
+
+Each test walks the full distributed pipeline: Step 1 (credential
+presentation), Steps 2-5 (tag-directed discovery, insertion,
+subscriptions), Step 6 (monitored proof), and the continuous-monitoring
+epilogue the paper motivates (revocation mid-session).
+"""
+
+import pytest
+
+from repro.core import Constraint, Proof, validate_proof
+from repro.disco.service import DiscoService
+from repro.disco.sessions import SessionState
+from repro.workloads.scenarios import (
+    EXPECTED_BW,
+    EXPECTED_HOURS,
+    EXPECTED_STORAGE,
+)
+
+
+class TestHappyPath:
+    def test_full_walkthrough(self, distributed_case):
+        d = distributed_case
+        invalidations = []
+        monitor = d.authorize_and_monitor(
+            callback=lambda m, e: invalidations.append(e))
+        assert monitor is not None and monitor.valid
+
+        grants = monitor.grants(d.case.base_allocations())
+        assert grants[d.case.bw] == EXPECTED_BW
+        assert grants[d.case.storage] == EXPECTED_STORAGE
+        assert grants[d.case.hours] == pytest.approx(EXPECTED_HOURS)
+
+        # The server wallet now holds the chain locally (Step 5).
+        local = d.server.wallet
+        assert local.store.get_delegation(d.case.d2_coalition.id)
+        assert local.store.get_delegation(d.case.d6_member_access.id)
+
+    def test_repeat_authorization_is_local(self, distributed_case):
+        d = distributed_case
+        d.run_steps_1_to_5()
+        baseline = d.network.totals.messages
+        proof = d.engine.discover(d.case.maria.entity,
+                                  d.case.airnet_access)
+        assert proof is not None
+        assert d.network.totals.messages == baseline  # zero new traffic
+
+    def test_constraint_respected_in_discovery(self, distributed_case):
+        d = distributed_case
+        d.server.wallet.publish(d.case.d1_maria_member)
+        # Requiring more bandwidth than the coalition grants must fail.
+        proof = d.engine.discover(
+            d.case.maria.entity, d.case.airnet_access,
+            constraints=[Constraint(d.case.bw, EXPECTED_BW + 1)],
+            bases=d.case.base_allocations())
+        assert proof is None
+        proof = d.engine.discover(
+            d.case.maria.entity, d.case.airnet_access,
+            constraints=[Constraint(d.case.bw, EXPECTED_BW)],
+            bases=d.case.base_allocations())
+        assert proof is not None
+
+
+class TestContinuousMonitoring:
+    def test_remote_revocation_kills_monitor(self, distributed_case):
+        d = distributed_case
+        events = []
+        monitor = d.authorize_and_monitor(
+            callback=lambda m, e: events.append(e))
+        # Sheila withdraws the coalition at BigISP's home wallet.
+        d.bigisp_home.wallet.revoke(d.case.sheila, d.case.d2_coalition.id)
+        assert not monitor.valid
+        assert len(events) == 1
+        assert d.server.wallet.is_revoked(d.case.d2_coalition.id)
+
+    def test_support_revocation_kills_monitor(self, distributed_case):
+        d = distributed_case
+        monitor = d.authorize_and_monitor()
+        # AirNet revokes Sheila's mktg role: d2's support collapses.
+        d.bigisp_home.wallet.revoke(d.case.air_net,
+                                    d.case.d3_sheila_mktg.id)
+        assert not monitor.valid
+
+    def test_revalidation_after_regrant(self, distributed_case):
+        d = distributed_case
+        monitor = d.authorize_and_monitor()
+        d.bigisp_home.wallet.revoke(d.case.sheila, d.case.d2_coalition.id)
+        assert not monitor.valid
+        # AirNet grants Maria's ISP role directly at the server this time.
+        from repro.core import issue
+        regrant = issue(d.case.air_net, d.case.bigisp_member,
+                        d.case.airnet_member)
+        d.server.wallet.publish(regrant)
+        assert monitor.revalidate()
+        assert monitor.valid
+
+    def test_ttl_lapse_without_confirmation(self, distributed_case):
+        d = distributed_case
+        monitor = d.authorize_and_monitor()
+        d.clock.advance(31.0)  # tags carry a 30 s TTL
+        d.server.cache.sweep()
+        assert not monitor.valid
+
+    def test_confirmation_extends_lease(self, distributed_case):
+        d = distributed_case
+        monitor = d.authorize_and_monitor()
+        d.clock.advance(25.0)
+        assert d.server.remote_confirm("wallet.bigISP.com",
+                                       d.case.d2_coalition.id)
+        d.clock.advance(10.0)  # 35 s total; coalition lease now at 55 s
+        d.server.cache.sweep()
+        # d6's lease (from AirNet home) lapsed, coalition survived.
+        assert d.server.cache.entry(d.case.d2_coalition.id) is not None
+
+
+class TestSessionIntegration:
+    def test_full_disco_session(self, distributed_case):
+        d = distributed_case
+        svc = DiscoService(d.server.wallet, engine=d.engine)
+        svc.register_resource("internet", d.case.airnet_access,
+                              bases=d.case.base_allocations())
+        transitions = []
+        session = svc.request_access(
+            d.case.maria.entity, "internet",
+            presented=[(d.case.d1_maria_member, ())],
+            on_state_change=lambda s: transitions.append(s.state))
+        assert session.active
+        session.use()
+        d.bigisp_home.wallet.revoke(d.case.sheila, d.case.d2_coalition.id)
+        assert session.state is SessionState.TERMINATED
+        assert transitions == [SessionState.SUSPENDED,
+                               SessionState.TERMINATED]
+
+    def test_partition_blocks_discovery(self, distributed_case):
+        d = distributed_case
+        d.network.partition("server.airnet.com", "wallet.bigISP.com")
+        d.server.wallet.publish(d.case.d1_maria_member)
+        proof = d.engine.discover(d.case.maria.entity,
+                                  d.case.airnet_access)
+        assert proof is None
+
+    def test_discovery_recovers_after_heal(self, distributed_case):
+        d = distributed_case
+        d.network.partition("server.airnet.com", "wallet.bigISP.com")
+        d.server.wallet.publish(d.case.d1_maria_member)
+        assert d.engine.discover(d.case.maria.entity,
+                                 d.case.airnet_access) is None
+        d.network.heal("server.airnet.com", "wallet.bigISP.com")
+        assert d.engine.discover(d.case.maria.entity,
+                                 d.case.airnet_access) is not None

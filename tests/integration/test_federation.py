@@ -1,0 +1,96 @@
+"""Multi-domain federation: Figure 2's machinery at ring scale."""
+
+import pytest
+
+from repro.discovery.engine import DiscoveryStats
+from repro.workloads.scenarios import build_distributed_federation
+
+
+class TestFederationAccess:
+    def test_local_domain_access(self):
+        fed = build_distributed_federation(domains=3, users_per_domain=1)
+        proof = fed.authorize(0, 0, 0)
+        assert proof is not None
+        assert proof.depth() == 2  # user -> member -> access
+
+    @pytest.mark.parametrize("distance", [1, 2, 3])
+    def test_cross_domain_access(self, distance):
+        fed = build_distributed_federation(domains=4, users_per_domain=1)
+        stats = DiscoveryStats()
+        proof = fed.authorize(user_domain=distance, user_index=0,
+                              resource_domain=0, stats=stats)
+        assert proof is not None
+        # user -> member, one bridge per ring hop, member -> access.
+        assert proof.depth() == distance + 2
+        # Discovery walked one home wallet per hop plus the target's.
+        assert len(stats.wallets_contacted) == distance + 1
+        fed.domains[0].server.wallet.validate(proof)
+
+    def test_cold_cost_grows_with_distance(self):
+        costs = []
+        for distance in (1, 2, 3):
+            fed = build_distributed_federation(domains=4,
+                                               users_per_domain=1)
+            fed.network.reset_counters()
+            assert fed.authorize(distance, 0, 0) is not None
+            costs.append(fed.network.totals.messages)
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_warm_cache_makes_repeat_free(self):
+        fed = build_distributed_federation(domains=4, users_per_domain=1)
+        assert fed.authorize(3, 0, 0) is not None
+        fed.network.reset_counters()
+        stats = DiscoveryStats()
+        assert fed.authorize(3, 0, 0, stats=stats) is not None
+        assert stats.local_hit
+        assert fed.network.totals.messages == 0
+
+    def test_every_user_reaches_every_domain(self):
+        fed = build_distributed_federation(domains=3, users_per_domain=2)
+        for user_domain in range(3):
+            for user_index in range(2):
+                for resource_domain in range(3):
+                    proof = fed.authorize(user_domain, user_index,
+                                          resource_domain)
+                    assert proof is not None, (
+                        user_domain, user_index, resource_domain)
+
+
+class TestFederationRevocation:
+    def test_bridge_revocation_cuts_the_ring(self):
+        fed = build_distributed_federation(domains=4, users_per_domain=1)
+        # Warm: user of domain 2 authorized at domain 0 (path crosses
+        # the bridge issued by domain 1 admitting domain 2's members).
+        proof = fed.authorize(2, 0, 0)
+        monitor = fed.domains[0].server.wallet.monitor(proof)
+        bridge = fed.domains[1].bridge  # [D2.member -> D1.member] D1
+        # Revoke at its home wallet (domain 2's, the subject's home).
+        fed.domains[2].home.wallet.revoke(fed.domains[1].principal,
+                                          bridge.id)
+        assert not monitor.valid
+        assert fed.domains[0].server.wallet.is_revoked(bridge.id)
+
+    def test_unrelated_sessions_survive(self):
+        fed = build_distributed_federation(domains=4, users_per_domain=1)
+        near = fed.authorize(1, 0, 0)    # only crosses bridge D0<-D1
+        far = fed.authorize(2, 0, 0)     # crosses D0<-D1<-D2
+        near_monitor = fed.domains[0].server.wallet.monitor(near)
+        far_monitor = fed.domains[0].server.wallet.monitor(far)
+        bridge = fed.domains[1].bridge   # D2's members into D1
+        fed.domains[2].home.wallet.revoke(fed.domains[1].principal,
+                                          bridge.id)
+        assert not far_monitor.valid
+        assert near_monitor.valid
+
+    def test_user_credential_revocation(self):
+        fed = build_distributed_federation(domains=3, users_per_domain=2)
+        proof = fed.authorize(1, 0, 0)
+        monitor = fed.domains[0].server.wallet.monitor(proof)
+        credential = fed.domains[1].credentials[0]
+        # The credential lives in the target server's wallet (presented
+        # at access time); revoke it there.
+        fed.domains[0].server.wallet.revoke(fed.domains[1].principal,
+                                            credential.id)
+        assert not monitor.valid
+        # The other user of the same domain is unaffected.
+        assert fed.authorize(1, 1, 0) is not None

@@ -1,0 +1,68 @@
+"""Sessions that heal across wallets: revalidation falls back to
+distributed discovery when the local wallet cannot produce an alternate
+proof."""
+
+import pytest
+
+from repro.core import issue
+from repro.disco.service import DiscoService
+from repro.disco.sessions import SessionState
+from repro.workloads.scenarios import build_distributed_federation
+
+
+class TestSessionHealing:
+    def test_session_heals_via_remote_regrant(self):
+        """A user's bridge path dies, but an alternate cross-domain path
+        exists remotely: the session suspends, rediscovers, resumes."""
+        fed = build_distributed_federation(domains=3, users_per_domain=1)
+        site0, site1, site2 = fed.domains
+        service = DiscoService(site0.server.wallet, engine=site0.engine)
+        service.register_resource("res", site0.access)
+
+        session = service.request_access(
+            site1.users[0].entity, "res",
+            presented=[(site1.credentials[0], ())])
+        assert session.active
+
+        # Before revoking the ring bridge (D1.member -> D0.member),
+        # domain 0 publishes an alternate direct bridge... at domain 1's
+        # HOME wallet only (so the serving wallet must re-discover it).
+        # Subject's home placement: D1.member's home is wallet.d1.
+        # Give it the right subject tag so forward search finds it.
+        alternate = issue(
+            site0.principal, site1.member, site0.member,
+            subject_tag=site1.credentials[0].object_tag, issued_at=99.0)
+        site1.home.wallet.publish(alternate)
+
+        original_bridge = site0.bridge
+        site1.home.wallet.revoke(site0.principal, original_bridge.id)
+
+        # The monitor rediscovered the alternate path across wallets.
+        assert session.state is SessionState.ACTIVE
+        assert session.interruptions == 1
+        assert site0.server.wallet.store.get_delegation(alternate.id) \
+            is not None
+
+    def test_session_dies_when_no_remote_alternative(self):
+        fed = build_distributed_federation(domains=2, users_per_domain=1)
+        site0, site1 = fed.domains
+        service = DiscoService(site0.server.wallet, engine=site0.engine)
+        service.register_resource("res", site0.access)
+        session = service.request_access(
+            site1.users[0].entity, "res",
+            presented=[(site1.credentials[0], ())])
+        site1.home.wallet.revoke(site0.principal, site0.bridge.id)
+        assert session.state is SessionState.TERMINATED
+
+    def test_local_service_unaffected(self, org, alice, clock):
+        """Without an engine, revalidation stays local-only."""
+        from repro.core import Role
+        from repro.wallet.wallet import Wallet
+        wallet = Wallet(owner=org, clock=clock)
+        service = DiscoService(wallet)
+        service.register_resource("res", Role(org.entity, "access"))
+        d = issue(org, alice.entity, Role(org.entity, "access"))
+        session = service.request_access(alice.entity, "res",
+                                         presented=[(d, ())])
+        wallet.revoke(org, d.id)
+        assert session.state is SessionState.TERMINATED

@@ -1,0 +1,124 @@
+"""System-level property tests: safety invariants under random workloads.
+
+These run the real stack (keys, signatures, wallets, searches) over
+seeded random topologies and assert the security properties the model
+promises:
+
+* **soundness** -- anything a wallet authorizes validates independently;
+* **no privilege amplification** -- attribute grants never exceed what
+  any single chain link allows;
+* **revocation safety** -- after revoking any delegation, no returned
+  proof contains it;
+* **expiry safety** -- no returned proof contains an expired delegation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SimClock, validate_proof
+from repro.wallet.wallet import Wallet
+from repro.workloads.topology import make_layered_dag, make_random_dag
+
+
+def _wallet_from(workload, clock=None):
+    wallet = Wallet(owner=workload.principals["user"],
+                    clock=clock or SimClock())
+    for delegation, supports in workload.delegations:
+        wallet.publish(delegation, supports)
+    return wallet
+
+
+class TestSoundness:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_authorized_proofs_validate(self, seed):
+        workload = make_random_dag(6, 10, seed=seed)
+        wallet = _wallet_from(workload)
+        proof = wallet.query_direct(workload.subject, workload.obj)
+        if proof is not None:
+            validate_proof(proof, at=0.0,
+                           revoked=wallet.store.is_revoked)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=8, deadline=None)
+    def test_subject_query_proofs_all_validate(self, seed):
+        workload = make_random_dag(5, 8, seed=seed)
+        wallet = _wallet_from(workload)
+        for proof in wallet.query_subject(workload.subject):
+            validate_proof(proof, at=0.0)
+
+
+class TestRevocationSafety:
+    @given(st.integers(min_value=0, max_value=300),
+           st.integers(min_value=0, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_revoked_delegation_never_in_proofs(self, seed, which):
+        workload = make_random_dag(5, 8, seed=seed)
+        wallet = _wallet_from(workload)
+        delegations = [d for d, _ in workload.delegations]
+        victim = delegations[which % len(delegations)]
+        issuer = next(p for p in workload.principals.values()
+                      if p.entity == victim.issuer)
+        wallet.revoke(issuer, victim.id)
+        proof = wallet.query_direct(workload.subject, workload.obj)
+        if proof is not None:
+            assert victim.id not in {d.id for d in proof.all_delegations()}
+            validate_proof(proof, at=0.0, revoked=wallet.store.is_revoked)
+
+
+class TestAttributeSafety:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_no_privilege_amplification(self, seed):
+        """The grant never exceeds the tightest bound on the chain."""
+        workload = make_layered_dag(2, 4, seed=seed,
+                                    attribute_fraction=0.8)
+        wallet = _wallet_from(workload)
+        attr = workload.attribute
+        wallet.set_base_allocation(attr, 1000.0)
+        proof = wallet.query_direct(workload.subject, workload.obj)
+        assert proof is not None
+        grant = proof.grants({attr: 1000.0})[attr]
+        bounds = [
+            d.modifiers.value_of(attr)
+            for d in proof.chain
+            if d.modifiers.value_of(attr) is not None
+        ]
+        for bound in bounds:
+            assert grant <= bound + 1e-9
+        assert grant <= 1000.0
+
+
+class TestExpirySafety:
+    def test_expired_links_never_served(self, org, alice):
+        from repro.core import Role, issue
+        clock = SimClock()
+        wallet = Wallet(owner=org, clock=clock)
+        r = Role(org.entity, "r")
+        short = issue(org, alice.entity, r, expiry=10.0)
+        lasting = issue(org, alice.entity, r, expiry=1000.0)
+        wallet.publish(short)
+        wallet.publish(lasting)
+        clock.advance(50.0)
+        proof = wallet.query_direct(alice.entity, r)
+        assert proof is not None
+        assert proof.chain[0].id == lasting.id
+        clock.advance(10_000.0)
+        assert wallet.query_direct(alice.entity, r) is None
+
+
+class TestStorePersistenceInvariant:
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=6, deadline=None)
+    def test_wallet_round_trip_preserves_decisions(self, seed):
+        from repro.wallet.storage import WalletStore
+        workload = make_random_dag(5, 8, seed=seed)
+        wallet = _wallet_from(workload)
+        before = wallet.query_direct(workload.subject, workload.obj)
+        restored = Wallet(owner=workload.principals["user"],
+                          clock=SimClock(),
+                          store=WalletStore.from_bytes(
+                              wallet.store.to_bytes()))
+        after = restored.query_direct(workload.subject, workload.obj)
+        assert (before is None) == (after is None)

@@ -1,0 +1,81 @@
+import pytest
+
+from repro.net.simnet import Simulation
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(5.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(9.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now() == 9.0
+
+    def test_fifo_at_same_timestamp(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_schedule_into_past_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        sim.clock.advance(10.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulation()
+        hits = []
+
+        def outer():
+            hits.append(sim.now())
+            sim.schedule(2.0, lambda: hits.append(sim.now()))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert hits == [1.0, 3.0]
+
+
+class TestPeriodic:
+    def test_every_with_until(self):
+        sim = Simulation()
+        ticks = []
+        sim.every(10.0, lambda: ticks.append(sim.now()), until=35.0)
+        sim.run()
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_every_requires_positive_interval(self):
+        with pytest.raises(ValueError):
+            Simulation().every(0, lambda: None)
+
+    def test_unbounded_every_hits_event_guard(self):
+        sim = Simulation()
+        sim.every(1.0, lambda: None)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run(max_events=50)
+
+
+class TestRunUntil:
+    def test_stops_at_timestamp(self):
+        sim = Simulation()
+        hits = []
+        sim.schedule(5.0, lambda: hits.append(5))
+        sim.schedule(15.0, lambda: hits.append(15))
+        sim.run_until(10.0)
+        assert hits == [5]
+        assert sim.now() == 10.0
+        assert sim.pending == 1
+
+    def test_step(self):
+        sim = Simulation()
+        assert not sim.step()
+        sim.schedule(1.0, lambda: None)
+        assert sim.step()
+        assert not sim.step()

@@ -1,0 +1,136 @@
+import pytest
+
+from repro.core import Proof, Role, issue, validate_proof
+from repro.net.switchboard import Channel, HandshakeError, Switchboard
+from repro.net.transport import Network
+
+
+@pytest.fixture()
+def boards(alice, bob):
+    network = Network()
+    sb_a = Switchboard(network, alice, "host.a")
+    sb_b = Switchboard(network, bob, "host.b")
+    return network, sb_a, sb_b
+
+
+class TestHandshake:
+    def test_mutual_authentication(self, boards, alice, bob):
+        _net, sb_a, sb_b = boards
+        channel = sb_a.connect("host.b")
+        assert channel.peer == bob.entity
+        assert channel.local == alice.entity
+        remote = sb_b.channel(channel.channel_id)
+        assert remote.peer == alice.entity
+        assert sb_a.handshakes_completed == 1
+        assert sb_b.handshakes_completed == 1
+
+    def test_expected_peer_pinning(self, boards, carol):
+        _net, sb_a, _sb_b = boards
+        with pytest.raises(HandshakeError, match="expected"):
+            sb_a.connect("host.b", expected_peer=carol.entity)
+
+    def test_session_keys_match(self, boards):
+        _net, sb_a, sb_b = boards
+        channel = sb_a.connect("host.b")
+        remote = sb_b.channel(channel.channel_id)
+        assert channel.session_key == remote.session_key
+
+    def test_distinct_channels_distinct_keys(self, boards):
+        _net, sb_a, _sb_b = boards
+        c1 = sb_a.connect("host.b")
+        c2 = sb_a.connect("host.b")
+        assert c1.session_key != c2.session_key
+
+
+class TestFrames:
+    def test_bidirectional_messaging(self, boards):
+        _net, sb_a, sb_b = boards
+        channel = sb_a.connect("host.b")
+        remote = sb_b.channel(channel.channel_id)
+        channel.send({"n": 1})
+        assert remote.inbox == [{"n": 1}]
+        remote.send({"n": 2})
+        assert channel.inbox == [{"n": 2}]
+
+    def test_callback_delivery(self, boards):
+        _net, sb_a, sb_b = boards
+        channel = sb_a.connect("host.b")
+        remote = sb_b.channel(channel.channel_id)
+        got = []
+        remote.on_message = got.append
+        channel.send("hello")
+        assert got == ["hello"]
+        assert remote.inbox == []
+
+    def test_tampered_frame_rejected(self, boards):
+        net, sb_a, sb_b = boards
+        channel = sb_a.connect("host.b")
+        frame = {
+            "channel": channel.channel_id,
+            "seq": 0,
+            "data": "forged",
+            "mac": b"\x00" * 32,
+        }
+        with pytest.raises(HandshakeError, match="MAC"):
+            net.send("host.a#sb", "host.b#sb", "sb:frame", frame)
+
+    def test_replayed_frame_rejected(self, boards):
+        net, sb_a, sb_b = boards
+        channel = sb_a.connect("host.b")
+        channel.send({"n": 1})
+        # Re-send the same seq with a valid MAC: receiver expects seq 1.
+        from repro.net.switchboard import _frame_mac
+        replay = {
+            "channel": channel.channel_id,
+            "seq": 0,
+            "data": {"n": 1},
+            "mac": _frame_mac(channel.session_key, 0, {"n": 1}),
+        }
+        with pytest.raises(HandshakeError, match="sequence"):
+            net.send("host.a#sb", "host.b#sb", "sb:frame", replay)
+
+    def test_closed_channel_refuses_send(self, boards):
+        _net, sb_a, _sb_b = boards
+        channel = sb_a.connect("host.b")
+        channel.close()
+        with pytest.raises(HandshakeError):
+            channel.send("x")
+
+
+class TestCredentialedAcceptance:
+    @pytest.fixture()
+    def credentialed(self, alice, bob):
+        network = Network()
+        required = Role(bob.entity, "friend")
+
+        def validator(entity, proof):
+            if proof is None:
+                raise ValueError("role proof required")
+            if proof.subject != entity or proof.obj != required:
+                raise ValueError("wrong proof")
+            validate_proof(proof, at=0.0)
+
+        sb_a = Switchboard(network, alice, "host.a")
+        sb_b = Switchboard(network, bob, "host.b",
+                           required_role_validator=validator)
+        return sb_a, sb_b, required
+
+    def test_rejected_without_proof(self, credentialed):
+        sb_a, sb_b, _required = credentialed
+        with pytest.raises(HandshakeError, match="credential"):
+            sb_a.connect("host.b")
+        assert sb_b.handshakes_rejected == 1
+
+    def test_accepted_with_valid_proof(self, credentialed, alice, bob):
+        sb_a, _sb_b, required = credentialed
+        proof = Proof.single(issue(bob, alice.entity, required))
+        channel = sb_a.connect("host.b", role_proof=proof)
+        assert channel.peer == bob.entity
+
+    def test_rejected_with_foreign_proof(self, credentialed, alice, bob,
+                                         carol):
+        sb_a, _sb_b, required = credentialed
+        # Proof about Carol, presented by Alice.
+        proof = Proof.single(issue(bob, carol.entity, required))
+        with pytest.raises(HandshakeError):
+            sb_a.connect("host.b", role_proof=proof)

@@ -1,0 +1,37 @@
+"""Per-(link, topic) traffic accounting used by the benchmark reports."""
+
+import pytest
+
+from repro.net.transport import Network
+
+
+@pytest.fixture()
+def net():
+    network = Network()
+    for address in ("a", "b", "c"):
+        network.register(address, lambda src, topic, p: None)
+    return network
+
+
+class TestMessagesFrom:
+    def test_counts_by_source_and_topic(self, net):
+        net.send("a", "b", "push", {})
+        net.send("a", "c", "push", {})
+        net.send("a", "b", "other", {})
+        net.send("b", "a", "push", {})
+        assert net.messages_from("a", "push") == 2
+        assert net.messages_from("a", "other") == 1
+        assert net.messages_from("b", "push") == 1
+        assert net.messages_from("c", "push") == 0
+
+    def test_by_link_topic_bytes(self, net):
+        net.send("a", "b", "t", {"payload": "x" * 50})
+        stats = net.by_link_topic[("a", "b", "t")]
+        assert stats.messages == 1
+        assert stats.bytes > 50
+
+    def test_reset_clears_link_topic(self, net):
+        net.send("a", "b", "t", {})
+        net.reset_counters()
+        assert net.by_link_topic == {}
+        assert net.messages_from("a", "t") == 0

@@ -1,0 +1,114 @@
+import pytest
+
+from repro.pubsub.events import DelegationEvent, EventKind
+from repro.pubsub.subscriptions import SubscriptionHub
+
+
+def _event(delegation_id="d1", kind=EventKind.REVOKED):
+    return DelegationEvent(kind=kind, delegation_id=delegation_id,
+                           timestamp=1.0)
+
+
+class TestEventKind:
+    def test_invalidating_kinds(self):
+        assert EventKind.REVOKED.invalidates
+        assert EventKind.EXPIRED.invalidates
+        assert not EventKind.UPDATED.invalidates
+        assert not EventKind.AVAILABLE.invalidates
+
+    def test_serialization_round_trip(self):
+        event = DelegationEvent(kind=EventKind.REVOKED,
+                                delegation_id="abc", timestamp=2.0,
+                                origin="w1", detail="x")
+        assert DelegationEvent.from_dict(event.to_dict()) == event
+
+
+class TestHub:
+    def test_delivery(self):
+        hub = SubscriptionHub()
+        got = []
+        hub.subscribe("d1", got.append)
+        assert hub.publish(_event()) == 1
+        assert len(got) == 1
+
+    def test_only_matching_channel(self):
+        hub = SubscriptionHub()
+        got = []
+        hub.subscribe("d1", got.append)
+        assert hub.publish(_event("d2")) == 0
+        assert got == []
+
+    def test_multiple_subscribers(self):
+        hub = SubscriptionHub()
+        a, b = [], []
+        hub.subscribe("d1", a.append)
+        hub.subscribe("d1", b.append)
+        assert hub.publish(_event()) == 2
+        assert len(a) == len(b) == 1
+
+    def test_cancel(self):
+        hub = SubscriptionHub()
+        got = []
+        sub = hub.subscribe("d1", got.append)
+        sub.cancel()
+        hub.publish(_event())
+        assert got == []
+        assert hub.subscriber_count("d1") == 0
+
+    def test_cancel_idempotent(self):
+        hub = SubscriptionHub()
+        sub = hub.subscribe("d1", lambda e: None)
+        sub.cancel()
+        sub.cancel()
+
+    def test_context_manager(self):
+        hub = SubscriptionHub()
+        got = []
+        with hub.subscribe("d1", got.append):
+            hub.publish(_event())
+        hub.publish(_event())
+        assert len(got) == 1
+
+    def test_failing_subscriber_does_not_block_others(self):
+        hub = SubscriptionHub()
+        got = []
+
+        def bad(_event):
+            raise RuntimeError("boom")
+
+        hub.subscribe("d1", bad)
+        hub.subscribe("d1", got.append)
+        with pytest.raises(RuntimeError):
+            hub.publish(_event())
+        assert len(got) == 1  # second subscriber still served
+
+    def test_counters(self):
+        hub = SubscriptionHub()
+        hub.subscribe("d1", lambda e: None)
+        hub.publish(_event())
+        hub.publish(_event("dX"))
+        assert hub.events_published == 2
+        assert hub.callbacks_delivered == 1
+
+
+class TestAwaitingChannels:
+    def test_proof_available(self):
+        hub = SubscriptionHub()
+        got = []
+        hub.subscribe_proof_available(("s", "o"), got.append)
+        assert ("s", "o") in hub.awaiting_keys()
+        hub.publish_proof_available(
+            ("s", "o"), _event(kind=EventKind.AVAILABLE))
+        assert len(got) == 1
+
+    def test_awaiting_keys_cleared_on_cancel(self):
+        hub = SubscriptionHub()
+        sub = hub.subscribe_proof_available(("s", "o"), lambda e: None)
+        sub.cancel()
+        assert hub.awaiting_keys() == []
+
+    def test_total_subscriptions(self):
+        hub = SubscriptionHub()
+        hub.subscribe("d1", lambda e: None)
+        hub.subscribe_proof_available("k", lambda e: None)
+        assert hub.total_subscriptions() == 2

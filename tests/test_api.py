@@ -1,0 +1,123 @@
+"""The high-level Domain facade."""
+
+import pytest
+
+from repro.api import Domain
+from repro.core import SimClock
+
+
+@pytest.fixture()
+def isp():
+    return Domain.create("BigISP")
+
+
+@pytest.fixture()
+def maria():
+    return Domain.create("Maria")
+
+
+class TestGrants:
+    def test_grant_and_check(self, isp, maria):
+        isp.grant(maria, "member")
+        assert isp.check(maria, "member")
+        assert not isp.check(maria, "admin")
+
+    def test_role_hierarchy(self, isp, maria):
+        isp.grant(maria, "staff")
+        isp.grant_role_to_role("staff", "building-access")
+        assert isp.check(maria, "building-access")
+
+    def test_grant_returns_published_delegation(self, isp, maria):
+        d = isp.grant(maria, "member")
+        assert d.verify_signature()
+        assert isp.wallet.store.get_delegation(d.id) is not None
+
+    def test_expiry_and_depth(self, isp, maria):
+        clock = SimClock()
+        isp2 = Domain.create("ISP2", clock=clock)
+        d = isp2.grant(maria, "member", expiry=100.0, depth_limit=1)
+        assert d.expiry == 100.0 and d.depth_limit == 1
+        clock.advance(200.0)
+        assert not isp2.check(maria, "member")
+
+
+class TestCoalition:
+    def test_paper_case_study_in_six_lines(self, isp, maria):
+        isp.grant(maria, "member")
+        airnet = Domain.create("AirNet")
+        airnet.set_base("BW", 200)
+        airnet.set_base("storage", 50)
+        airnet.set_base("hours", 60)
+        airnet.trust(isp.role("member"), "member",
+                     attrs={"BW": ("<", 100), "storage": ("-", 20),
+                            "hours": ("*", 0.3)})
+        airnet.grant_role_to_role("member", "access")
+        monitor = airnet.authorize(maria, "access",
+                                   evidence=isp.wallet_of(maria))
+        assert monitor is not None and monitor.valid
+        grants = airnet.grants_for(maria, "access")
+        values = {attr.name: value for attr, value in grants.items()}
+        assert values == pytest.approx(
+            {"BW": 100.0, "storage": 30.0, "hours": 18.0})
+
+    def test_constraint_enforcement(self, isp, maria):
+        isp.grant(maria, "member")
+        airnet = Domain.create("AirNet")
+        airnet.set_base("BW", 200)
+        airnet.trust(isp.role("member"), "access",
+                     attrs={"BW": ("<", 40)})
+        airnet.accept(*[c for c in isp.wallet_of(maria)][0])
+        assert airnet.check(maria, "access", require={"BW": 30})
+        assert not airnet.check(maria, "access", require={"BW": 50})
+
+    def test_assignment_and_attribute_rights(self, isp):
+        sheila = Domain.create("Sheila")
+        airnet = Domain.create("AirNet")
+        d_mktg = airnet.grant(sheila, "mktg")
+        d_assign = airnet.grant_assignment(airnet.role("mktg"), "member")
+        d_attr = airnet.grant_attribute_right(airnet.role("mktg"),
+                                              "BW", "<")
+        assert d_assign.obj.ticks == 1
+        assert d_attr.obj.is_attribute_right
+        assert airnet.check(sheila, airnet.role("member", ticks=1))
+
+
+class TestLifecycle:
+    def test_revocation_fires_monitor(self, isp, maria):
+        d = isp.grant(maria, "member")
+        events = []
+        monitor = isp.authorize(maria, "member",
+                                callback=lambda m, e: events.append(e))
+        isp.revoke(d)
+        assert not monitor.valid
+        assert len(events) == 1
+        assert not isp.check(maria, "member")
+
+    def test_authorize_none_when_denied(self, isp, maria):
+        assert isp.authorize(maria, "member") is None
+
+    def test_explain(self, isp, maria):
+        isp.grant(maria, "member")
+        text = isp.explain(maria, "member")
+        assert "Maria => BigISP.member" in text
+        denial = isp.explain(maria, "admin")
+        assert "cannot be proven" in denial
+
+    def test_wallet_of_includes_supports(self, isp, maria):
+        mark = Domain.create("Mark")
+        isp.grant(mark, "memberServices")
+        isp.grant_assignment(isp.role("memberServices"), "member")
+        from repro.core import Proof, issue
+        support = Proof.single(
+            next(d for d in isp.wallet.store.delegations()
+                 if d.subject == mark.entity)
+        ).extend(
+            next(d for d in isp.wallet.store.delegations()
+                 if d.obj.ticks == 1))
+        d3 = issue(mark.principal, maria.entity, isp.role("member"))
+        isp.accept(d3, supports=[support])
+        bundle = isp.wallet_of(maria)
+        assert len(bundle) == 1
+        delegation, supports = bundle[0]
+        assert delegation.id == d3.id
+        assert supports == (support,)

@@ -1,0 +1,164 @@
+"""End-to-end tests of the command-line workspace tool."""
+
+import time
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def ws(tmp_path):
+    return str(tmp_path / "workspace")
+
+
+def run(ws, *args):
+    return main(["-w", ws, *args])
+
+
+@pytest.fixture()
+def table1_workspace(ws, capsys):
+    for name in ("BigISP", "Mark", "Maria"):
+        assert run(ws, "entity", "create", name) == 0
+    assert run(ws, "issue",
+               "[Mark -> BigISP.memberServices] BigISP") == 0
+    assert run(ws, "issue",
+               "[BigISP.memberServices -> BigISP.member'] BigISP") == 0
+    assert run(ws, "issue", "[Maria -> BigISP.member] Mark") == 0
+    capsys.readouterr()
+    return ws
+
+
+class TestEntities:
+    def test_create_and_list(self, ws, capsys):
+        assert run(ws, "entity", "create", "Alice") == 0
+        assert run(ws, "entity", "list") == 0
+        out = capsys.readouterr().out
+        assert "Alice" in out
+
+    def test_duplicate_rejected(self, ws, capsys):
+        run(ws, "entity", "create", "Alice")
+        assert run(ws, "entity", "create", "Alice") == 1
+
+    def test_rsa_algorithm(self, ws, capsys):
+        assert run(ws, "entity", "create", "Slow",
+                   "--algorithm", "rsa-fdh-sha256") == 0
+
+    def test_persistence_across_invocations(self, ws, capsys):
+        run(ws, "entity", "create", "Alice")
+        capsys.readouterr()
+        assert run(ws, "entity", "list") == 0
+        assert "Alice" in capsys.readouterr().out
+
+
+class TestIssueAndQuery:
+    def test_table1_flow(self, table1_workspace, capsys):
+        ws = table1_workspace
+        assert run(ws, "query", "direct", "Maria", "BigISP.member") == 0
+        out = capsys.readouterr().out
+        assert "PROOF" in out
+        assert "[Maria -> BigISP.member] Mark" in out
+
+    def test_no_proof_exit_code(self, table1_workspace, capsys):
+        ws = table1_workspace
+        assert run(ws, "query", "direct", "Mark", "BigISP.member") == 2
+        assert "NO PROOF" in capsys.readouterr().out
+
+    def test_subject_query(self, table1_workspace, capsys):
+        ws = table1_workspace
+        assert run(ws, "query", "subject", "Maria") == 0
+        assert "BigISP.member" in capsys.readouterr().out
+
+    def test_object_query(self, table1_workspace, capsys):
+        ws = table1_workspace
+        assert run(ws, "query", "object", "BigISP.member") == 0
+        assert "Maria" in capsys.readouterr().out
+
+    def test_show(self, table1_workspace, capsys):
+        ws = table1_workspace
+        assert run(ws, "show") == 0
+        out = capsys.readouterr().out
+        assert out.count("->") == 3
+
+    def test_unknown_issuer(self, ws, capsys):
+        run(ws, "entity", "create", "Alice")
+        capsys.readouterr()
+        assert run(ws, "issue", "[Alice -> Ghost.role] Ghost") == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_third_party_auto_supports(self, table1_workspace, capsys):
+        # The Table 1 third-party delegation published fine because the
+        # CLI assembled its support proof from the wallet.
+        ws = table1_workspace
+        assert run(ws, "query", "direct", "Maria", "BigISP.member") == 0
+
+
+class TestRevocation:
+    def test_revoke_by_prefix(self, table1_workspace, capsys):
+        ws = table1_workspace
+        run(ws, "show")
+        lines = [line for line in capsys.readouterr().out.splitlines()
+                 if "[Maria -> BigISP.member] Mark" in line]
+        prefix = lines[0].split()[0]
+        assert run(ws, "revoke", prefix) == 0
+        capsys.readouterr()
+        assert run(ws, "query", "direct", "Maria", "BigISP.member") == 2
+
+    def test_ambiguous_prefix_rejected(self, table1_workspace, capsys):
+        assert run(table1_workspace, "revoke", "") == 1
+
+
+class TestAnalysisCommands:
+    def test_explain(self, table1_workspace, capsys):
+        ws = table1_workspace
+        assert run(ws, "explain", "Maria", "BigISP.member") == 0
+        out = capsys.readouterr().out
+        assert "Maria => BigISP.member" in out
+        assert "requires Mark => BigISP.member'" in out
+
+    def test_explain_no_proof(self, table1_workspace, capsys):
+        assert run(table1_workspace, "explain", "Mark",
+                   "BigISP.member") == 2
+
+    def test_audit(self, table1_workspace, capsys):
+        ws = table1_workspace
+        assert run(ws, "audit", "BigISP.member") == 0
+        out = capsys.readouterr().out
+        assert "Maria" in out
+
+    def test_audit_unheld_role(self, table1_workspace, capsys):
+        assert run(table1_workspace, "audit", "BigISP.ghost") == 0
+        assert "nobody" in capsys.readouterr().out
+
+    def test_cut(self, table1_workspace, capsys):
+        ws = table1_workspace
+        assert run(ws, "cut", "Maria", "BigISP.member") == 0
+        out = capsys.readouterr().out
+        assert "revoke these 1 delegation(s)" in out
+        assert "[Maria -> BigISP.member] Mark" in out
+
+    def test_dot_stdout(self, table1_workspace, capsys):
+        assert run(table1_workspace, "dot") == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph delegations {")
+
+    def test_dot_file(self, table1_workspace, tmp_path, capsys):
+        target = str(tmp_path / "graph.dot")
+        assert run(table1_workspace, "dot", "-o", target) == 0
+        with open(target) as handle:
+            assert "digraph" in handle.read()
+
+
+class TestRenewal:
+    def test_renew_flow(self, ws, capsys):
+        run(ws, "entity", "create", "Org")
+        run(ws, "entity", "create", "Alice")
+        expiry = time.time() + 60
+        assert run(ws, "issue",
+                   f"[Alice -> Org.staff] Org <expiry: {expiry}>") == 0
+        capsys.readouterr()
+        run(ws, "show")
+        prefix = capsys.readouterr().out.split()[0]
+        assert run(ws, "renew", prefix, str(expiry + 3600)) == 0
+        capsys.readouterr()
+        assert run(ws, "query", "direct", "Alice", "Org.staff") == 0

@@ -1,0 +1,49 @@
+"""Every example script must run clean end-to-end.
+
+The examples double as executable documentation; this guard keeps them
+from rotting as the library evolves.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "facade_quickstart.py",
+    "airport_wifi.py",
+    "enterprise_coalition.py",
+    "credential_discovery.py",
+    "federation_operations.py",
+]
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "Quickstart complete.",
+    "facade_quickstart.py": "re-check: False",
+    "airport_wifi.py": "Example complete",
+    "enterprise_coalition.py": "Example complete",
+    "credential_discovery.py": "Example complete.",
+    "federation_operations.py": "Federation operations complete",
+}
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_MARKERS[script] in result.stdout
+
+
+def test_all_examples_are_covered():
+    """A new example script must be added to this guard."""
+    on_disk = {name for name in os.listdir(EXAMPLES_DIR)
+               if name.endswith(".py")}
+    assert on_disk == set(EXAMPLES)

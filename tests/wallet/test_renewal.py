@@ -1,0 +1,136 @@
+"""Credential lifetime updates over delegation subscriptions
+(Section 3.2.2: "delegation subscriptions, for updating credential
+lifetimes, which allow for the continuous monitoring of established
+trust relationships").
+"""
+
+import pytest
+
+from repro.core import (
+    DelegationError,
+    PublicationError,
+    Role,
+    is_renewal_of,
+    issue,
+    renew,
+)
+from repro.pubsub.events import EventKind
+from repro.wallet.wallet import Wallet
+
+
+@pytest.fixture()
+def setup(org, alice, clock):
+    wallet = Wallet(owner=org, clock=clock)
+    role = Role(org.entity, "r")
+    d = issue(org, alice.entity, role, expiry=100.0)
+    wallet.publish(d)
+    return wallet, d, role
+
+
+class TestRenewCertificate:
+    def test_renewal_extends_expiry(self, org, alice):
+        d = issue(org, alice.entity, Role(org.entity, "r"), expiry=100.0)
+        renewed = renew(org, d, new_expiry=200.0)
+        assert renewed.expiry == 200.0
+        assert renewed.verify_signature()
+        assert is_renewal_of(renewed, d)
+
+    def test_only_issuer_can_renew(self, org, bob, alice):
+        d = issue(org, alice.entity, Role(org.entity, "r"), expiry=100.0)
+        with pytest.raises(DelegationError):
+            renew(bob, d, new_expiry=200.0)
+
+    def test_shortening_rejected(self, org, alice):
+        d = issue(org, alice.entity, Role(org.entity, "r"), expiry=100.0)
+        with pytest.raises(DelegationError):
+            renew(org, d, new_expiry=50.0)
+
+    def test_unlimited_lifetime_not_renewable(self, org, alice):
+        d = issue(org, alice.entity, Role(org.entity, "r"))
+        with pytest.raises(DelegationError):
+            renew(org, d, new_expiry=50.0)
+
+    def test_is_renewal_rejects_content_changes(self, org, alice, bob):
+        d = issue(org, alice.entity, Role(org.entity, "r"), expiry=100.0)
+        different = issue(org, bob.entity, Role(org.entity, "r"),
+                          expiry=200.0)
+        assert not is_renewal_of(different, d)
+
+
+class TestWalletRenewal:
+    def test_publish_renewal_swaps_certificate(self, setup, org, clock):
+        wallet, d, role = setup
+        renewed = renew(org, d, new_expiry=300.0)
+        assert wallet.publish_renewal(d.id, renewed)
+        assert wallet.store.get_delegation(d.id) is None
+        assert wallet.store.get_delegation(renewed.id) is not None
+
+    def test_queries_survive_past_old_expiry(self, setup, org, alice,
+                                             clock):
+        wallet, d, role = setup
+        wallet.publish_renewal(d.id, renew(org, d, new_expiry=300.0))
+        clock.advance(150.0)  # past the ORIGINAL expiry
+        assert wallet.query_direct(alice.entity, role) is not None
+        clock.advance(200.0)  # past the renewed expiry too
+        assert wallet.query_direct(alice.entity, role) is None
+
+    def test_updated_event_announced(self, setup, org):
+        wallet, d, _role = setup
+        events = []
+        wallet.hub.subscribe(d.id, events.append)
+        wallet.publish_renewal(d.id, renew(org, d, new_expiry=300.0))
+        assert len(events) == 1
+        assert events[0].kind is EventKind.UPDATED
+
+    def test_monitor_refreshes_silently(self, setup, org, alice, clock):
+        wallet, d, role = setup
+        fired = []
+        monitor = wallet.authorize(alice.entity, role,
+                                   callback=lambda m, e: fired.append(e))
+        wallet.publish_renewal(d.id, renew(org, d, new_expiry=300.0))
+        assert monitor.valid
+        assert fired == []  # no invalidation callback
+        # The monitor now guards the renewed certificate: it survives the
+        # original expiry...
+        clock.advance(150.0)
+        assert wallet.expire_sweep() == []
+        assert monitor.valid
+        # ...and dies at the renewed one.
+        clock.advance(200.0)
+        wallet.expire_sweep()
+        assert not monitor.valid
+
+    def test_supports_carried_over(self, org, bob, alice, clock, table1):
+        wallet = Wallet(owner=org, clock=clock)
+        d3 = issue(table1.mark, table1.maria.entity, table1.member,
+                   expiry=100.0)
+        wallet.publish(table1.d1_mark_services)
+        wallet.publish(table1.d2_services_assign)
+        wallet.publish(d3, supports=[table1.support_proof])
+        renewed = renew(table1.mark, d3, new_expiry=300.0)
+        wallet.publish_renewal(d3.id, renewed)
+        assert wallet.store.supports_for(renewed.id) == \
+            (table1.support_proof,)
+        assert wallet.query_direct(table1.maria.entity,
+                                   table1.member) is not None
+
+    def test_rejections(self, setup, org, bob, alice, clock):
+        wallet, d, role = setup
+        # Unknown original.
+        with pytest.raises(PublicationError, match="does not hold"):
+            wallet.publish_renewal("nope", renew(org, d, 300.0))
+        # Not actually a renewal.
+        other = issue(org, bob.entity, role, expiry=300.0)
+        with pytest.raises(PublicationError, match="re-state"):
+            wallet.publish_renewal(d.id, other)
+        # Revoked original.
+        wallet.revoke(org, d.id)
+        with pytest.raises(PublicationError, match="revoked"):
+            wallet.publish_renewal(d.id, renew(org, d, 300.0))
+
+    def test_expired_renewal_rejected(self, setup, org, clock):
+        wallet, d, _role = setup
+        renewed = renew(org, d, new_expiry=110.0)
+        clock.advance(120.0)
+        with pytest.raises(PublicationError, match="expired"):
+            wallet.publish_renewal(d.id, renewed)

@@ -1,0 +1,82 @@
+"""Regression: revoked support chains must not prop up new proofs.
+
+A wallet validates support proofs at publication time, but revocations
+can arrive later. Queries must re-check stored supports against current
+revocation knowledge, or a third-party delegation would stay usable after
+its authorization was withdrawn (found via the enterprise_coalition
+example: revoking a partner admin's grant left engineer sessions alive).
+"""
+
+import pytest
+
+from repro.core import Proof, Role, SimClock, issue
+from repro.wallet.wallet import Wallet
+
+
+@pytest.fixture()
+def coalition(org, alice, bob, clock):
+    """org grants bob an admin role with right-of-assignment; bob
+    third-party-delegates org's role to alice."""
+    wallet = Wallet(owner=org, clock=clock)
+    target = Role(org.entity, "target")
+    admin = Role(org.entity, "admin")
+    d_admin = issue(org, bob.entity, admin)
+    d_assign = issue(org, admin, target.with_tick())
+    wallet.publish(d_admin)
+    wallet.publish(d_assign)
+    support = Proof.single(d_admin).extend(d_assign)
+    d_grant = issue(bob, alice.entity, target)
+    wallet.publish(d_grant, supports=[support])
+    return wallet, target, d_admin, d_assign, d_grant
+
+
+class TestSupportRevocation:
+    def test_query_fails_after_support_revoked(self, coalition, org,
+                                               alice):
+        wallet, target, d_admin, _d_assign, _d_grant = coalition
+        assert wallet.query_direct(alice.entity, target) is not None
+        wallet.revoke(org, d_admin.id)
+        assert wallet.query_direct(alice.entity, target) is None
+
+    def test_query_fails_after_assignment_revoked(self, coalition, org,
+                                                  alice):
+        wallet, target, _d_admin, d_assign, _d_grant = coalition
+        wallet.revoke(org, d_assign.id)
+        assert wallet.query_direct(alice.entity, target) is None
+
+    def test_monitor_cannot_revalidate_on_dead_support(self, coalition,
+                                                       org, alice):
+        wallet, target, d_admin, _d_assign, _d_grant = coalition
+        monitor = wallet.authorize(alice.entity, target)
+        wallet.revoke(org, d_admin.id)
+        assert not monitor.valid       # support is in the monitored set
+        assert not monitor.revalidate()
+
+    def test_expired_support_also_rejected(self, org, alice, bob, clock):
+        wallet = Wallet(owner=org, clock=clock)
+        target = Role(org.entity, "target")
+        admin = Role(org.entity, "admin")
+        d_admin = issue(org, bob.entity, admin, expiry=10.0)
+        d_assign = issue(org, admin, target.with_tick())
+        wallet.publish(d_admin)
+        wallet.publish(d_assign)
+        support = Proof.single(d_admin).extend(d_assign)
+        wallet.publish(issue(bob, alice.entity, target),
+                       supports=[support])
+        assert wallet.query_direct(alice.entity, target) is not None
+        clock.advance(20.0)
+        assert wallet.query_direct(alice.entity, target) is None
+
+    def test_alternate_support_path_rescues_query(self, coalition, org,
+                                                  alice, bob, carol):
+        """If another valid support chain exists in the graph, the
+        fallback rediscovers it and the query survives."""
+        wallet, target, d_admin, d_assign, _d_grant = coalition
+        # Second, independent admin path for bob.
+        admin2 = Role(org.entity, "admin2")
+        wallet.publish(issue(org, bob.entity, admin2))
+        wallet.publish(issue(org, admin2, target.with_tick()))
+        wallet.revoke(org, d_admin.id)
+        proof = wallet.query_direct(alice.entity, target)
+        assert proof is not None
+        wallet.validate(proof)

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.core import validate_proof
+from repro.graph.search import SearchStats, Strategy, direct_query
+from repro.workloads.topology import make_fan_tree
+
+
+class TestFanTree:
+    @pytest.mark.parametrize("heavy", ["subject", "object"])
+    def test_proof_exists_and_validates(self, heavy):
+        workload = make_fan_tree(2, 3, seed=1, heavy_side=heavy)
+        proof = direct_query(workload.graph(), workload.subject,
+                             workload.obj)
+        assert proof is not None
+        validate_proof(proof, at=0.0)
+
+    def test_tree_size(self):
+        workload = make_fan_tree(3, 3, seed=2)
+        # 3 + 9 + 27 tree edges + 2 bridge edges.
+        assert len(workload) == 39 + 2
+        assert workload.extras["tree_nodes"] == 39
+
+    def test_heavy_subject_punishes_forward(self):
+        workload = make_fan_tree(3, 4, seed=3, heavy_side="subject")
+        graph = workload.graph()
+        forward, reverse = SearchStats(), SearchStats()
+        direct_query(graph, workload.subject, workload.obj,
+                     strategy=Strategy.FORWARD, stats=forward)
+        direct_query(graph, workload.subject, workload.obj,
+                     strategy=Strategy.REVERSE, stats=reverse)
+        assert forward.nodes_expanded > 10 * reverse.nodes_expanded
+
+    def test_heavy_object_punishes_reverse(self):
+        workload = make_fan_tree(3, 4, seed=4, heavy_side="object")
+        graph = workload.graph()
+        forward, reverse = SearchStats(), SearchStats()
+        direct_query(graph, workload.subject, workload.obj,
+                     strategy=Strategy.FORWARD, stats=forward)
+        direct_query(graph, workload.subject, workload.obj,
+                     strategy=Strategy.REVERSE, stats=reverse)
+        assert reverse.nodes_expanded > 10 * forward.nodes_expanded
+
+    def test_bidirectional_cheap_on_both(self):
+        for heavy in ("subject", "object"):
+            workload = make_fan_tree(3, 4, seed=5, heavy_side=heavy)
+            graph = workload.graph()
+            stats = SearchStats()
+            proof = direct_query(graph, workload.subject, workload.obj,
+                                 strategy=Strategy.BIDIRECTIONAL,
+                                 stats=stats)
+            assert proof is not None
+            assert stats.nodes_expanded < 20
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            make_fan_tree(1, 3)
+        with pytest.raises(ValueError):
+            make_fan_tree(2, 0)
+        with pytest.raises(ValueError):
+            make_fan_tree(2, 2, heavy_side="sideways")

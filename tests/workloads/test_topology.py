@@ -1,0 +1,123 @@
+import pytest
+
+from repro.core import validate_proof
+from repro.graph.closure import count_dag_paths
+from repro.graph.search import direct_query
+from repro.workloads.topology import (
+    make_chain,
+    make_coalition,
+    make_layered_dag,
+    make_random_dag,
+)
+
+
+class TestChain:
+    def test_structure(self):
+        workload = make_chain(5, seed=1)
+        assert len(workload) == 5
+        graph = workload.graph()
+        proof = direct_query(graph, workload.subject, workload.obj)
+        assert proof is not None
+        assert proof.depth() == 5
+        validate_proof(proof, at=0.0)
+
+    def test_deterministic(self):
+        a = make_chain(3, seed=9)
+        b = make_chain(3, seed=9)
+        assert [d.id for d, _ in a.delegations] == \
+            [d.id for d, _ in b.delegations]
+
+    def test_modifiers_attached(self):
+        workload = make_chain(4, seed=2, modifier_every=1)
+        attr = workload.attribute
+        total = sum(
+            d.modifiers.value_of(attr) or 0.0
+            for d, _ in workload.delegations
+        )
+        # Only the last link is in the attribute's namespace.
+        assert total > 0
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            make_chain(0)
+
+
+class TestLayeredDag:
+    @pytest.mark.parametrize("width,depth", [(2, 3), (3, 3), (2, 5)])
+    def test_path_count_exponential(self, width, depth):
+        workload = make_layered_dag(width, depth, seed=4)
+        expected = width ** (depth - 1)
+        assert workload.extras["expected_paths"] == expected
+        assert count_dag_paths(workload.graph(), workload.subject,
+                               workload.obj) == expected
+
+    def test_proof_found_and_valid(self):
+        workload = make_layered_dag(2, 4, seed=5)
+        proof = direct_query(workload.graph(), workload.subject,
+                             workload.obj)
+        assert proof is not None
+        assert proof.depth() == 4
+        validate_proof(proof, at=0.0)
+
+    def test_attribute_fraction_adds_modifiers(self):
+        workload = make_layered_dag(2, 4, seed=6, attribute_fraction=1.0)
+        modified = [d for d, _ in workload.delegations
+                    if len(d.modifiers)]
+        # Only final-layer edges may carry the target's attribute.
+        assert modified
+        for d in modified:
+            assert d.obj.entity == workload.attribute.entity
+
+    def test_all_signatures_valid(self):
+        workload = make_layered_dag(2, 3, seed=7)
+        assert all(d.verify_signature() for d, _ in workload.delegations)
+
+
+class TestRandomDag:
+    def test_subject_reaches_object(self):
+        workload = make_random_dag(6, 10, seed=8)
+        proof = direct_query(workload.graph(), workload.subject,
+                             workload.obj,
+                             support_provider=workload.support_provider())
+        assert proof is not None
+
+    def test_acyclic(self):
+        workload = make_random_dag(8, 20, seed=9)
+        # count_dag_paths raises on reachable cycles.
+        count_dag_paths(workload.graph(), workload.subject, workload.obj)
+
+    def test_deterministic(self):
+        a = make_random_dag(5, 8, seed=10)
+        b = make_random_dag(5, 8, seed=10)
+        assert [d.id for d, _ in a.delegations] == \
+            [d.id for d, _ in b.delegations]
+
+
+class TestCoalition:
+    def test_bridge_authorizes_cross_domain_access(self):
+        workload = make_coalition(domains=3, roles_per_domain=2,
+                                  users_per_domain=2, seed=11)
+        graph = workload.graph()
+        proof = direct_query(graph, workload.subject, workload.obj,
+                             support_provider=workload.support_provider())
+        assert proof is not None
+        validate_proof(proof, at=0.0)
+
+    def test_third_party_bridges_have_supports(self):
+        workload = make_coalition(domains=2, roles_per_domain=2,
+                                  users_per_domain=1, seed=12)
+        bridges = [(d, s) for d, s in workload.delegations
+                   if d.is_third_party]
+        assert bridges
+        for delegation, supports in bridges:
+            assert supports
+            validate_proof(supports[0], at=0.0)
+
+    def test_size_scales(self):
+        small = make_coalition(2, 2, 1, seed=13)
+        large = make_coalition(4, 3, 5, seed=13)
+        assert len(large) > len(small)
+
+    def test_minimum_domains(self):
+        with pytest.raises(ValueError):
+            make_coalition(1, 2, 1)
