@@ -1,0 +1,238 @@
+"""Benchmark the event-invalidated decision cache + reachability index.
+
+Phases, per topology (see docs/PERFORMANCE.md for how to read them):
+
+* **cold** -- first ``query_direct`` on a freshly loaded wallet: full
+  proof search, cache miss, result stored;
+* **warm** -- the same query repeated: served from the decision cache;
+* **post-invalidation** -- one delegation of the cached proof is revoked
+  through the public API, then the query re-runs: the REVOKED event must
+  have dropped exactly the dependent entry, forcing one fresh search;
+* **uncached** -- the same repeated query on a ``cache=False`` wallet,
+  the pre-PR behavior, as the honesty baseline;
+* **coherence** -- a publish/revoke/expire event script replayed on
+  cached and uncached wallets, asserting identical answers throughout.
+
+Emits ``BENCH_proof_cache.json`` and exits nonzero unless the warm-hit
+speedup on the largest topology is at least 5x over cold.
+
+Run standalone (``python benchmarks/bench_proof_cache.py [--quick]``) or
+under pytest (``pytest benchmarks/bench_proof_cache.py``).
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro.core import Role, SimClock, issue          # noqa: E402
+from repro.wallet.wallet import Wallet                # noqa: E402
+from repro.workloads.topology import (                # noqa: E402
+    make_chain,
+    make_coalition,
+    make_layered_dag,
+)
+
+OUTPUT = "BENCH_proof_cache.json"
+REQUIRED_SPEEDUP = 5.0
+
+
+def _topologies(quick: bool):
+    """(name, workload) pairs, smallest to largest."""
+    if quick:
+        return [
+            ("chain-12", make_chain(12, seed=7)),
+            ("layered-3x3", make_layered_dag(3, 3, seed=7)),
+            ("coalition-3x3x2",
+             make_coalition(3, 3, 2, seed=7, partner_links=1)),
+        ]
+    return [
+        ("chain-40", make_chain(40, seed=7)),
+        ("coalition-8x4x3",
+         make_coalition(8, 4, 3, seed=7, partner_links=2)),
+        ("layered-6x4", make_layered_dag(6, 4, seed=7)),
+    ]
+
+
+def _load_wallet(workload, cache: bool) -> Wallet:
+    wallet = Wallet(owner=None, address="bench", clock=SimClock(),
+                    cache=cache)
+    for delegation, supports in workload.delegations:
+        wallet.publish(delegation, supports)
+    return wallet
+
+
+def _time(fn, repeat: int):
+    """Median seconds per call over ``repeat`` calls."""
+    samples = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def _issuer_principal(workload, delegation):
+    for principal in workload.principals.values():
+        if principal.entity == delegation.issuer:
+            return principal
+    return None
+
+
+def _coherence_script(workload) -> bool:
+    """Replay publish -> revoke -> expire on cached vs uncached wallets."""
+    outcomes = []
+    for cache in (True, False):
+        wallet = _load_wallet(workload, cache=cache)
+        clock = wallet.clock
+        observed = []
+
+        def observe():
+            observed.append(
+                wallet.query_direct(workload.subject, workload.obj)
+                is not None)
+
+        observe()
+        observe()  # warm read on the cached wallet
+        # Publish a fresh edge: subject gains a brand-new role.
+        owner = next(iter(workload.principals.values()))
+        extra_role = Role(owner.entity, "bench-extra")
+        extra = issue(owner, workload.subject, extra_role, expiry=50.0)
+        wallet.publish(extra)
+        observed.append(
+            wallet.query_direct(workload.subject, extra_role) is not None)
+        # Revoke one link of the main proof (if any proof exists).
+        proof = wallet.query_direct(workload.subject, workload.obj,
+                                    use_cache=False)
+        if proof is not None:
+            link = proof.chain[0]
+            principal = _issuer_principal(workload, link)
+            if principal is not None:
+                wallet.revoke(principal, link.id)
+        observe()
+        # Expire the extra edge.
+        clock.advance(100.0)
+        wallet.expire_sweep()
+        observed.append(
+            wallet.query_direct(workload.subject, extra_role) is not None)
+        outcomes.append(observed)
+    return outcomes[0] == outcomes[1]
+
+
+def bench_topology(name: str, workload, warm_repeat: int) -> dict:
+    subject, obj = workload.subject, workload.obj
+
+    cold_wallet = _load_wallet(workload, cache=True)
+    started = time.perf_counter()
+    cold_proof = cold_wallet.query_direct(subject, obj)
+    cold = time.perf_counter() - started
+
+    warm = _time(lambda: cold_wallet.query_direct(subject, obj),
+                 warm_repeat)
+
+    uncached_wallet = _load_wallet(workload, cache=False)
+    uncached = _time(
+        lambda: uncached_wallet.query_direct(subject, obj),
+        max(3, warm_repeat // 10))
+
+    # Post-invalidation: revoke one link, measure the forced re-search.
+    post_invalidation = None
+    if cold_proof is not None:
+        link = cold_proof.chain[0]
+        principal = _issuer_principal(workload, link)
+        if principal is not None:
+            cold_wallet.revoke(principal, link.id)
+            started = time.perf_counter()
+            cold_wallet.query_direct(subject, obj)
+            post_invalidation = time.perf_counter() - started
+            # And it re-warms immediately afterwards.
+            _time(lambda: cold_wallet.query_direct(subject, obj), 3)
+
+    info = cold_wallet.cache_info()
+    return {
+        "topology": name,
+        "description": workload.description,
+        "delegations": len(workload),
+        "cold_ms": cold * 1e3,
+        "warm_ms": warm * 1e3,
+        "uncached_ms": uncached * 1e3,
+        "post_invalidation_ms":
+            None if post_invalidation is None else post_invalidation * 1e3,
+        "warm_speedup_vs_cold": cold / warm if warm > 0 else float("inf"),
+        "warm_speedup_vs_uncached":
+            uncached / warm if warm > 0 else float("inf"),
+        "hit_rate": info["hit_rate"],
+        "hits": info["hits"],
+        "misses": info["misses"],
+        "invalidations": info["invalidations"],
+        "publish_invalidations": info["publish_invalidations"],
+        "reach_index": info.get("reach_index"),
+        "coherent": _coherence_script(workload),
+    }
+
+
+def run(quick: bool, output: str) -> int:
+    warm_repeat = 50 if quick else 200
+    rows = []
+    for name, workload in _topologies(quick):
+        row = bench_topology(name, workload, warm_repeat)
+        rows.append(row)
+        print(f"{name:18s} n={row['delegations']:<4d} "
+              f"cold={row['cold_ms']:.3f}ms "
+              f"warm={row['warm_ms']:.4f}ms "
+              f"uncached={row['uncached_ms']:.3f}ms "
+              f"speedup={row['warm_speedup_vs_cold']:.1f}x "
+              f"hit_rate={row['hit_rate']:.2f} "
+              f"coherent={row['coherent']}")
+
+    largest = rows[-1]  # topologies are ordered smallest -> largest
+    speedup = largest["warm_speedup_vs_cold"]
+    coherent = all(row["coherent"] for row in rows)
+    ok = speedup >= REQUIRED_SPEEDUP and coherent
+
+    result = {
+        "benchmark": "proof_cache",
+        "quick": quick,
+        "timestamp": time.time(),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "largest_topology": largest["topology"],
+        "largest_warm_speedup": speedup,
+        "all_coherent": coherent,
+        "pass": ok,
+        "topologies": rows,
+    }
+    with open(output, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}; largest topology {largest['topology']} "
+          f"warm speedup {speedup:.1f}x "
+          f"(required {REQUIRED_SPEEDUP:.0f}x) -> "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+# -- pytest entry points -----------------------------------------------------
+
+def test_warm_cache_speedup(tmp_path):
+    """Shape claim: warm hits beat cold search 5x+ and stay coherent."""
+    assert run(quick=True, output=str(tmp_path / OUTPUT)) == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small topologies, few repeats (CI smoke)")
+    parser.add_argument("-o", "--output", default=OUTPUT,
+                        help=f"trajectory file (default: {OUTPUT})")
+    args = parser.parse_args(argv)
+    return run(quick=args.quick, output=args.output)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,18 +45,24 @@ class Domain:
 
     def __init__(self, principal: Principal,
                  clock: Optional[Clock] = None,
-                 wallet: Optional[Wallet] = None) -> None:
+                 wallet: Optional[Wallet] = None,
+                 cache: bool = True) -> None:
         self.principal = principal
         self.wallet = wallet if wallet is not None else Wallet(
             owner=principal, clock=clock if clock is not None
-            else SimClock())
+            else SimClock(), cache=cache)
 
     @classmethod
     def create(cls, name: str, clock: Optional[Clock] = None,
-               algorithm: str = "schnorr-secp256k1") -> "Domain":
-        """Mint a fresh identity with its own wallet."""
+               algorithm: str = "schnorr-secp256k1",
+               cache: bool = True) -> "Domain":
+        """Mint a fresh identity with its own wallet.
+
+        ``cache=False`` disables the wallet's event-invalidated decision
+        cache and reachability index (see docs/PERFORMANCE.md).
+        """
         return cls(create_principal(name, algorithm=algorithm),
-                   clock=clock)
+                   clock=clock, cache=cache)
 
     # -- naming -----------------------------------------------------------
 
@@ -182,6 +188,22 @@ class Domain:
         return self.wallet.query_direct(
             self._resolve_subject(subject), self._resolve_role(role),
             constraints=constraints) is not None
+
+    def check_many(self, requests: Iterable[Tuple[SubjectLike, RoleLike]],
+                   require: Optional[Dict[str, float]] = None) -> List[bool]:
+        """Batched :meth:`check`: one decision per ``(subject, role)``.
+
+        Backed by :meth:`Wallet.authorize_many`, so the whole batch shares
+        one clock reading, support provider, and index snapshot.
+        """
+        constraints = [
+            Constraint(self.attribute(name), minimum)
+            for name, minimum in (require or {}).items()
+        ]
+        pairs = [(self._resolve_subject(subject), self._resolve_role(role))
+                 for subject, role in requests]
+        return [proof is not None for proof in
+                self.wallet.authorize_many(pairs, constraints=constraints)]
 
     def authorize(self, subject: SubjectLike, role: RoleLike,
                   evidence: Iterable[Tuple[Delegation,

@@ -95,9 +95,9 @@ class Workspace:
         return EntityDirectory(
             [p.entity for p in self.principals.values()])
 
-    def wallet(self) -> Wallet:
+    def wallet(self, cache: bool = True) -> Wallet:
         return Wallet(owner=None, address="cli", clock=WallClock(),
-                      store=self.store)
+                      store=self.store, cache=cache)
 
     def principal(self, name: str) -> Principal:
         try:
@@ -179,12 +179,32 @@ def cmd_show(workspace: Workspace, _args) -> int:
 
 
 def cmd_query(workspace: Workspace, args) -> int:
-    wallet = workspace.wallet()
+    use_cache = not args.no_cache
+    repeat = max(1, args.repeat)
+    wallet = workspace.wallet(cache=use_cache)
     directory = workspace.directory()
+
+    def timed(run):
+        """Run the query ``repeat`` times; report per-pass latency.
+
+        With caching on, pass 1 is the cold search and later passes are
+        cache hits -- the repeat flag exists precisely to show that gap.
+        """
+        result = None
+        for i in range(repeat):
+            started = time.perf_counter()
+            result = run()
+            elapsed = (time.perf_counter() - started) * 1000
+            if repeat > 1 or args.timing:
+                label = "cached" if use_cache and i > 0 else "cold"
+                print(f"# pass {i + 1}: {elapsed:.3f} ms ({label})",
+                      file=sys.stderr)
+        return result
+
     if args.form == "direct":
         subject = _resolve_subject(workspace, args.subject)
         obj = parse_role(args.object, directory)
-        proof = wallet.query_direct(subject, obj)
+        proof = timed(lambda: wallet.query_direct(subject, obj))
         if proof is None:
             print("NO PROOF")
             return 2
@@ -194,14 +214,14 @@ def cmd_query(workspace: Workspace, args) -> int:
         return 0
     if args.form == "subject":
         subject = _resolve_subject(workspace, args.subject)
-        proofs = wallet.query_subject(subject)
+        proofs = timed(lambda: wallet.query_subject(subject))
         for proof in proofs:
             print(f"{subject} => {proof.obj}  ({proof.depth()} links)")
         if not proofs:
             print("(nothing reachable)")
         return 0
     obj = parse_role(args.subject, directory)
-    proofs = wallet.query_object(obj)
+    proofs = timed(lambda: wallet.query_object(obj))
     for proof in proofs:
         print(f"{proof.subject} => {obj}  ({proof.depth()} links)")
     if not proofs:
@@ -355,6 +375,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("subject",
                        help="entity nickname or role (object queries: "
                             "the role)")
+    query.add_argument("--no-cache", action="store_true",
+                       help="bypass the wallet's decision cache and "
+                            "reachability index (always run a full search)")
+    query.add_argument("--repeat", type=int, default=1, metavar="N",
+                       help="run the query N times, reporting per-pass "
+                            "latency on stderr (shows cold vs cached)")
+    query.add_argument("--timing", action="store_true",
+                       help="report query latency on stderr")
     query.add_argument("object", nargs="?",
                        help="target role (direct queries only)")
     query.set_defaults(func=cmd_query)

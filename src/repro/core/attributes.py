@@ -317,6 +317,37 @@ def check_constraints(modifiers: ModifierSet,
     return True
 
 
+def attribute_sort_key(attribute: AttributeRef) -> Tuple[str, str]:
+    """Canonical, hashable ordering key for an attribute reference.
+
+    Entity id first (globally unique), local name second -- two
+    AttributeRefs compare equal exactly when their sort keys do, which is
+    what lets query caches canonicalize constraint/base sets regardless
+    of the order a caller supplied them in.
+    """
+    return (attribute.entity.id, attribute.name)
+
+
+def constraints_cache_key(constraints: Iterable[Constraint]
+                          ) -> Tuple[Tuple[str, str, float], ...]:
+    """Order-insensitive canonical key for a constraint set."""
+    return tuple(sorted(
+        (c.attribute.entity.id, c.attribute.name, c.minimum)
+        for c in constraints
+    ))
+
+
+def bases_cache_key(bases: Optional[Mapping[AttributeRef, float]]
+                    ) -> Tuple[Tuple[str, str, float], ...]:
+    """Order-insensitive canonical key for base allocations."""
+    if not bases:
+        return ()
+    return tuple(sorted(
+        (attribute.entity.id, attribute.name, float(value))
+        for attribute, value in bases.items()
+    ))
+
+
 def _compose(op: Operator, left: float, right: float) -> float:
     if op is Operator.SUBTRACT:
         return left + right

@@ -9,10 +9,16 @@ This package provides:
   forward, reverse, and bidirectional strategies plus monotone attribute
   pruning (Section 4.2.3);
 * :mod:`repro.graph.closure` -- Clarke-style reachability closures and
-  exhaustive chain enumeration (used by baselines and benchmarks).
+  exhaustive chain enumeration (used by baselines and benchmarks);
+* :mod:`repro.graph.reach_index` -- incremental per-node reachability
+  bitsets that let searches skip provably disconnected regions;
+* :mod:`repro.graph.proof_cache` -- event-invalidated memoization of
+  query results, the wallet hot-path cache.
 """
 
 from repro.graph.delegation_graph import DelegationGraph
+from repro.graph.proof_cache import ProofCache, ProofCacheStats
+from repro.graph.reach_index import ReachabilityIndex, ReachIndexStats
 from repro.graph.search import (
     SearchStats,
     Strategy,
@@ -33,6 +39,10 @@ from repro.graph.search import build_support_provider
 
 __all__ = [
     "DelegationGraph",
+    "ProofCache",
+    "ProofCacheStats",
+    "ReachabilityIndex",
+    "ReachIndexStats",
     "SearchStats",
     "Strategy",
     "direct_query",

@@ -6,26 +6,38 @@ satisfy a required attribute value range restriction" (Section 6). This
 module computes the closure directly and counts authorizing paths, backing
 both the SPKI baseline and the exponential-blowup demonstration of the E1
 benchmark.
+
+All traversals use explicit stacks/queues: path counting on dense graphs
+goes deep by design, and the interpreter recursion limit must not be the
+thing that caps a benchmark.
 """
 
 from collections import deque
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.proof import RevokedSet, _revocation_test
 from repro.core.roles import Subject, subject_key
 from repro.graph.delegation_graph import DelegationGraph
+from repro.graph.reach_index import ReachabilityIndex
 
 
 def reachability_closure(graph: DelegationGraph,
                          at: float = 0.0,
-                         revoked: Optional[RevokedSet] = None
+                         revoked: Optional[RevokedSet] = None,
+                         index: Optional[ReachabilityIndex] = None
                          ) -> Set[Tuple[tuple, tuple]]:
     """All (subject-node, object-node) pairs connected by a delegation chain.
 
-    One BFS per subject node; O(V * E) worst case, fine at wallet scale.
-    Expired and revoked delegations are excluded.
+    Expired and revoked delegations are excluded. When an up-to-date
+    :class:`ReachabilityIndex` is supplied and every edge it indexed is
+    live (nothing expired at ``at``, nothing revoked), the closure is read
+    straight out of the index's bitsets; otherwise one BFS per subject
+    node, O(V * E) worst case, fine at wallet scale.
     """
     is_revoked = _revocation_test(revoked)
+    if index is not None and index.covers(graph) and not any(
+            d.is_expired(at) or is_revoked(d.id) for d in graph):
+        return index.closure_pairs(graph.subject_nodes())
     closure: Set[Tuple[tuple, tuple]] = set()
     for start in graph.subject_nodes():
         seen = {start}
@@ -55,25 +67,37 @@ def count_paths(graph: DelegationGraph, subject: Subject, obj: Subject,
     """
     is_revoked = _revocation_test(revoked)
     target = subject_key(obj)
-
-    def walk(node: tuple, depth: int, seen: frozenset) -> int:
-        if depth >= max_depth:
-            return 0
-        total = 0
-        for delegation in graph.out_edges_by_node(node):
-            if delegation.is_expired(at) or is_revoked(delegation.id):
-                continue
-            nxt = delegation.object_node
-            if nxt in seen:
-                continue
-            if nxt == target:
-                total += 1
-            else:
-                total += walk(nxt, depth + 1, seen | {nxt})
-        return total
-
     origin = subject_key(subject)
-    return walk(origin, 0, frozenset((origin,)))
+
+    total = 0
+    depth = 0
+    seen = {origin}
+    node_stack = [origin]
+    stack = [iter(graph.out_edges_by_node(origin))]
+    while stack:
+        delegation = next(stack[-1], None)
+        if delegation is None:
+            stack.pop()
+            seen.discard(node_stack.pop())
+            depth -= 1
+            continue
+        if depth + 1 > max_depth:
+            # matches the recursive guard: a frame at depth >= max_depth
+            # explores no edges at all
+            continue
+        if delegation.is_expired(at) or is_revoked(delegation.id):
+            continue
+        nxt = delegation.object_node
+        if nxt in seen:
+            continue
+        if nxt == target:
+            total += 1
+            continue
+        seen.add(nxt)
+        node_stack.append(nxt)
+        stack.append(iter(graph.out_edges_by_node(nxt)))
+        depth += 1
+    return total
 
 
 def count_dag_paths(graph: DelegationGraph, subject: Subject, obj: Subject,
@@ -88,24 +112,40 @@ def count_dag_paths(graph: DelegationGraph, subject: Subject, obj: Subject,
     """
     is_revoked = _revocation_test(revoked)
     target = subject_key(obj)
-    memo: Dict[tuple, int] = {}
+    memo: Dict[tuple, int] = {target: 1}
     on_stack: Set[tuple] = set()
+    root = subject_key(subject)
+    if root == target:
+        return 1
 
-    def walk(node: tuple) -> int:
-        if node == target:
-            return 1
+    # Post-order DFS with an explicit stack: a node is entered (pushed,
+    # marked on-stack), its successors resolved, then finalized into the
+    # memo on the second visit.
+    work: List[Tuple[tuple, bool]] = [(root, False)]
+    while work:
+        node, finalize = work.pop()
+        if finalize:
+            total = 0
+            for delegation in graph.out_edges_by_node(node):
+                if delegation.is_expired(at) or is_revoked(delegation.id):
+                    continue
+                total += memo[delegation.object_node]
+            on_stack.discard(node)
+            memo[node] = total
+            continue
         if node in memo:
-            return memo[node]
+            continue
         if node in on_stack:
             raise ValueError("delegation graph contains a reachable cycle")
         on_stack.add(node)
-        total = 0
+        work.append((node, True))
         for delegation in graph.out_edges_by_node(node):
             if delegation.is_expired(at) or is_revoked(delegation.id):
                 continue
-            total += walk(delegation.object_node)
-        on_stack.discard(node)
-        memo[node] = total
-        return total
-
-    return walk(subject_key(subject))
+            child = delegation.object_node
+            if child not in memo:
+                if child in on_stack:
+                    raise ValueError(
+                        "delegation graph contains a reachable cycle")
+                work.append((child, False))
+    return memo[root]

@@ -1,0 +1,231 @@
+"""Incremental reachability index over the delegation graph.
+
+Proof search (:mod:`repro.graph.search`) explores the delegation graph
+afresh on every query. The paper's efficiency discussion (Section 4.2.3)
+assumes wallets amortize that discovery work; this module supplies the
+amortization substrate: a per-node *reachable-set* index maintained
+incrementally as delegations are published, consulted by the search
+strategies to skip expanding nodes that provably cannot reach the target.
+
+Representation
+--------------
+Every node (a :func:`~repro.core.roles.subject_key` tuple) is interned to
+a small integer; reachability sets are Python ints used as bitsets, so
+set union is a single ``|`` over machine words. Two arrays are kept:
+
+* ``desc[i]`` -- the nodes reachable from ``i`` via one or more edges;
+* ``anc[i]``  -- the nodes that reach ``i`` via one or more edges.
+
+Inserting edge ``u -> v`` makes every node in ``anc(u) + u`` reach every
+node in ``desc(v) + v``; the update is O(|anc| + |desc|) bitset unions --
+the classical incremental transitive closure bound. Cycles need no
+special casing: a new edge's contribution is exactly
+``(anc(u)+u) x (desc(v)+v)`` whether or not it closes a loop.
+
+Soundness contract
+------------------
+The index is *structural*: it tracks every edge present in the graph,
+including edges that are currently expired, revoked, support-blocked, or
+unusable under a depth limit. It is therefore an **over-approximation**
+of what any search can traverse: when the index says a node cannot reach
+the target, no proof chain through that node exists, so pruning on the
+index is sound regardless of query time, revocation state, or
+constraints. Edge *removals* (cache TTL lapses, renewals) merely leave
+the index a stale superset -- still sound, just less selective -- and
+mark it dirty so the owner can schedule a :meth:`rebuild`.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.delegation_graph import DelegationGraph
+
+
+@dataclass
+class ReachIndexStats:
+    """Instrumentation for benchmarks and the maintenance loop."""
+
+    edges_indexed: int = 0
+    incremental_updates: int = 0
+    rebuilds: int = 0
+    queries: int = 0
+
+    def reset(self) -> None:
+        self.edges_indexed = 0
+        self.incremental_updates = 0
+        self.rebuilds = 0
+        self.queries = 0
+
+
+def _bits(mask: int) -> Iterator[int]:
+    """Indexes of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class ReachabilityIndex:
+    """Per-node reachable-set bitsets, maintained incrementally."""
+
+    def __init__(self, graph: Optional[DelegationGraph] = None) -> None:
+        self._ids: Dict[tuple, int] = {}
+        self._nodes: List[tuple] = []
+        self._desc: List[int] = []
+        self._anc: List[int] = []
+        self._edge_count = 0
+        self._dirty = False
+        self.stats = ReachIndexStats()
+        if graph is not None:
+            self.rebuild(graph)
+
+    # -- interning ---------------------------------------------------------
+
+    def _intern(self, node: tuple) -> int:
+        index = self._ids.get(node)
+        if index is None:
+            index = len(self._nodes)
+            self._ids[node] = index
+            self._nodes.append(node)
+            self._desc.append(0)
+            self._anc.append(0)
+        return index
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_edge(self, subject_node: tuple, object_node: tuple) -> None:
+        """Record edge ``subject_node -> object_node`` incrementally."""
+        ui = self._intern(subject_node)
+        vi = self._intern(object_node)
+        self._edge_count += 1
+        self.stats.edges_indexed += 1
+        add_desc = self._desc[vi] | (1 << vi)
+        if add_desc & ~self._desc[ui] == 0:
+            return  # everything v offers was already reachable from u
+        add_anc = self._anc[ui] | (1 << ui)
+        self.stats.incremental_updates += 1
+        desc = self._desc
+        anc = self._anc
+        for a in _bits(add_anc):
+            desc[a] |= add_desc
+        for d in _bits(add_desc):
+            anc[d] |= add_anc
+
+    def mark_removed(self) -> None:
+        """Note that an edge left the graph.
+
+        Reachable sets are not shrunk eagerly -- deletion would require
+        recomputing every pair the edge served. The index stays a sound
+        superset and turns *dirty*; :meth:`refresh` tightens it on the
+        next occasion.
+        """
+        self._edge_count = max(0, self._edge_count - 1)
+        self._dirty = True
+
+    def rebuild(self, graph: DelegationGraph) -> None:
+        """Recompute the index exactly from the graph's current edges."""
+        self._ids = {}
+        self._nodes = []
+        self._desc = []
+        self._anc = []
+        adjacency: List[int] = []
+        edge_count = 0
+        for delegation in graph:
+            ui = self._intern(delegation.subject_node)
+            vi = self._intern(delegation.object_node)
+            while len(adjacency) < len(self._nodes):
+                adjacency.append(0)
+            adjacency[ui] |= 1 << vi
+            edge_count += 1
+        while len(adjacency) < len(self._nodes):
+            adjacency.append(0)
+        # Bitset BFS per node: O(V * E / wordsize) worst case, run only
+        # on rebuilds -- the steady state is incremental insertion.
+        for i in range(len(self._nodes)):
+            seen = 0
+            frontier = adjacency[i]
+            while frontier:
+                seen |= frontier
+                nxt = 0
+                for j in _bits(frontier):
+                    nxt |= adjacency[j]
+                frontier = nxt & ~seen
+            self._desc[i] = seen
+            for j in _bits(seen):
+                self._anc[j] |= 1 << i
+        self._edge_count = edge_count
+        self._dirty = False
+        self.stats.rebuilds += 1
+
+    def refresh(self, graph: DelegationGraph) -> bool:
+        """Rebuild if dirty; returns True when a rebuild happened."""
+        if not self._dirty:
+            return False
+        self.rebuild(graph)
+        return True
+
+    # -- queries -----------------------------------------------------------
+
+    def can_reach(self, src_node: tuple, dst_node: tuple) -> bool:
+        """Could *some* delegation chain lead from src to dst?
+
+        False is definitive (no chain exists even ignoring expiry,
+        revocation, and constraints); True means "possibly". A node the
+        index has never seen has no edges, so it reaches only itself.
+        """
+        self.stats.queries += 1
+        if src_node == dst_node:
+            return True
+        si = self._ids.get(src_node)
+        if si is None:
+            return False
+        di = self._ids.get(dst_node)
+        if di is None:
+            return False
+        return bool((self._desc[si] >> di) & 1)
+
+    def reachable_from(self, node: tuple) -> Set[tuple]:
+        """All nodes reachable from ``node`` via one or more edges."""
+        index = self._ids.get(node)
+        if index is None:
+            return set()
+        return {self._nodes[j] for j in _bits(self._desc[index])}
+
+    def closure_pairs(self, subject_nodes: Iterable[tuple]
+                      ) -> Set[Tuple[tuple, tuple]]:
+        """``{(s, x) : x reachable from s}`` for the given start nodes."""
+        pairs: Set[Tuple[tuple, tuple]] = set()
+        for start in subject_nodes:
+            index = self._ids.get(start)
+            if index is None:
+                continue
+            for j in _bits(self._desc[index]):
+                pairs.add((start, self._nodes[j]))
+        return pairs
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def dirty(self) -> bool:
+        """True when removals have made the index a stale superset."""
+        return self._dirty
+
+    def covers(self, graph: DelegationGraph) -> bool:
+        """True iff the index matches the graph's edge set exactly.
+
+        Holds when no removal happened since the last rebuild and every
+        graph edge was routed through :meth:`add_edge`/:meth:`rebuild`.
+        When it holds (and no edge is expired or revoked), the index *is*
+        the reachability closure -- see
+        :func:`repro.graph.closure.reachability_closure`.
+        """
+        return not self._dirty and self._edge_count == len(graph)
+
+    def __len__(self) -> int:
+        """Number of interned nodes."""
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        state = "dirty" if self._dirty else "exact"
+        return (f"ReachabilityIndex({len(self._nodes)} nodes, "
+                f"{self._edge_count} edges, {state})")

@@ -50,6 +50,7 @@ from repro.core.delegation import Delegation
 from repro.core.proof import Proof, RevokedSet, _revocation_test
 from repro.core.roles import Subject, subject_key
 from repro.graph.delegation_graph import DelegationGraph
+from repro.graph.reach_index import ReachabilityIndex
 
 SupportProvider = Callable[[Delegation], Tuple[Proof, ...]]
 
@@ -70,6 +71,7 @@ class SearchStats:
     pruned_by_constraint: int = 0
     pruned_no_support: int = 0
     pruned_by_depth_limit: int = 0
+    pruned_unreachable: int = 0
     met_in_middle: int = 0
 
     def reset(self) -> None:
@@ -79,6 +81,7 @@ class SearchStats:
         self.pruned_by_constraint = 0
         self.pruned_no_support = 0
         self.pruned_by_depth_limit = 0
+        self.pruned_unreachable = 0
         self.met_in_middle = 0
 
 
@@ -96,6 +99,21 @@ class _Context:
     prune: bool
     stats: SearchStats
     max_depth: int
+    reach_index: Optional[ReachabilityIndex] = None
+
+    def reachable(self, src_node: tuple, dst_node: tuple) -> bool:
+        """Index-backed pruning test; True when no index is attached.
+
+        The index over-approximates traversable edges, so a False answer
+        proves no delegation chain connects the nodes (see the soundness
+        contract in :mod:`repro.graph.reach_index`).
+        """
+        if self.reach_index is None:
+            return True
+        if self.reach_index.can_reach(src_node, dst_node):
+            return True
+        self.stats.pruned_unreachable += 1
+        return False
 
     def edge_usable(self, delegation: Delegation) -> bool:
         self.stats.edges_considered += 1
@@ -150,7 +168,9 @@ def _make_context(graph: DelegationGraph, at: float,
                   support_provider: Optional[SupportProvider],
                   require_supports: bool, prune: bool,
                   stats: Optional[SearchStats],
-                  max_depth: Optional[int]) -> _Context:
+                  max_depth: Optional[int],
+                  reach_index: Optional[ReachabilityIndex] = None
+                  ) -> _Context:
     return _Context(
         graph=graph,
         at=at,
@@ -162,6 +182,7 @@ def _make_context(graph: DelegationGraph, at: float,
         prune=prune,
         stats=stats if stats is not None else SearchStats(),
         max_depth=max_depth if max_depth is not None else max(len(graph), 1),
+        reach_index=reach_index,
     )
 
 
@@ -224,17 +245,23 @@ def direct_query(graph: DelegationGraph, subject: Subject, obj: Subject,
                  require_supports: bool = True,
                  prune: bool = True,
                  stats: Optional[SearchStats] = None,
-                 max_depth: Optional[int] = None) -> Optional[Proof]:
+                 max_depth: Optional[int] = None,
+                 reach_index: Optional[ReachabilityIndex] = None
+                 ) -> Optional[Proof]:
     """Find one proof authorizing ``subject => obj`` satisfying constraints.
 
     Returns None if no satisfying proof exists in the graph. A proof of
     zero length (subject identical to object) is not a dRBAC proof and
-    yields None.
+    yields None. When a :class:`ReachabilityIndex` covering the graph is
+    supplied, nodes that provably cannot lie on a subject-to-object chain
+    are skipped (counted in ``stats.pruned_unreachable``).
     """
     ctx = _make_context(graph, at, revoked, constraints, bases,
                         support_provider, require_supports, prune,
-                        stats, max_depth)
+                        stats, max_depth, reach_index)
     if subject_key(subject) == subject_key(obj):
+        return None
+    if not ctx.reachable(subject_key(subject), subject_key(obj)):
         return None
     if strategy is Strategy.FORWARD:
         return _search_forward(ctx, subject, obj)
@@ -304,6 +331,8 @@ def _search_forward(ctx: _Context, subject: Subject,
             next_node = delegation.object_node
             if next_node == target and ctx.final_ok(extended):
                 return extended
+            if not ctx.reachable(next_node, target):
+                continue
             if labels.admit(next_node, extended):
                 queue.append((next_node, extended))
     return None
@@ -326,6 +355,8 @@ def _search_reverse(ctx: _Context, subject: Subject,
             prev_node = delegation.subject_node
             if prev_node == origin and ctx.final_ok(extended):
                 return extended
+            if not ctx.reachable(origin, prev_node):
+                continue
             if labels.admit(prev_node, extended):
                 queue.append((prev_node, extended))
     return None
@@ -386,6 +417,8 @@ def _search_bidirectional(ctx: _Context, subject: Subject,
                     met = try_meet(next_node, extended, backward)
                     if met is not None:
                         return met
+                if not ctx.reachable(next_node, target):
+                    continue
                 if forward_labels.admit(next_node, extended):
                     forward_proofs.setdefault(next_node, []).append(extended)
                     forward_queue.append((next_node, extended))
@@ -405,6 +438,8 @@ def _search_bidirectional(ctx: _Context, subject: Subject,
                     met = try_meet(prev_node, forward, extended)
                     if met is not None:
                         return met
+                if not ctx.reachable(origin, prev_node):
+                    continue
                 if backward_labels.admit(prev_node, extended):
                     backward_proofs.setdefault(prev_node, []).append(extended)
                     backward_queue.append((prev_node, extended))
@@ -547,28 +582,37 @@ def enumerate_chains(graph: DelegationGraph, subject: Subject,
     Used by the Section 4.2.3 benchmark to demonstrate that the number of
     potential authorizing paths "is clearly exponential in depth" for
     unidirectional enumeration. Chains are simple: no node repeats.
+
+    Iterative DFS with an explicit stack of edge iterators -- path depth
+    is bounded by ``max_depth``, never by the interpreter recursion limit.
     """
     is_revoked = _revocation_test(revoked)
     target = subject_key(obj)
-
-    def walk(node: tuple, path: Tuple[Delegation, ...],
-             seen: frozenset) -> Iterator[Tuple[Delegation, ...]]:
-        if len(path) >= max_depth:
-            return
-        for delegation in graph.out_edges_by_node(node):
-            if delegation.is_expired(at) or is_revoked(delegation.id):
-                continue
-            next_node = delegation.object_node
-            if next_node in seen:
-                continue
-            extended = path + (delegation,)
-            if next_node == target:
-                yield extended
-            else:
-                yield from walk(next_node, extended, seen | {next_node})
-
     origin = subject_key(subject)
-    yield from walk(origin, (), frozenset((origin,)))
+
+    path: List[Delegation] = []
+    seen = {origin}
+    stack = [iter(graph.out_edges_by_node(origin))]
+    while stack:
+        delegation = next(stack[-1], None)
+        if delegation is None:
+            stack.pop()
+            if path:
+                seen.discard(path.pop().object_node)
+            continue
+        if delegation.is_expired(at) or is_revoked(delegation.id):
+            continue
+        next_node = delegation.object_node
+        if next_node in seen:
+            continue
+        if next_node == target:
+            yield tuple(path) + (delegation,)
+            continue
+        if len(path) + 1 >= max_depth:
+            continue
+        path.append(delegation)
+        seen.add(next_node)
+        stack.append(iter(graph.out_edges_by_node(next_node)))
 
 
 def build_support_provider(graph: DelegationGraph,

@@ -8,6 +8,7 @@ from typing import Optional
 class EventKind(str, Enum):
     """What happened to a delegation (or an awaited proof)."""
 
+    PUBLISHED = "published"    # delegation newly inserted into a wallet
     REVOKED = "revoked"        # issuer revoked the delegation
     EXPIRED = "expired"        # expiration date passed
     UPDATED = "updated"        # delegation re-issued / lifetime extended
@@ -17,6 +18,17 @@ class EventKind(str, Enum):
     def invalidates(self) -> bool:
         """True iff proofs depending on the delegation become invalid."""
         return self in (EventKind.REVOKED, EventKind.EXPIRED)
+
+    @property
+    def grows_graph(self) -> bool:
+        """True iff the event can only *add* authorization paths.
+
+        PUBLISHED (and UPDATED, which swaps in a fresh certificate for the
+        same edge) never invalidate an existing positive proof, but they
+        can turn a previously unprovable relationship provable -- which is
+        exactly what negative decision-cache entries must watch for.
+        """
+        return self in (EventKind.PUBLISHED, EventKind.UPDATED)
 
 
 @dataclass(frozen=True)

@@ -73,6 +73,17 @@ class SubscriptionHub:
         """Register for the future availability of a proof."""
         return self._add(("awaiting", relationship_key), callback)
 
+    def subscribe_all(self, callback: EventCallback) -> Subscription:
+        """Register for *every* delegation status event on this hub.
+
+        The firehose channel backs local infrastructure that must observe
+        the whole event stream -- the wallet's proof cache invalidation
+        being the canonical consumer. It sees exactly the events that flow
+        through :meth:`publish`; awaiting-proof announcements are not
+        delegation status changes and stay off this channel.
+        """
+        return self._add(("wildcard",), callback)
+
     def _add(self, key, callback: EventCallback) -> Subscription:
         token = next(self._tokens)
         self._channels.setdefault(key, {})[token] = callback
@@ -88,20 +99,42 @@ class SubscriptionHub:
     # -- publication -------------------------------------------------------
 
     def publish(self, event: DelegationEvent) -> int:
-        """Push a delegation status event; returns deliveries made."""
-        return self._deliver(("delegation", event.delegation_id), event)
+        """Push a delegation status event; returns deliveries made.
+
+        The event reaches every wildcard subscriber plus the delegation's
+        own channel; it counts as a single published event. Wildcard
+        subscribers run *first*: they are infrastructure (cache
+        invalidation), and per-delegation subscribers like proof monitors
+        may re-query during delivery -- they must observe post-event
+        state, never a stale cached answer.
+        """
+        self.events_published += 1
+        errors: List[Exception] = []
+        delivered = self._deliver_channel(("wildcard",), event, errors)
+        delivered += self._deliver_channel(
+            ("delegation", event.delegation_id), event, errors)
+        self.callbacks_delivered += delivered
+        if errors:
+            raise errors[0]
+        return delivered
 
     def publish_proof_available(self, relationship_key,
                                 event: DelegationEvent) -> int:
         """Announce that a previously missing proof now exists."""
-        return self._deliver(("awaiting", relationship_key), event)
-
-    def _deliver(self, key, event: DelegationEvent) -> int:
         self.events_published += 1
+        errors: List[Exception] = []
+        delivered = self._deliver_channel(
+            ("awaiting", relationship_key), event, errors)
+        self.callbacks_delivered += delivered
+        if errors:
+            raise errors[0]
+        return delivered
+
+    def _deliver_channel(self, key, event: DelegationEvent,
+                         errors: List[Exception]) -> int:
         channel = self._channels.get(key)
         if not channel:
             return 0
-        errors: List[Exception] = []
         delivered = 0
         for callback in list(channel.values()):
             try:
@@ -110,9 +143,6 @@ class SubscriptionHub:
                 errors.append(exc)
             else:
                 delivered += 1
-        self.callbacks_delivered += delivered
-        if errors:
-            raise errors[0]
         return delivered
 
     # -- introspection -------------------------------------------------------

@@ -31,6 +31,14 @@ from repro.core.errors import ProofError, PublicationError
 from repro.core.identity import Entity, Principal
 from repro.core.proof import Proof, validate_proof
 from repro.core.roles import Role, Subject, subject_key
+from repro.graph.proof_cache import (
+    KIND_DIRECT,
+    KIND_OBJECT,
+    KIND_SUBJECT,
+    ProofCache,
+    make_key,
+)
+from repro.graph.reach_index import ReachabilityIndex
 from repro.graph.search import (
     SearchStats,
     Strategy,
@@ -56,7 +64,9 @@ class Wallet:
     def __init__(self, owner: Union[Principal, Entity, None] = None,
                  address: str = "",
                  clock: Optional[Clock] = None,
-                 store: Optional[WalletStore] = None) -> None:
+                 store: Optional[WalletStore] = None,
+                 cache: bool = True,
+                 cache_size: int = 4096) -> None:
         if isinstance(owner, Principal):
             self.owner: Optional[Entity] = owner.entity
         else:
@@ -70,6 +80,21 @@ class Wallet:
         # Awaited relationships: key -> (subject, obj, constraints)
         self._awaited: Dict[tuple, Tuple[Subject, Role,
                                          Tuple[Constraint, ...]]] = {}
+        # Query hot-path acceleration: an incremental reachability index
+        # plus an event-invalidated decision cache fed by the wallet's own
+        # subscription hub (so coherence rides the Section 4.2.2 events).
+        self.cache_enabled = cache
+        if cache:
+            self.reach_index: Optional[ReachabilityIndex] = \
+                ReachabilityIndex(self.store.graph)
+            self.proof_cache: Optional[ProofCache] = ProofCache(
+                maxsize=cache_size, reach_index=self.reach_index)
+            self._cache_subscription: Optional[Subscription] = \
+                self.hub.subscribe_all(self._on_cache_event)
+        else:
+            self.reach_index = None
+            self.proof_cache = None
+            self._cache_subscription = None
 
     # ------------------------------------------------------------------
     # Publication (Figure 1, arrow "publish")
@@ -105,6 +130,17 @@ class Wallet:
         self._check_supports(delegation, supports, now)
         inserted = self.store.add_delegation(delegation, supports)
         if inserted:
+            # Index before announcing: the PUBLISHED event's cache
+            # invalidation tests connectivity against the *new* graph.
+            if self.reach_index is not None:
+                self.reach_index.add_edge(delegation.subject_node,
+                                          delegation.object_node)
+            self.hub.publish(DelegationEvent(
+                kind=EventKind.PUBLISHED,
+                delegation_id=delegation.id,
+                timestamp=now,
+                origin=self.address,
+            ))
             self._satisfy_awaiting(now)
         return inserted
 
@@ -227,6 +263,12 @@ class Wallet:
         self.store.remove_delegation(old_delegation_id)
         self._expired_announced.discard(old_delegation_id)
         inserted = self.store.add_delegation(renewal, supports)
+        if inserted and self.reach_index is not None:
+            # Same endpoints as the old certificate (is_renewal_of), so
+            # reachability is unchanged; this balances the edge-count
+            # decrement the UPDATED event will trigger below.
+            self.reach_index.add_edge(renewal.subject_node,
+                                      renewal.object_node)
         self.hub.publish(DelegationEvent(
             kind=EventKind.UPDATED,
             delegation_id=old_delegation_id,
@@ -260,6 +302,64 @@ class Wallet:
                     origin=self.address,
                 ))
         return announced
+
+    # ------------------------------------------------------------------
+    # Query cache coherence (event-driven; no polling, no TTL guesswork)
+    # ------------------------------------------------------------------
+
+    def _on_cache_event(self, event: DelegationEvent) -> None:
+        """Wildcard subscriber keeping the decision cache coherent.
+
+        Invalidation matrix (see docs/PERFORMANCE.md): PUBLISHED threatens
+        only negative/enumeration entries, filtered by endpoint
+        connectivity; REVOKED/EXPIRED/UPDATED kill exactly the entries
+        whose proofs contain the delegation, via the inverted index.
+        """
+        if self.proof_cache is None:
+            return
+        if event.kind is EventKind.PUBLISHED:
+            delegation = self.store.get_delegation(event.delegation_id)
+            if delegation is None:
+                # Shouldn't happen on the wallet's own publish path, but a
+                # relayed event without the certificate gets the
+                # conservative treatment: drop everything growable.
+                self.proof_cache.clear_growable()
+            else:
+                self.proof_cache.on_publish(delegation.subject_node,
+                                            delegation.object_node)
+            return
+        if event.kind is EventKind.UPDATED or event.kind.invalidates:
+            self.proof_cache.on_invalidate(event.delegation_id)
+            if event.kind is not EventKind.REVOKED \
+                    and self.reach_index is not None \
+                    and self.store.get_delegation(event.delegation_id) \
+                    is None:
+                # The edge left the graph (ttl-lapse eviction or renewal
+                # swap): the index is now a stale superset -- still sound
+                # for pruning, rebuilt lazily before the next query.
+                self.reach_index.mark_removed()
+
+    def _ready_reach_index(self) -> Optional[ReachabilityIndex]:
+        """The reachability index, rebuilt first if removals dirtied it."""
+        if self.reach_index is not None and self.reach_index.dirty:
+            self.reach_index.refresh(self.store.graph)
+        return self.reach_index
+
+    def cache_info(self) -> Optional[dict]:
+        """Decision-cache counters, or None when caching is off."""
+        if self.proof_cache is None:
+            return None
+        info = self.proof_cache.stats.to_dict()
+        info["entries"] = len(self.proof_cache)
+        if self.reach_index is not None:
+            info["reach_index"] = {
+                "nodes": len(self.reach_index),
+                "dirty": self.reach_index.dirty,
+                "rebuilds": self.reach_index.stats.rebuilds,
+                "incremental_updates":
+                    self.reach_index.stats.incremental_updates,
+            }
+        return info
 
     # ------------------------------------------------------------------
     # Queries (Figure 1, arrows "query")
@@ -310,44 +410,106 @@ class Wallet:
             merged.update(bases)
         return merged
 
+    def _cache_active(self, use_cache: Optional[bool]) -> bool:
+        if self.proof_cache is None:
+            return False
+        return self.cache_enabled if use_cache is None else use_cache
+
     def query_direct(self, subject: Subject, obj: Role,
                      constraints: Iterable[Constraint] = (),
                      bases: Optional[Mapping[AttributeRef, float]] = None,
                      strategy: Strategy = Strategy.BIDIRECTIONAL,
-                     stats: Optional[SearchStats] = None) -> Optional[Proof]:
+                     stats: Optional[SearchStats] = None,
+                     use_cache: Optional[bool] = None) -> Optional[Proof]:
         """Direct query: one proof for ``subject => obj`` meeting the
-        constraints, or None (Section 4.1)."""
-        return direct_query(
+        constraints, or None (Section 4.1).
+
+        With caching active (the default on a ``cache=True`` wallet) the
+        result -- positive or negative -- is memoized and served until an
+        event invalidates it; ``use_cache=False`` forces a fresh search
+        for this call only. Any valid proof answers a direct query, so a
+        cached proof may be served to a caller that asked for a different
+        search strategy.
+        """
+        constraints = tuple(constraints)
+        merged = self._merged_bases(bases)
+        now = self.clock.now()
+        index = self._ready_reach_index()
+        cached = self._cache_active(use_cache)
+        if cached:
+            key = make_key(KIND_DIRECT, subject_key(subject),
+                           subject_key(obj), constraints, merged)
+            hit, value = self.proof_cache.lookup(key, now)
+            if hit:
+                return value
+        search_stats = stats if stats is not None else SearchStats()
+        before_no_support = search_stats.pruned_no_support
+        proof = direct_query(
             self.store.graph, subject, obj,
-            at=self.clock.now(), revoked=self.store.is_revoked,
-            constraints=constraints, bases=self._merged_bases(bases),
+            at=now, revoked=self.store.is_revoked,
+            constraints=constraints, bases=merged,
             strategy=strategy, support_provider=self.support_provider(),
-            stats=stats,
+            stats=search_stats, reach_index=index,
         )
+        if cached:
+            # A negative computed while support chains were missing is
+            # fragile: any publish could complete a support off the
+            # subject-object path, so the endpoint test must not keep it.
+            fragile = proof is None and \
+                search_stats.pruned_no_support > before_no_support
+            self.proof_cache.store(key, proof, now, fragile=fragile)
+        return proof
 
     def query_subject(self, subject: Subject,
                       constraints: Iterable[Constraint] = (),
                       bases: Optional[Mapping[AttributeRef, float]] = None,
-                      stats: Optional[SearchStats] = None) -> List[Proof]:
+                      stats: Optional[SearchStats] = None,
+                      use_cache: Optional[bool] = None) -> List[Proof]:
         """Subject query: the sub-proofs ``subject => *`` (Section 4.1)."""
-        return subject_query(
-            self.store.graph, subject,
-            at=self.clock.now(), revoked=self.store.is_revoked,
-            constraints=constraints, bases=self._merged_bases(bases),
-            support_provider=self.support_provider(), stats=stats,
-        )
+        return self._query_enumeration(
+            KIND_SUBJECT, subject, constraints, bases, stats, use_cache)
 
     def query_object(self, obj: Role,
                      constraints: Iterable[Constraint] = (),
                      bases: Optional[Mapping[AttributeRef, float]] = None,
-                     stats: Optional[SearchStats] = None) -> List[Proof]:
+                     stats: Optional[SearchStats] = None,
+                     use_cache: Optional[bool] = None) -> List[Proof]:
         """Object query: the sub-proofs ``* => obj`` (Section 4.1)."""
-        return object_query(
-            self.store.graph, obj,
-            at=self.clock.now(), revoked=self.store.is_revoked,
-            constraints=constraints, bases=self._merged_bases(bases),
-            support_provider=self.support_provider(), stats=stats,
+        return self._query_enumeration(
+            KIND_OBJECT, obj, constraints, bases, stats, use_cache)
+
+    def _query_enumeration(self, kind: str, endpoint: Subject,
+                           constraints: Iterable[Constraint],
+                           bases: Optional[Mapping[AttributeRef, float]],
+                           stats: Optional[SearchStats],
+                           use_cache: Optional[bool]) -> List[Proof]:
+        constraints = tuple(constraints)
+        merged = self._merged_bases(bases)
+        now = self.clock.now()
+        self._ready_reach_index()
+        cached = self._cache_active(use_cache)
+        node = subject_key(endpoint)
+        if cached:
+            key = make_key(kind,
+                           node if kind == KIND_SUBJECT else None,
+                           node if kind == KIND_OBJECT else None,
+                           constraints, merged)
+            hit, value = self.proof_cache.lookup(key, now)
+            if hit:
+                return list(value)
+        search_stats = stats if stats is not None else SearchStats()
+        before_no_support = search_stats.pruned_no_support
+        search = subject_query if kind == KIND_SUBJECT else object_query
+        proofs = search(
+            self.store.graph, endpoint,
+            at=now, revoked=self.store.is_revoked,
+            constraints=constraints, bases=merged,
+            support_provider=self.support_provider(), stats=search_stats,
         )
+        if cached:
+            fragile = search_stats.pruned_no_support > before_no_support
+            self.proof_cache.store(key, tuple(proofs), now, fragile=fragile)
+        return proofs
 
     def validate(self, proof: Proof,
                  constraints: Iterable[Constraint] = (),
@@ -392,6 +554,54 @@ class Wallet:
             return None
         return self.monitor(proof, callback=callback,
                             constraints=constraints)
+
+    def authorize_many(self, requests: Iterable[Tuple[Subject, Role]],
+                       constraints: Iterable[Constraint] = (),
+                       bases: Optional[Mapping[AttributeRef, float]] = None,
+                       strategy: Strategy = Strategy.BIDIRECTIONAL,
+                       stats: Optional[SearchStats] = None,
+                       use_cache: Optional[bool] = None
+                       ) -> List[Optional[Proof]]:
+        """Direct-query a batch of ``(subject, obj)`` pairs at one instant.
+
+        The batch shares a single clock reading, one support provider
+        (whose per-delegation memoization now amortizes *across*
+        requests), one merged base-allocation map, and one refreshed
+        reachability index snapshot -- the per-request overhead a loop of
+        :meth:`query_direct` calls would pay repeatedly. Results align
+        with the input order; each is a Proof or None.
+        """
+        constraints = tuple(constraints)
+        merged = self._merged_bases(bases)
+        now = self.clock.now()
+        index = self._ready_reach_index()
+        cached = self._cache_active(use_cache)
+        provider = self.support_provider()
+        search_stats = stats if stats is not None else SearchStats()
+        results: List[Optional[Proof]] = []
+        for subject, obj in requests:
+            key = None
+            if cached:
+                key = make_key(KIND_DIRECT, subject_key(subject),
+                               subject_key(obj), constraints, merged)
+                hit, value = self.proof_cache.lookup(key, now)
+                if hit:
+                    results.append(value)
+                    continue
+            before_no_support = search_stats.pruned_no_support
+            proof = direct_query(
+                self.store.graph, subject, obj,
+                at=now, revoked=self.store.is_revoked,
+                constraints=constraints, bases=merged,
+                strategy=strategy, support_provider=provider,
+                stats=search_stats, reach_index=index,
+            )
+            if cached:
+                fragile = proof is None and \
+                    search_stats.pruned_no_support > before_no_support
+                self.proof_cache.store(key, proof, now, fragile=fragile)
+            results.append(proof)
+        return results
 
     def await_proof(self, subject: Subject, obj: Role,
                     callback: Callable,

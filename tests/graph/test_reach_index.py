@@ -1,0 +1,209 @@
+"""Unit tests for the incremental reachability index."""
+
+import pytest
+
+from repro.core import Role, issue
+from repro.graph.closure import reachability_closure
+from repro.graph.delegation_graph import DelegationGraph
+from repro.graph.reach_index import ReachabilityIndex
+from repro.graph.search import SearchStats, Strategy, direct_query
+
+
+def node(name):
+    return ("entity", name)
+
+
+class TestIncrementalUpdates:
+    def test_single_edge(self):
+        index = ReachabilityIndex()
+        index.add_edge(node("a"), node("b"))
+        assert index.can_reach(node("a"), node("b"))
+        assert not index.can_reach(node("b"), node("a"))
+
+    def test_transitive_chain(self):
+        index = ReachabilityIndex()
+        index.add_edge(node("a"), node("b"))
+        index.add_edge(node("b"), node("c"))
+        index.add_edge(node("c"), node("d"))
+        assert index.can_reach(node("a"), node("d"))
+        assert index.can_reach(node("b"), node("d"))
+        assert not index.can_reach(node("d"), node("a"))
+
+    def test_bridging_edge_connects_components(self):
+        index = ReachabilityIndex()
+        index.add_edge(node("a"), node("b"))
+        index.add_edge(node("c"), node("d"))
+        assert not index.can_reach(node("a"), node("d"))
+        index.add_edge(node("b"), node("c"))
+        assert index.can_reach(node("a"), node("d"))
+        assert index.can_reach(node("a"), node("c"))
+        assert index.can_reach(node("b"), node("d"))
+
+    def test_cycle(self):
+        index = ReachabilityIndex()
+        index.add_edge(node("a"), node("b"))
+        index.add_edge(node("b"), node("c"))
+        index.add_edge(node("c"), node("a"))
+        for x in "abc":
+            for y in "abc":
+                assert index.can_reach(node(x), node(y))
+
+    def test_self_reach_without_edges(self):
+        index = ReachabilityIndex()
+        assert index.can_reach(node("ghost"), node("ghost"))
+        assert not index.can_reach(node("ghost"), node("other"))
+
+    def test_duplicate_edge_skips_update(self):
+        index = ReachabilityIndex()
+        index.add_edge(node("a"), node("b"))
+        updates = index.stats.incremental_updates
+        index.add_edge(node("a"), node("b"))
+        assert index.stats.incremental_updates == updates
+        assert index.can_reach(node("a"), node("b"))
+
+    def test_matches_exhaustive_closure(self):
+        # Random-ish dense DAG built deterministically; compare the
+        # incremental index against a per-pair BFS ground truth.
+        edges = [(i, j) for i in range(10) for j in range(10)
+                 if i != j and (i * 7 + j * 3) % 5 == 0]
+        index = ReachabilityIndex()
+        adjacency = {i: set() for i in range(10)}
+        for i, j in edges:
+            index.add_edge(node(i), node(j))
+            adjacency[i].add(j)
+
+        def bfs_reaches(src, dst):
+            seen, frontier = set(), {src}
+            while frontier:
+                nxt = set()
+                for x in frontier:
+                    for y in adjacency[x]:
+                        if y == dst:
+                            return True
+                        if y not in seen:
+                            seen.add(y)
+                            nxt.add(y)
+                frontier = nxt
+            return False
+
+        for i in range(10):
+            for j in range(10):
+                if i == j:
+                    continue
+                assert index.can_reach(node(i), node(j)) == \
+                    bfs_reaches(i, j), (i, j)
+
+
+class TestDirtyAndRebuild:
+    @pytest.fixture()
+    def graph(self, org, alice, bob):
+        g = DelegationGraph()
+        r1 = Role(org.entity, "mid")
+        r2 = Role(org.entity, "top")
+        self.d1 = issue(org, alice.entity, r1)
+        self.d2 = issue(org, r1, r2)
+        self.d3 = issue(org, bob.entity, r2)
+        for d in (self.d1, self.d2, self.d3):
+            g.add(d)
+        return g
+
+    def test_rebuild_from_graph(self, graph):
+        index = ReachabilityIndex(graph)
+        assert index.covers(graph)
+        assert index.can_reach(self.d1.subject_node, self.d2.object_node)
+        assert not index.can_reach(self.d2.object_node,
+                                   self.d1.subject_node)
+
+    def test_removal_dirties_then_refresh_tightens(self, graph):
+        index = ReachabilityIndex(graph)
+        graph.remove(self.d2.id)
+        index.mark_removed()
+        assert index.dirty
+        assert not index.covers(graph)
+        # Stale superset: still answers True for the severed pair (sound
+        # for pruning -- never claims unreachable when a chain exists).
+        assert index.can_reach(self.d1.subject_node, self.d2.object_node)
+        assert index.refresh(graph)
+        assert not index.dirty
+        assert index.covers(graph)
+        assert not index.can_reach(self.d1.subject_node,
+                                   self.d2.object_node)
+
+    def test_refresh_noop_when_clean(self, graph):
+        index = ReachabilityIndex(graph)
+        assert not index.refresh(graph)
+        assert index.stats.rebuilds == 1
+
+    def test_closure_pairs_matches_closure(self, graph):
+        index = ReachabilityIndex(graph)
+        assert index.closure_pairs(graph.subject_nodes()) == \
+            reachability_closure(graph)
+
+    def test_closure_fast_path_uses_index(self, graph):
+        index = ReachabilityIndex(graph)
+        queries_before = index.stats.queries
+        fast = reachability_closure(graph, index=index)
+        slow = reachability_closure(graph)
+        assert fast == slow
+        assert index.stats.queries == queries_before  # bitset read, no BFS
+
+    def test_closure_ignores_stale_index(self, graph, org, carol):
+        index = ReachabilityIndex(graph)
+        extra = issue(org, carol.entity, Role(org.entity, "mid"))
+        graph.add(extra)  # graph grew behind the index's back
+        assert not index.covers(graph)
+        closure = reachability_closure(graph, index=index)
+        assert (extra.subject_node, extra.object_node) in closure
+
+
+class TestSearchPruning:
+    @pytest.fixture()
+    def fan(self, org, alice):
+        """Alice reaches `goal`; many decoy branches dead-end."""
+        g = DelegationGraph()
+        goal = Role(org.entity, "goal")
+        hop = Role(org.entity, "hop")
+        g.add(issue(org, alice.entity, hop))
+        g.add(issue(org, hop, goal))
+        for i in range(6):
+            decoy = Role(org.entity, f"decoy{i}")
+            deeper = Role(org.entity, f"deeper{i}")
+            g.add(issue(org, alice.entity, decoy))
+            g.add(issue(org, decoy, deeper))
+        return g, alice.entity, goal
+
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_same_answer_with_index(self, fan, strategy):
+        graph, subject, goal = fan
+        index = ReachabilityIndex(graph)
+        plain = direct_query(graph, subject, goal, strategy=strategy)
+        indexed = direct_query(graph, subject, goal, strategy=strategy,
+                               reach_index=index)
+        assert plain is not None and indexed is not None
+        assert indexed.chain == plain.chain
+
+    def test_prunes_decoy_branches(self, fan):
+        graph, subject, goal = fan
+        index = ReachabilityIndex(graph)
+        stats = SearchStats()
+        direct_query(graph, subject, goal, strategy=Strategy.FORWARD,
+                     stats=stats, reach_index=index)
+        assert stats.pruned_unreachable >= 6  # every decoy skipped
+
+    def test_disconnected_short_circuits(self, fan, org, bob):
+        graph, _subject, goal = fan
+        index = ReachabilityIndex(graph)
+        stats = SearchStats()
+        proof = direct_query(graph, bob.entity, goal, stats=stats,
+                             reach_index=index)
+        assert proof is None
+        assert stats.nodes_expanded == 0  # rejected before any expansion
+        assert stats.pruned_unreachable == 1
+
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_negative_answers_agree(self, fan, strategy):
+        graph, subject, _goal = fan
+        index = ReachabilityIndex(graph)
+        missing = Role(next(iter(graph)).issuer, "unreachable")
+        assert direct_query(graph, subject, missing, strategy=strategy,
+                            reach_index=index) is None
