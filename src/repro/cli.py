@@ -179,7 +179,10 @@ def cmd_show(workspace: Workspace, _args) -> int:
 
 
 def cmd_query(workspace: Workspace, args) -> int:
+    from repro.crypto import verify_cache
     use_cache = not args.no_cache
+    if args.no_crypto_cache:
+        verify_cache.set_enabled(False)
     repeat = max(1, args.repeat)
     wallet = workspace.wallet(cache=use_cache)
     directory = workspace.directory()
@@ -199,6 +202,17 @@ def cmd_query(workspace: Workspace, args) -> int:
                 label = "cached" if use_cache and i > 0 else "cold"
                 print(f"# pass {i + 1}: {elapsed:.3f} ms ({label})",
                       file=sys.stderr)
+        if args.timing:
+            info = verify_cache.cache_info()
+            print(
+                "# crypto memo: "
+                f"enabled={info['enabled']} "
+                f"entries={info['entries']}/{info['maxsize']} "
+                f"hits={info['hits']} misses={info['misses']} "
+                f"evictions={info['evictions']} "
+                f"object_hits={info['object_hits']}",
+                file=sys.stderr,
+            )
         return result
 
     if args.form == "direct":
@@ -378,6 +392,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-cache", action="store_true",
                        help="bypass the wallet's decision cache and "
                             "reachability index (always run a full search)")
+    query.add_argument("--no-crypto-cache", action="store_true",
+                       help="disable the signature-verification memo and "
+                            "per-certificate flags (re-verify every "
+                            "signature from scratch)")
     query.add_argument("--repeat", type=int, default=1, metavar="N",
                        help="run the query N times, reporting per-pass "
                             "latency on stderr (shows cold vs cached)")

@@ -26,13 +26,15 @@ Classification (Section 3.1):
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.attributes import Modifier, ModifierSet, Operator
 from repro.core.errors import DelegationError, SignatureInvalidError
 from repro.core.identity import Entity, Principal
 from repro.core.roles import Role, Subject, attribute_right, subject_key
 from repro.core.tags import DiscoveryTag
+from repro.crypto import keys as _keys
+from repro.crypto import verify_cache
 from repro.crypto.encoding import canonical_encode
 from repro.crypto.hashing import sha256_hex
 
@@ -136,23 +138,51 @@ class Delegation:
     # -- identity and integrity ------------------------------------------
 
     def signing_bytes(self) -> bytes:
-        """The canonical byte payload covered by the signature."""
-        return canonical_encode(self._payload_dict())
+        """The canonical byte payload covered by the signature.
+
+        A pure function of the frozen fields, so it is computed once and
+        cached on the instance -- every id lookup, signature check, and
+        wire encode reuses the same bytes. (Frozen dataclasses still
+        have a ``__dict__``; the cache slots are invisible to the
+        generated ``__eq__``/``__hash__``.)
+        """
+        cached = self.__dict__.get("_signing_bytes")
+        if cached is None:
+            cached = canonical_encode(self._payload_dict())
+            object.__setattr__(self, "_signing_bytes", cached)
+        return cached
 
     @property
     def id(self) -> str:
         """Stable content hash identifying this delegation."""
-        return sha256_hex(self.signing_bytes())
+        cached = self.__dict__.get("_id")
+        if cached is None:
+            cached = sha256_hex(self.signing_bytes())
+            object.__setattr__(self, "_id", cached)
+        return cached
 
     @property
     def short_id(self) -> str:
         return self.id[:12]
 
     def verify_signature(self) -> bool:
-        """Verify the issuer's signature over the canonical payload."""
+        """Verify the issuer's signature over the canonical payload.
+
+        The first successful check sets a per-object flag, so each
+        immutable certificate is verified at most once per process (the
+        process-wide memo in :mod:`repro.crypto.verify_cache` extends
+        the same guarantee across re-decoded copies). Failures are never
+        cached, and the flag is ignored while the memo is disabled.
+        """
+        if self.__dict__.get("_sig_ok") and verify_cache.enabled():
+            verify_cache.note_object_hit()
+            return True
         if not self.signature:
             return False
-        return self.issuer.verify(self.signing_bytes(), self.signature)
+        result = self.issuer.verify(self.signing_bytes(), self.signature)
+        if result and verify_cache.enabled():
+            object.__setattr__(self, "_sig_ok", True)
+        return result
 
     def ensure_signed(self) -> None:
         """Raise :class:`SignatureInvalidError` unless the signature holds."""
@@ -399,13 +429,17 @@ class Revocation:
     signature: bytes = b""
 
     def signing_bytes(self) -> bytes:
-        return canonical_encode({
-            "v": 1,
-            "kind": "revocation",
-            "delegation": self.delegation_id,
-            "issuer": self.issuer.to_dict(),
-            "revoked_at": self.revoked_at,
-        })
+        cached = self.__dict__.get("_signing_bytes")
+        if cached is None:
+            cached = canonical_encode({
+                "v": 1,
+                "kind": "revocation",
+                "delegation": self.delegation_id,
+                "issuer": self.issuer.to_dict(),
+                "revoked_at": self.revoked_at,
+            })
+            object.__setattr__(self, "_signing_bytes", cached)
+        return cached
 
     def verify(self, delegation: Delegation) -> bool:
         """True iff this revocation legitimately covers ``delegation``."""
@@ -413,11 +447,21 @@ class Revocation:
             return False
         if self.issuer != delegation.issuer:
             return False
-        return self.issuer.verify(self.signing_bytes(), self.signature)
+        return self.verify_standalone()
 
     def verify_standalone(self) -> bool:
-        """Signature check without the delegation in hand (cache layers)."""
-        return self.issuer.verify(self.signing_bytes(), self.signature)
+        """Signature check without the delegation in hand (cache layers).
+
+        Per-object positive caching, same contract as
+        :meth:`Delegation.verify_signature`.
+        """
+        if self.__dict__.get("_sig_ok") and verify_cache.enabled():
+            verify_cache.note_object_hit()
+            return True
+        result = self.issuer.verify(self.signing_bytes(), self.signature)
+        if result and verify_cache.enabled():
+            object.__setattr__(self, "_sig_ok", True)
+        return result
 
     def to_dict(self) -> dict:
         return {
@@ -435,6 +479,47 @@ class Revocation:
             revoked_at=data["revoked_at"],
             signature=bytes(data["signature"]),
         )
+
+
+# Either signed-certificate type; both expose signing_bytes()/issuer/
+# signature and the per-object ``_sig_ok`` fast flag.
+SignedCertificate = Union[Delegation, "Revocation"]
+
+
+def verify_signatures(certificates: Sequence[SignedCertificate]
+                      ) -> List[bool]:
+    """Batch-verify issuer signatures on delegations and/or revocations.
+
+    Semantically identical to calling ``verify_signature()`` /
+    ``verify_standalone()`` on each certificate, but amortized: objects
+    whose per-object flag or memo entry already proves them are skipped,
+    and the rest are checked through
+    :func:`repro.crypto.keys.verify_batch` (one random-linear-combination
+    multi-scalar multiplication for the Schnorr group). Successes set
+    the same per-object flags the individual paths use.
+    """
+    results: List[Optional[bool]] = [None] * len(certificates)
+    pending: List[int] = []
+    items: List[_keys.BatchItem] = []
+    use_flags = verify_cache.enabled()
+    for index, certificate in enumerate(certificates):
+        if use_flags and certificate.__dict__.get("_sig_ok"):
+            verify_cache.note_object_hit()
+            results[index] = True
+            continue
+        if not certificate.signature:
+            results[index] = False
+            continue
+        pending.append(index)
+        items.append((certificate.issuer.public_key,
+                      certificate.signing_bytes(),
+                      certificate.signature))
+    if items:
+        for index, verdict in zip(pending, _keys.verify_batch(items)):
+            results[index] = verdict
+            if verdict and use_flags:
+                object.__setattr__(certificates[index], "_sig_ok", True)
+    return [bool(verdict) for verdict in results]
 
 
 def revoke(principal: Principal, delegation: Delegation,

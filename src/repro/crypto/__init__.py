@@ -14,7 +14,10 @@ This package provides that substrate from scratch:
 * :mod:`repro.crypto.schnorr` -- Schnorr signatures with deterministic
   (RFC6979-style) nonces over secp256k1.
 * :mod:`repro.crypto.keys` -- the algorithm-agnostic ``KeyPair`` /
-  ``PublicKey`` abstraction the rest of the system consumes.
+  ``PublicKey`` abstraction the rest of the system consumes, plus
+  :func:`repro.crypto.keys.verify_batch` for amortized bulk checks.
+* :mod:`repro.crypto.verify_cache` -- the process-wide signature
+  verification memo (positive results only, bounded LRU).
 
 Only the Python standard library is used (``hashlib``, ``hmac``,
 ``secrets``); no third-party cryptography package is required.
@@ -27,8 +30,10 @@ from repro.crypto.keys import (
     PublicKey,
     SignatureError,
     generate_keypair,
+    verify_batch,
     DEFAULT_ALGORITHM,
 )
+from repro.crypto import verify_cache
 
 __all__ = [
     "sha256",
@@ -40,5 +45,7 @@ __all__ = [
     "PublicKey",
     "SignatureError",
     "generate_keypair",
+    "verify_batch",
+    "verify_cache",
     "DEFAULT_ALGORITHM",
 ]

@@ -15,10 +15,10 @@ fingerprint is the entity's stable, globally unique identifier.
 
 import secrets
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
-from repro.crypto import rsa, schnorr
-from repro.crypto.hashing import sha256_hex
+from repro.crypto import rsa, schnorr, verify_cache
+from repro.crypto.hashing import sha256, sha256_hex
 
 DEFAULT_ALGORITHM = "schnorr-secp256k1"
 ALGORITHMS = ("schnorr-secp256k1", "rsa-fdh-sha256")
@@ -45,19 +45,30 @@ class PublicKey:
         self._decode()
 
     def _decode(self):
+        # Decoding is not free (the Schnorr path does a modular square
+        # root to decompress the point), so the verifier object is built
+        # once per PublicKey and cached on the instance. The cache slot
+        # is plain instance state, invisible to the dataclass-generated
+        # __eq__/__hash__ (which only consider declared fields).
+        cached = self.__dict__.get("_verifier")
+        if cached is not None:
+            return cached
         if self.algorithm == "schnorr-secp256k1":
             try:
-                return schnorr.SchnorrPublicKey.decode(self.key_bytes)
+                verifier = schnorr.SchnorrPublicKey.decode(self.key_bytes)
             except (schnorr.SchnorrError, ValueError) as exc:
                 raise SignatureError(f"bad schnorr key: {exc}") from exc
-        n_bytes, e_bytes = _split_rsa_blob(self.key_bytes)
-        try:
-            return rsa.RSAPublicKey(
-                n=int.from_bytes(n_bytes, "big"),
-                e=int.from_bytes(e_bytes, "big"),
-            )
-        except rsa.RSAError as exc:
-            raise SignatureError(f"bad rsa key: {exc}") from exc
+        else:
+            n_bytes, e_bytes = _split_rsa_blob(self.key_bytes)
+            try:
+                verifier = rsa.RSAPublicKey(
+                    n=int.from_bytes(n_bytes, "big"),
+                    e=int.from_bytes(e_bytes, "big"),
+                )
+            except rsa.RSAError as exc:
+                raise SignatureError(f"bad rsa key: {exc}") from exc
+        object.__setattr__(self, "_verifier", verifier)
+        return verifier
 
     @property
     def fingerprint(self) -> str:
@@ -69,11 +80,30 @@ class PublicKey:
         """First 12 hex chars of the fingerprint, for display."""
         return self.fingerprint[:12]
 
+    def _memo_key(self, message: bytes,
+                  signature: bytes) -> verify_cache.MemoKey:
+        return (self.algorithm, self.key_bytes, sha256(message), signature)
+
     def verify(self, message: bytes, signature: bytes) -> bool:
-        """Return True iff ``signature`` over ``message`` verifies."""
+        """Return True iff ``signature`` over ``message`` verifies.
+
+        Successful verifications are memoized process-wide (see
+        :mod:`repro.crypto.verify_cache`); failures always re-run the
+        full check and are never cached.
+        """
         if not isinstance(signature, (bytes, bytearray)):
             return False
-        return self._decode().verify(message, bytes(signature))
+        signature = bytes(signature)
+        memo = verify_cache.memo()
+        if memo.enabled:
+            key = self._memo_key(message, signature)
+            if memo.lookup(key):
+                return True
+            if self._decode().verify(message, signature):
+                memo.record(key)
+                return True
+            return False
+        return self._decode().verify(message, signature)
 
     def to_dict(self) -> dict:
         """Serializable representation (used in wire messages)."""
@@ -105,6 +135,67 @@ class KeyPair:
     @property
     def fingerprint(self) -> str:
         return self.public.fingerprint
+
+
+# A batch-verification item: (public key, message, signature).
+BatchItem = Tuple[PublicKey, bytes, bytes]
+
+
+def verify_batch(items: Sequence[BatchItem]) -> List[bool]:
+    """Verify many (key, message, signature) items, amortizing the work.
+
+    Returns one bool per item, identical to calling
+    ``key.verify(message, signature)`` item by item (asserted by the
+    Hypothesis property test in ``tests/crypto/test_batch_verify.py``),
+    but cheaper:
+
+    * items already in the verification memo are answered without any
+      group arithmetic;
+    * the remaining Schnorr items are checked together with
+      random-linear-combination batching
+      (:func:`repro.crypto.schnorr.verify_batch`), one multi-scalar
+      multiplication for the whole group, with bisection on failure so
+      the offending item is identified exactly;
+    * RSA (and malformed) items fall back to individual verification.
+
+    Successes are recorded in the memo either way.
+    """
+    results: List[Optional[bool]] = [None] * len(items)
+    memo = verify_cache.memo()
+    use_memo = memo.enabled
+    memo_keys: List[Optional[verify_cache.MemoKey]] = [None] * len(items)
+    schnorr_indices: List[int] = []
+    schnorr_items: List[schnorr.BatchItem] = []
+    for index, (public_key, message, signature) in enumerate(items):
+        if not isinstance(signature, (bytes, bytearray)):
+            results[index] = False
+            continue
+        signature = bytes(signature)
+        if use_memo:
+            key = public_key._memo_key(message, signature)
+            memo_keys[index] = key
+            if memo.lookup(key):
+                results[index] = True
+                continue
+        if public_key.algorithm == "schnorr-secp256k1":
+            schnorr_indices.append(index)
+            schnorr_items.append(
+                (public_key._decode(), message, signature))
+        else:
+            results[index] = public_key._decode().verify(message,
+                                                         signature)
+    if schnorr_items:
+        if schnorr.verify_batch(schnorr_items):
+            verdicts = [True] * len(schnorr_items)
+        else:
+            verdicts = schnorr.verify_batch_bisect(schnorr_items)
+        for index, verdict in zip(schnorr_indices, verdicts):
+            results[index] = verdict
+    if use_memo:
+        for index, verdict in enumerate(results):
+            if verdict and memo_keys[index] is not None:
+                memo.record(memo_keys[index])
+    return [bool(verdict) for verdict in results]
 
 
 def generate_keypair(algorithm: str = DEFAULT_ALGORITHM,

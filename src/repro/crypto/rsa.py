@@ -59,6 +59,18 @@ class RSAPublicKey:
         expected = _full_domain_hash(message, self.n)
         return recovered == expected
 
+    def verify_many(self, items) -> list:
+        """Per-item results for (message, signature) pairs.
+
+        RSA-FDH has no sound random-linear-combination batching trick
+        (the FDH comparison is an equality on padded values, not a group
+        equation), so this is a plain loop -- it exists for API parity
+        with the Schnorr batch path, and so dispatchers need not
+        special-case the algorithm.
+        """
+        return [self.verify(message, signature)
+                for message, signature in items]
+
 
 @dataclass(frozen=True)
 class RSAPrivateKey:

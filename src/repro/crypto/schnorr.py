@@ -18,7 +18,7 @@ values and make the whole system reproducible under seeded entity creation.
 
 import secrets
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto import ec
 from repro.crypto.hashing import hmac_sha256, sha256
@@ -48,22 +48,21 @@ class SchnorrPublicKey:
         return SchnorrPublicKey(ec.Point.decode(data))
 
     def verify(self, message: bytes, signature: bytes) -> bool:
-        """Return True iff ``signature`` is valid for ``message``."""
-        if len(signature) != SIGNATURE_SIZE:
+        """Return True iff ``signature`` is valid for ``message``.
+
+        The check ``s*G == R + e*Q`` is rearranged to
+        ``s*G + (n - e)*Q == R`` so both scalar multiplications run in a
+        single Strauss/Shamir joint ladder (:func:`ec.double_scalar_mult`)
+        -- one shared run of doublings instead of two, ~1.6-2x faster
+        per cold verification than the textbook two-multiplication form.
+        """
+        parsed = _parse_signature(signature)
+        if parsed is None:
             return False
-        try:
-            r_point = ec.Point.decode(signature[:33])
-        except ec.ECError:
-            return False
-        if r_point.is_infinity:
-            return False
-        s = int.from_bytes(signature[33:], "big")
-        if not ec.is_valid_scalar(s):
-            return False
+        r_point, s = parsed
         e = _challenge(r_point, self.point, message)
-        lhs = ec.scalar_mult(s)
-        rhs = ec.point_add(r_point, ec.scalar_mult(e, self.point))
-        return lhs == rhs
+        lhs = ec.double_scalar_mult(s, ec.GENERATOR, ec.N - e, self.point)
+        return lhs == r_point
 
 
 @dataclass(frozen=True)
@@ -82,14 +81,20 @@ class SchnorrPrivateKey:
 
     def sign(self, message: bytes) -> bytes:
         """Produce a deterministic 65-byte Schnorr signature."""
-        k = _deterministic_nonce(self.d, message)
-        r_point = ec.scalar_mult(k)
-        e = _challenge(r_point, self.public_key.point, message)
-        s = (k + e * self.d) % ec.N
-        if s == 0:
-            # Astronomically unlikely; re-derive with a tweaked message.
-            return self.sign(message + b"\x00")
-        return r_point.encode() + s.to_bytes(32, "big")
+        public_point = self.public_key.point
+        attempt = 0
+        while True:
+            k = _deterministic_nonce(self.d, message, start=attempt)
+            r_point = ec.scalar_mult(k)
+            e = _challenge(r_point, public_point, message)
+            s = (k + e * self.d) % ec.N
+            if s != 0:
+                return r_point.encode() + s.to_bytes(32, "big")
+            # Astronomically unlikely: re-derive the nonce for the SAME
+            # message from the next counter value. (Tweaking the message
+            # itself, as older revisions did, produced a signature that
+            # would never verify for the message actually passed in.)
+            attempt += 1
 
 
 def generate_schnorr_keypair(
@@ -102,10 +107,16 @@ def generate_schnorr_keypair(
             return SchnorrPrivateKey(d)
 
 
-def _deterministic_nonce(d: int, message: bytes) -> int:
-    """Derive a per-(key, message) nonce via iterated HMAC (RFC6979 style)."""
+def _deterministic_nonce(d: int, message: bytes, start: int = 0) -> int:
+    """Derive a per-(key, message) nonce via iterated HMAC (RFC6979 style).
+
+    ``start`` offsets the HMAC counter: ``sign`` passes 1, 2, ... to
+    retry over the *same* message when s == 0 comes out. ``start=0``
+    reproduces the historical derivation bit-for-bit, so existing
+    signatures are unchanged.
+    """
     key = d.to_bytes(32, "big")
-    counter = 0
+    counter = start
     while True:
         digest = hmac_sha256(key, sha256(message) + counter.to_bytes(4, "big"))
         k = int.from_bytes(digest, "big") % ec.N
@@ -120,3 +131,99 @@ def _challenge(r_point: ec.Point, public_point: ec.Point,
     digest = sha256(r_point.encode() + public_point.encode() + message)
     e = int.from_bytes(digest, "big") % ec.N
     return e if e != 0 else 1
+
+
+def _parse_signature(signature: bytes
+                     ) -> Optional[Tuple[ec.Point, int]]:
+    """Decode a 65-byte signature into (R, s), or None if malformed."""
+    if len(signature) != SIGNATURE_SIZE:
+        return None
+    try:
+        r_point = ec.Point.decode(signature[:33])
+    except ec.ECError:
+        return None
+    if r_point.is_infinity:
+        return None
+    s = int.from_bytes(signature[33:], "big")
+    if not ec.is_valid_scalar(s):
+        return None
+    return r_point, s
+
+
+# -- batch verification ------------------------------------------------------
+
+# An item to batch-verify: (public key, message, signature).
+BatchItem = Tuple[SchnorrPublicKey, bytes, bytes]
+
+
+def verify_batch(items: Sequence[BatchItem],
+                 rng: Optional[secrets.SystemRandom] = None) -> bool:
+    """All-or-nothing batch verification via a random linear combination.
+
+    Each item i contributes the equation ``s_i*G == R_i + e_i*Q_i``.
+    Summing them directly would let errors cancel, so each is weighted
+    by an independent random 64-bit coefficient z_i and the combined
+    check
+
+        (sum z_i*s_i)*G - sum z_i*R_i - sum (z_i*e_i)*Q_i == O
+
+    runs as ONE multi-scalar multiplication (:func:`ec.multi_scalar_mult`)
+    sharing a single ladder across the whole batch. A forged item slips
+    through with probability <= 2**-64 per attempt; the coefficients are
+    fresh per call, so a failure cannot be replayed into an accept.
+
+    Returns True iff every item would verify individually. Use
+    :func:`verify_batch_bisect` to identify *which* items failed.
+    ``rng`` exists so tests can force coefficient choices.
+    """
+    parsed = []
+    for public_key, message, signature in items:
+        decoded = _parse_signature(signature)
+        if decoded is None:
+            return False
+        r_point, s = decoded
+        e = _challenge(r_point, public_key.point, message)
+        parsed.append((public_key.point, r_point, s, e))
+    if not parsed:
+        return True
+    if len(parsed) == 1:
+        q, r_point, s, e = parsed[0]
+        return ec.double_scalar_mult(s, ec.GENERATOR, ec.N - e, q) == r_point
+    rand = rng if rng is not None else secrets.SystemRandom()
+    terms: List[Tuple[int, ec.Point]] = []
+    s_combined = 0
+    for q, r_point, s, e in parsed:
+        z = rand.randrange(1, 1 << 64)
+        s_combined = (s_combined + z * s) % ec.N
+        terms.append((ec.N - z % ec.N, r_point))
+        terms.append((ec.N - (z * e) % ec.N, q))
+    terms.append((s_combined, ec.GENERATOR))
+    return ec.multi_scalar_mult(terms) == ec.INFINITY
+
+
+def verify_batch_bisect(items: Sequence[BatchItem],
+                        rng: Optional[secrets.SystemRandom] = None
+                        ) -> List[bool]:
+    """Per-item verification results, batch-fast when everything is good.
+
+    Runs :func:`verify_batch` on the whole sequence first; on failure,
+    bisects recursively so a single bad certificate in a large import is
+    pinpointed in O(log n) batch checks instead of n individual ones.
+    """
+    results = [False] * len(items)
+
+    def _check(lo: int, hi: int) -> None:
+        span = items[lo:hi]
+        if verify_batch(span, rng=rng):
+            for index in range(lo, hi):
+                results[index] = True
+            return
+        if hi - lo == 1:
+            return
+        mid = (lo + hi) // 2
+        _check(lo, mid)
+        _check(mid, hi)
+
+    if items:
+        _check(0, len(items))
+    return results

@@ -1,0 +1,151 @@
+"""Process-wide signature-verification memo.
+
+Every layer of the proof pipeline re-checks the same immutable
+certificates: ``validate_proof`` walks a chain whose links were already
+verified at publication, :meth:`WalletStore.from_bytes` re-verifies on
+every load, and discovery re-validates whatever a remote wallet served.
+Because keys, signing bytes, and signatures are all immutable, a
+*positive* verification outcome can never change -- so it is memoized
+here, keyed by ``(algorithm, key bytes, signing-bytes digest,
+signature)``, and each certificate's signature is verified at most once
+per process.
+
+Two rules keep the memo invalidation-free by construction:
+
+* **only successes are cached** -- a failed verify always re-runs the
+  full check and re-raises/returns through the normal path, so an
+  attacker cannot plant a cached negative and a flaky failure cannot
+  stick;
+* **the key covers the complete verification question** -- algorithm,
+  key material, SHA-256 of the signed bytes, and the signature itself.
+  Nothing mutable participates, so there is nothing to invalidate.
+
+The memo is a bounded LRU (default 8192 entries). Disable it globally
+with :func:`set_enabled` (the CLI's ``--no-crypto-cache``), with the
+``DRBAC_NO_CRYPTO_CACHE`` environment variable, or temporarily with the
+:func:`disabled` context manager; outcomes are identical either way,
+only latency changes (asserted by ``tests/crypto/test_verify_cache.py``).
+"""
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+DEFAULT_MAXSIZE = 8192
+
+# A memo key: (algorithm, key bytes, sha256(signing bytes), signature).
+MemoKey = Tuple[str, bytes, bytes, bytes]
+
+
+class VerificationMemo:
+    """Bounded LRU of signatures that have verified successfully."""
+
+    __slots__ = ("maxsize", "_entries", "hits", "misses", "evictions",
+                 "object_hits", "enabled")
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE,
+                 enabled: bool = True) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[MemoKey, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        # Verifications short-circuited by a per-object flag on an
+        # immutable Delegation/Revocation (set after its first success);
+        # those never reach the key computation below.
+        self.object_hits = 0
+        self.enabled = enabled
+
+    def lookup(self, key: MemoKey) -> bool:
+        """True iff ``key`` is known-good; updates hit/miss counters."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def record(self, key: MemoKey) -> None:
+        """Remember a *successful* verification (never call on failure)."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            return
+        if len(entries) >= self.maxsize:
+            entries.popitem(last=False)
+            self.evictions += 1
+        entries[key] = True
+
+    def clear(self) -> None:
+        """Drop all entries; counters are preserved for inspection."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def info(self) -> dict:
+        """``cache_info()``-style statistics snapshot."""
+        return {
+            "enabled": self.enabled,
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "object_hits": self.object_hits,
+        }
+
+
+_MEMO = VerificationMemo(
+    enabled=not os.environ.get("DRBAC_NO_CRYPTO_CACHE"))
+
+
+def memo() -> VerificationMemo:
+    """The process-wide memo instance."""
+    return _MEMO
+
+
+def enabled() -> bool:
+    return _MEMO.enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Globally enable/disable the memo (and the per-object fast flags)."""
+    _MEMO.enabled = bool(value)
+
+
+def note_object_hit() -> None:
+    """Count a verification short-circuited by a per-object flag."""
+    _MEMO.object_hits += 1
+
+
+def cache_clear() -> None:
+    _MEMO.clear()
+
+
+def cache_info() -> dict:
+    return _MEMO.info()
+
+
+def configure(maxsize: Optional[int] = None) -> None:
+    """Adjust the memo bound; entries beyond the new bound are evicted."""
+    if maxsize is not None:
+        if maxsize < 1:
+            raise ValueError("memo maxsize must be positive")
+        _MEMO.maxsize = maxsize
+        while len(_MEMO._entries) > maxsize:
+            _MEMO._entries.popitem(last=False)
+            _MEMO.evictions += 1
+
+
+@contextmanager
+def disabled():
+    """Temporarily run with the memo off (tests, honest benchmarks)."""
+    previous = _MEMO.enabled
+    _MEMO.enabled = False
+    try:
+        yield
+    finally:
+        _MEMO.enabled = previous

@@ -335,7 +335,20 @@ class DiscoveryEngine:
         support proofs); validation subscriptions are established at the
         source wallet for every delegation the proof depends on (Step 5).
         """
+        from repro.core.delegation import verify_signatures
+        from repro.crypto import verify_cache
         wallet = self.server.wallet
+        if verify_cache.enabled():
+            # Batch-verify everything the remote proof carries (chain +
+            # supports) before the per-delegation inserts re-validate:
+            # one multi-scalar multiplication instead of one ladder per
+            # certificate. Failures are ignored here -- the insert path
+            # re-checks and rejects through its normal accounting.
+            fresh = [d for d in proof.all_delegations()
+                     if not d.__dict__.get("_sig_ok")
+                     and wallet.store.get_delegation(d.id) is None]
+            if len(fresh) > 1:
+                verify_signatures(fresh)
         for delegation in proof.chain:
             self._harvest_delegation_tags(delegation, tags)
             if wallet.store.get_delegation(delegation.id) is not None:

@@ -228,6 +228,18 @@ class Switchboard:
             proof = None
             if payload.get("role_proof") is not None:
                 proof = Proof.from_dict(payload["role_proof"])
+                # Pre-warm the freshly decoded credential's signatures in
+                # one batch; the validator's per-link checks then hit the
+                # per-object flags. (Transcript verification above and
+                # everything inside the validator already ride the
+                # process-wide memo via PublicKey.verify.)
+                from repro.core.delegation import verify_signatures
+                from repro.crypto import verify_cache
+                if verify_cache.enabled():
+                    fresh = [d for d in proof.all_delegations()
+                             if not d.__dict__.get("_sig_ok")]
+                    if len(fresh) > 1:
+                        verify_signatures(fresh)
             try:
                 self.required_role_validator(initiator, proof)
             except Exception as exc:  # noqa: BLE001 - policy boundary

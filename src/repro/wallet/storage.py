@@ -135,14 +135,28 @@ class WalletStore:
 
     @staticmethod
     def from_bytes(data: bytes) -> "WalletStore":
-        """Restore a store; every delegation's signature is re-verified."""
+        """Restore a store; every delegation's signature is re-verified.
+
+        The signature checks run as one batch
+        (:func:`repro.core.delegation.verify_signatures` -- memo lookups
+        plus a single random-linear-combination multi-scalar
+        multiplication for everything still cold). On any failure the
+        offending certificates are re-checked individually, so error
+        messages and ordering (delegations before revocations, input
+        order within each) match the sequential path exactly.
+        """
+        from repro.core.delegation import verify_signatures
         payload = canonical_decode(data)
         if not isinstance(payload, dict) or payload.get("v") != 1:
             raise PublicationError("unrecognized wallet store format")
         store = WalletStore()
-        for record in payload.get("delegations", ()):
-            delegation = Delegation.from_dict(record)
-            if not delegation.verify_signature():
+        delegations = [Delegation.from_dict(record)
+                       for record in payload.get("delegations", ())]
+        revocations = [Revocation.from_dict(record)
+                       for record in payload.get("revocations", ())]
+        verdicts = verify_signatures(list(delegations) + list(revocations))
+        for delegation, verdict in zip(delegations, verdicts):
+            if not verdict and not delegation.verify_signature():
                 raise PublicationError(
                     f"stored delegation {delegation.short_id} fails "
                     f"signature verification"
@@ -152,9 +166,9 @@ class WalletStore:
             store._supports[delegation_id] = tuple(
                 Proof.from_dict(p) for p in proofs
             )
-        for record in payload.get("revocations", ()):
-            revocation = Revocation.from_dict(record)
-            if not revocation.verify_standalone():
+        for revocation, verdict in zip(revocations,
+                                       verdicts[len(delegations):]):
+            if not verdict and not revocation.verify_standalone():
                 raise PublicationError(
                     "stored revocation fails signature verification"
                 )

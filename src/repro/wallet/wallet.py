@@ -173,7 +173,32 @@ class Wallet:
 
     def publish_many(self, items: Iterable[Tuple[Delegation,
                                                  Iterable[Proof]]]) -> int:
-        """Publish (delegation, supports) pairs; returns insert count."""
+        """Publish (delegation, supports) pairs; returns insert count.
+
+        Signature checks for the whole batch (delegations and their
+        support-proof chains) are front-loaded through
+        :func:`repro.core.delegation.verify_signatures`, so the
+        per-item ``publish`` calls hit per-object flags instead of
+        re-running group arithmetic one certificate at a time. Outcomes
+        -- including which item raises first -- are unchanged.
+        """
+        from repro.core.delegation import verify_signatures
+        from repro.crypto import verify_cache
+        items = [(delegation, tuple(supports))
+                 for delegation, supports in items]
+        if verify_cache.enabled():
+            pending = []
+            seen = set()
+            for delegation, supports in items:
+                for candidate in [delegation] + [
+                        d for proof in supports
+                        for d in proof.all_delegations()]:
+                    if candidate.id not in seen \
+                            and not candidate.__dict__.get("_sig_ok"):
+                        seen.add(candidate.id)
+                        pending.append(candidate)
+            if len(pending) > 1:
+                verify_signatures(pending)
         inserted = 0
         for delegation, supports in items:
             if self.publish(delegation, supports):
@@ -346,7 +371,13 @@ class Wallet:
         return self.reach_index
 
     def cache_info(self) -> Optional[dict]:
-        """Decision-cache counters, or None when caching is off."""
+        """Decision-cache counters, or None when caching is off.
+
+        Includes the process-wide signature-verification memo's counters
+        under ``crypto_memo`` (that cache is per process, not per
+        wallet, so the numbers aggregate across all wallets).
+        """
+        from repro.crypto import verify_cache
         if self.proof_cache is None:
             return None
         info = self.proof_cache.stats.to_dict()
@@ -359,6 +390,7 @@ class Wallet:
                 "incremental_updates":
                     self.reach_index.stats.incremental_updates,
             }
+        info["crypto_memo"] = verify_cache.cache_info()
         return info
 
     # ------------------------------------------------------------------

@@ -1,0 +1,142 @@
+"""Batch verification: RLC batching agrees with individual verifies.
+
+The contract under test (ISSUE satellite): ``verify_batch`` accepts iff
+every individual ``verify`` accepts, and tampering any single signature,
+message, or key makes the batch reject with bisection naming exactly the
+tampered index.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import crypto
+from repro.crypto import verify_cache
+from repro.crypto.schnorr import (
+    SchnorrPrivateKey,
+    verify_batch,
+    verify_batch_bisect,
+)
+
+
+def _key(seed: int) -> SchnorrPrivateKey:
+    return SchnorrPrivateKey(random.Random(seed).randrange(1, 10 ** 60))
+
+
+def _items(count: int, seed: int = 0):
+    items = []
+    for index in range(count):
+        key = _key(1000 + seed * 100 + index)
+        message = b"batch message %d/%d" % (seed, index)
+        items.append((key.public_key, message, key.sign(message)))
+    return items
+
+
+TAMPER_KINDS = ("signature", "message", "key")
+
+
+def _tamper(items, index, kind):
+    public, message, signature = items[index]
+    items = list(items)
+    if kind == "signature":
+        # Flip a bit in s (the trailing scalar), keeping R well-formed.
+        tampered = signature[:-1] + bytes([signature[-1] ^ 1])
+        items[index] = (public, message, tampered)
+    elif kind == "message":
+        items[index] = (public, message + b"!", signature)
+    else:
+        items[index] = (_key(999999).public_key, message, signature)
+    return items
+
+
+class TestSchnorrBatch:
+    def test_empty_and_singleton(self):
+        assert verify_batch([])
+        items = _items(1)
+        assert verify_batch(items)
+        assert not verify_batch(_tamper(items, 0, "signature"))
+
+    def test_all_good_batch_accepts(self):
+        assert verify_batch(_items(7))
+
+    @pytest.mark.parametrize("kind", TAMPER_KINDS)
+    def test_single_tamper_rejects_and_bisects(self, kind):
+        items = _items(6, seed=3)
+        bad = 4
+        tampered = _tamper(items, bad, kind)
+        assert not verify_batch(tampered)
+        verdicts = verify_batch_bisect(tampered)
+        assert verdicts == [i != bad for i in range(len(items))]
+
+    def test_malformed_signature_rejects(self):
+        items = _items(3, seed=5)
+        items[1] = (items[1][0], items[1][1], b"garbage")
+        assert not verify_batch(items)
+        assert verify_batch_bisect(items) == [True, False, True]
+
+    def test_multiple_tampered_indices_all_named(self):
+        items = _items(8, seed=7)
+        tampered = _tamper(_tamper(items, 2, "message"), 6, "signature")
+        verdicts = verify_batch_bisect(tampered)
+        assert verdicts == [i not in (2, 6) for i in range(len(items))]
+
+    def test_fixed_rng_does_not_let_errors_cancel(self):
+        # Even with a caller-controlled (non-cryptographic) rng the
+        # batch must reject an item whose equation fails.
+        items = _tamper(_items(4, seed=9), 1, "message")
+        assert not verify_batch(items, rng=random.Random(1234))
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(),
+       count=st.integers(min_value=1, max_value=5))
+def test_property_batch_iff_individuals(data, count):
+    """verify_batch accepts exactly when every individual verify does."""
+    items = _items(count, seed=data.draw(st.integers(0, 50)))
+    tamper_at = data.draw(
+        st.one_of(st.none(), st.integers(0, count - 1)))
+    if tamper_at is not None:
+        kind = data.draw(st.sampled_from(TAMPER_KINDS))
+        items = _tamper(items, tamper_at, kind)
+    individuals = [public.verify(message, signature)
+                   for public, message, signature in items]
+    assert verify_batch(items) == all(individuals)
+    assert verify_batch_bisect(items) == individuals
+
+
+class TestKeysBatchDispatch:
+    """repro.crypto.verify_batch: the algorithm-agnostic front door."""
+
+    @pytest.fixture(scope="class")
+    def rsa_keypair(self):
+        return crypto.generate_keypair(
+            "rsa-fdh-sha256", rng=random.Random(33))
+
+    def test_mixed_algorithms_match_individual(self, rsa_keypair):
+        schnorr_kp = crypto.generate_keypair(rng=random.Random(44))
+        good = b"mixed batch"
+        items = [
+            (schnorr_kp.public, good, schnorr_kp.sign(good)),
+            (rsa_keypair.public, good, rsa_keypair.sign(good)),
+            (schnorr_kp.public, b"bad", schnorr_kp.sign(good)),
+            (rsa_keypair.public, b"bad", rsa_keypair.sign(good)),
+            (schnorr_kp.public, good, "not-bytes"),
+        ]
+        expected = [key.verify(message, signature)
+                    if isinstance(signature, bytes) else False
+                    for key, message, signature in items]
+        assert expected == [True, True, False, False, False]
+        with verify_cache.disabled():
+            assert crypto.verify_batch(items) == expected
+        # With the memo on: once cold, then served from the memo.
+        assert crypto.verify_batch(items) == expected
+        before = verify_cache.cache_info()["hits"]
+        assert crypto.verify_batch(items) == expected
+        assert verify_cache.cache_info()["hits"] >= before + 2
+
+    def test_rsa_verify_many_parity(self, rsa_keypair):
+        rsa = rsa_keypair._private
+        pairs = [(b"a", rsa.sign(b"a")), (b"b", rsa.sign(b"a"))]
+        assert rsa.public_key.verify_many(pairs) == [True, False]

@@ -1,0 +1,159 @@
+"""Coherence of the signature-verification memo.
+
+The acceptance bar (ISSUE satellite + criterion): mutating nothing but
+process state -- eviction at the bound, ``cache_clear()``, toggling the
+memo off -- never changes any verify outcome; only counters move.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro import crypto
+from repro.core.delegation import issue, revoke, verify_signatures
+from repro.core.identity import create_principal
+from repro.core.proof import Proof, validate_proof
+from repro.core.roles import Role
+from repro.crypto import verify_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    """Isolate each test: clean entries/config, memo enabled."""
+    memo = verify_cache.memo()
+    saved_size, saved_enabled = memo.maxsize, memo.enabled
+    verify_cache.cache_clear()
+    verify_cache.set_enabled(True)
+    yield
+    verify_cache.cache_clear()
+    memo.maxsize = saved_size
+    memo.enabled = saved_enabled
+
+
+def _signed(count, seed=0):
+    keypair = crypto.generate_keypair(rng=random.Random(100 + seed))
+    return keypair.public, [
+        (b"memo message %d" % index, keypair.sign(b"memo message %d" % index))
+        for index in range(count)
+    ]
+
+
+class TestMemoMechanics:
+    def test_hit_miss_counters(self):
+        public, [(message, signature)] = _signed(1)
+        info0 = verify_cache.cache_info()
+        assert public.verify(message, signature)
+        assert public.verify(message, signature)
+        info = verify_cache.cache_info()
+        assert info["misses"] == info0["misses"] + 1
+        assert info["hits"] == info0["hits"] + 1
+        assert info["entries"] == 1
+
+    def test_negative_results_never_cached(self):
+        public, [(message, signature)] = _signed(1, seed=1)
+        assert not public.verify(message + b"!", signature)
+        assert not public.verify(message + b"!", signature)
+        assert verify_cache.cache_info()["entries"] == 0
+
+    def test_eviction_at_bound_preserves_outcomes(self):
+        verify_cache.configure(maxsize=4)
+        public, signed = _signed(10, seed=2)
+        outcomes = [public.verify(m, s) for m, s in signed]
+        assert all(outcomes)
+        info = verify_cache.cache_info()
+        assert info["entries"] == 4
+        assert info["evictions"] >= 6
+        # Evicted entries re-verify from scratch with identical results;
+        # tampered inputs still fail even while their neighbors hit.
+        assert [public.verify(m, s) for m, s in signed] == outcomes
+        assert not public.verify(signed[0][0] + b"!", signed[0][1])
+
+    def test_cache_clear_preserves_outcomes(self):
+        public, signed = _signed(5, seed=3)
+        before = [public.verify(m, s) for m, s in signed]
+        verify_cache.cache_clear()
+        assert verify_cache.cache_info()["entries"] == 0
+        assert [public.verify(m, s) for m, s in signed] == before
+
+    def test_configure_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            verify_cache.configure(maxsize=0)
+
+    def test_disabled_context_restores(self):
+        assert verify_cache.enabled()
+        with verify_cache.disabled():
+            assert not verify_cache.enabled()
+        assert verify_cache.enabled()
+
+
+class TestDisabledEquivalence:
+    """--no-crypto-cache equivalence: identical outcomes, memo untouched."""
+
+    def test_verify_outcomes_identical(self):
+        public, signed = _signed(4, seed=4)
+        bad = [(m + b"x", s) for m, s in signed]
+        with_memo = [public.verify(m, s) for m, s in signed + bad]
+        verify_cache.cache_clear()
+        verify_cache.set_enabled(False)
+        without_memo = [public.verify(m, s) for m, s in signed + bad]
+        assert with_memo == without_memo
+        assert verify_cache.cache_info()["entries"] == 0
+
+    def test_proof_validation_identical(self):
+        alice = create_principal("Alice", rng=random.Random(5))
+        bob = create_principal("Bob", rng=random.Random(6))
+        role = Role(entity=bob.entity, name="guest")
+        middle = Role(entity=bob.entity, name="staff")
+        d1 = issue(bob, alice.entity, middle)
+        d2 = issue(bob, middle, role)
+        proof = Proof.single(d1).extend(d2)
+        now = time.time()
+        validate_proof(proof, at=now)  # memo enabled
+        verify_cache.set_enabled(False)
+        validate_proof(proof, at=now)  # and disabled: same verdict
+        revocation = revoke(bob, d1, now)
+        assert revocation.verify(d1)
+        verify_cache.set_enabled(True)
+        assert revocation.verify(d1)
+
+    def test_batch_helper_identical_and_flags_gated(self):
+        alice = create_principal("Alice", rng=random.Random(7))
+        bob = create_principal("Bob", rng=random.Random(8))
+        role = Role(entity=bob.entity, name="dev")
+        good = issue(bob, alice.entity, role)
+        forged = issue(bob, alice.entity,
+                       Role(entity=bob.entity, name="ops"))
+        object.__setattr__(forged, "signature", b"\x00" * 65)
+        forged.__dict__.pop("_sig_ok", None)
+        certificates = [good, revoke(bob, good, 1.0), forged]
+        with_memo = verify_signatures(certificates)
+        verify_cache.set_enabled(False)
+        assert verify_signatures(certificates) == with_memo
+        assert with_memo == [True, True, False]
+        # The per-object fast flag is ignored while disabled.
+        assert good.__dict__.get("_sig_ok")
+        assert good.verify_signature()
+
+
+class TestObjectFlags:
+    def test_delegation_verified_once_per_process(self):
+        alice = create_principal("Alice", rng=random.Random(9))
+        bob = create_principal("Bob", rng=random.Random(10))
+        delegation = issue(bob, alice.entity,
+                           Role(entity=bob.entity, name="qa"))
+        assert delegation.verify_signature()
+        object_hits = verify_cache.cache_info()["object_hits"]
+        assert delegation.verify_signature()
+        assert verify_cache.cache_info()["object_hits"] == object_hits + 1
+
+    def test_redecoded_copy_rides_the_memo(self):
+        alice = create_principal("Alice", rng=random.Random(11))
+        bob = create_principal("Bob", rng=random.Random(12))
+        delegation = issue(bob, alice.entity,
+                           Role(entity=bob.entity, name="net"))
+        assert delegation.verify_signature()
+        copy = type(delegation).from_dict(delegation.to_dict())
+        hits = verify_cache.cache_info()["hits"]
+        assert copy.verify_signature()
+        assert verify_cache.cache_info()["hits"] == hits + 1
