@@ -1,0 +1,152 @@
+"""Benchmark the static policy analyzer behind ``drbac lint``.
+
+Scales the defective workload (10 planted defects, one per rule) with
+clean layered-DAG filler to benchmark size, then measures:
+
+* **exactness** -- the analyzer must report every planted defect
+  id-for-id with zero false positives on the filler (this is the
+  pass/fail gate, not a timing);
+* **throughput** -- delegations analyzed per second for one full
+  analyzer pass over the whole graph;
+* **amortization** -- one full lint pass vs one warm ``query_direct``
+  on a wallet holding a clean graph of the same scale: how many warm
+  queries one whole-wallet sweep costs.
+
+Emits ``BENCH_static_analysis.json``. Run standalone
+(``python benchmarks/bench_static_analysis.py [--quick]``) or under
+pytest (``pytest benchmarks/bench_static_analysis.py``).
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro.core import SimClock                       # noqa: E402
+from repro.wallet.wallet import Wallet                # noqa: E402
+from repro.workloads.defects import (                 # noqa: E402
+    make_defective_workload,
+)
+from repro.workloads.topology import make_layered_dag  # noqa: E402
+
+OUTPUT = "BENCH_static_analysis.json"
+
+
+def _sizes(quick: bool):
+    """(name, filler_width, filler_depth) rows, smallest to largest."""
+    if quick:
+        return [("defective-small", 8, 4),
+                ("defective-1k", 16, 6)]
+    return [("defective-1k", 16, 6),
+            ("defective-4k", 24, 9),
+            ("defective-10k", 32, 12)]
+
+
+def _median(fn, repeat: int) -> float:
+    samples = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def _warm_query_seconds(width: int, depth: int, seed: int) -> float:
+    """Median warm ``query_direct`` on a clean graph of the same scale."""
+    workload = make_layered_dag(width, depth, seed=seed)
+    wallet = Wallet(owner=None, address="bench", clock=SimClock())
+    for delegation, supports in workload.delegations:
+        wallet.publish(delegation, supports)
+    wallet.query_direct(workload.subject, workload.obj)  # cold fill
+    return _median(
+        lambda: wallet.query_direct(workload.subject, workload.obj), 20)
+
+
+def bench_size(name: str, width: int, depth: int, seed: int,
+               repeat: int) -> dict:
+    workload = make_defective_workload(seed=seed, filler_width=width,
+                                       filler_depth=depth)
+    report = workload.analyze()
+    mismatches = workload.verify(report)
+    elapsed = _median(workload.analyze, repeat)
+    edges = len(workload)
+    warm_query = _warm_query_seconds(width, depth, seed)
+    return {
+        "size": name,
+        "delegations": edges,
+        "filler_edges": workload.extras.get("filler_edges", 0),
+        "planted": workload.extras["planted"],
+        "findings": len(report),
+        "exact": not mismatches,
+        "mismatches": mismatches,
+        "analyze_ms": elapsed * 1e3,
+        "edges_per_second": edges / elapsed if elapsed > 0 else None,
+        "warm_query_ms": warm_query * 1e3,
+        "lint_cost_in_warm_queries":
+            elapsed / warm_query if warm_query > 0 else None,
+    }
+
+
+def run(quick: bool, output: str, seed: int = 7) -> int:
+    repeat = 3 if quick else 5
+    rows = []
+    for name, width, depth in _sizes(quick):
+        row = bench_size(name, width, depth, seed, repeat)
+        rows.append(row)
+        print(f"{name:16s} n={row['delegations']:<6d} "
+              f"findings={row['findings']:<3d} "
+              f"exact={row['exact']} "
+              f"analyze={row['analyze_ms']:.1f}ms "
+              f"({row['edges_per_second']:,.0f} edges/s) "
+              f"warm_query={row['warm_query_ms']:.4f}ms "
+              f"lint~={row['lint_cost_in_warm_queries']:,.0f} "
+              f"warm queries")
+
+    # Gate: exactness at every size. Timing numbers are reported, not
+    # gated -- CI machines are too noisy for throughput floors.
+    ok = all(row["exact"] for row in rows)
+    result = {
+        "benchmark": "static_analysis",
+        "quick": quick,
+        "timestamp": time.time(),
+        "seed": seed,
+        "pass": ok,
+        "sizes": rows,
+    }
+    with open(output, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    largest = rows[-1]
+    print(f"wrote {output}; largest graph {largest['delegations']} "
+          f"delegations analyzed in {largest['analyze_ms']:.1f} ms -> "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+# -- pytest entry points -----------------------------------------------------
+
+def test_static_analysis_exact_at_scale(tmp_path):
+    """Shape claim: planted defects found id-for-id, no false positives
+    on ~1k-edge graphs."""
+    assert run(quick=True, output=str(tmp_path / OUTPUT)) == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small graphs, few repeats (CI smoke)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("-o", "--output", default=OUTPUT,
+                        help=f"trajectory file (default: {OUTPUT})")
+    args = parser.parse_args(argv)
+    return run(quick=args.quick, output=args.output, seed=args.seed)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

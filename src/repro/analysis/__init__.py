@@ -14,30 +14,53 @@ graph:
   issuing or revoking a given delegation change?
 * :mod:`repro.analysis.cut` -- minimal revocation sets: the smallest
   set of delegations whose revocation severs a subject from an object
-  (max-flow/min-cut over the delegation graph).
+  (max-flow/min-cut over the delegation graph);
+* :mod:`repro.analysis.explain` -- proof trees and Graphviz exports;
+* :mod:`repro.analysis.static` -- the rule-driven static policy
+  analyzer behind ``drbac lint``: finds amplification cycles, dangling
+  supports, dead credentials, and the rest of the defect catalogue
+  (``docs/LINT_RULES.md``) without running a single query.
 """
 
 from repro.analysis.audit import (
     EntitlementReport,
+    RegistryGap,
     entitlements,
     exposure,
+    principals_with_access,
     registry_gaps,
 )
-from repro.analysis.whatif import WhatIfDelta, what_if_issued, what_if_revoked
 from repro.analysis.cut import RevocationCut, minimal_revocation_set
 from repro.analysis.explain import explain_proof, graph_to_dot, proof_to_dot
+from repro.analysis.static import (
+    AnalysisReport,
+    Finding,
+    Severity,
+    analyze,
+    analyze_wallet,
+    rule_catalog,
+)
+from repro.analysis.whatif import WhatIfDelta, what_if_issued, what_if_revoked
 
 __all__ = [
-    "RevocationCut",
-    "explain_proof",
-    "graph_to_dot",
-    "proof_to_dot",
+    "AnalysisReport",
     "EntitlementReport",
-    "entitlements",
-    "exposure",
-    "registry_gaps",
+    "Finding",
+    "RegistryGap",
+    "RevocationCut",
+    "Severity",
     "WhatIfDelta",
+    "analyze",
+    "analyze_wallet",
+    "entitlements",
+    "explain_proof",
+    "exposure",
+    "graph_to_dot",
+    "minimal_revocation_set",
+    "principals_with_access",
+    "proof_to_dot",
+    "registry_gaps",
+    "rule_catalog",
     "what_if_issued",
     "what_if_revoked",
-    "minimal_revocation_set",
 ]

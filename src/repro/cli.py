@@ -23,6 +23,7 @@ itself rides the same canonical encoding used on the wire.
 """
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -146,14 +147,23 @@ def cmd_issue(workspace: Workspace, args) -> int:
     from repro.core import parse_delegation
     template = parse_delegation(args.delegation, directory)
     issuer = workspace.principal(template.issuer.nickname)
-    delegation = parse_and_issue(args.delegation, issuer, directory,
-                                 issued_at=time.time())
     wallet = workspace.wallet()
+    delegation = parse_and_issue(args.delegation, issuer, directory,
+                                 issued_at=wallet.clock.now())
     supports = []
     if delegation.required_supports():
         provider = wallet.support_provider()
         supports = list(provider(delegation))
-    wallet.publish(delegation, supports)
+    try:
+        wallet.publish(delegation, supports, lint=args.lint)
+    finally:
+        if args.timing and args.lint:
+            info = wallet.lint_gate_info()
+            print(f"# lint gate ({args.lint}): "
+                  f"{info['checks']} check(s), "
+                  f"{info['blocked']} blocked, "
+                  f"{info['seconds'] * 1000:.3f} ms",
+                  file=sys.stderr)
     workspace.save()
     print(f"issued {delegation.short_id}: "
           f"{format_delegation(delegation)}")
@@ -334,6 +344,79 @@ def cmd_dot(workspace: Workspace, args) -> int:
     return 0
 
 
+def _lint_workload(spec: str):
+    """Build the workload named by a ``--workload`` spec.
+
+    ``defective[:SEED[:WIDTHxDEPTH]]`` -- the defective-policy generator,
+    optionally scaled with clean layered-DAG filler.
+    """
+    from repro.workloads.defects import make_defective_workload
+    name, _, rest = spec.partition(":")
+    if name != "defective":
+        raise DRBACError(
+            f"unknown lint workload {name!r} "
+            f"(expected defective[:SEED[:WIDTHxDEPTH]])"
+        )
+    seed_text, _, filler = rest.partition(":")
+    try:
+        seed = int(seed_text) if seed_text else None
+        width = depth = 0
+        if filler:
+            width_text, _, depth_text = filler.partition("x")
+            width, depth = int(width_text), int(depth_text)
+    except ValueError:
+        raise DRBACError(
+            f"bad lint workload spec {spec!r} "
+            f"(expected defective[:SEED[:WIDTHxDEPTH]])"
+        ) from None
+    return make_defective_workload(seed=seed, filler_width=width,
+                                   filler_depth=depth)
+
+
+def cmd_lint(workspace: Workspace, args) -> int:
+    from repro.analysis.static import Severity, analyze_wallet
+    threshold = Severity.from_name(args.fail_on)
+    rules = args.rule or None
+    ignore = args.ignore or None
+    workload = None
+    if args.workload:
+        workload = _lint_workload(args.workload)
+        report = workload.analyze(rules=rules, ignore=ignore)
+        report.source = workload.description
+    else:
+        report = analyze_wallet(workspace.wallet(), rules=rules,
+                                ignore=ignore)
+    # Exactness only makes sense against the full rule set.
+    mismatches: List[str] = []
+    if workload is not None and rules is None and ignore is None:
+        mismatches = workload.verify(report)
+    if args.json:
+        payload = report.to_dict()
+        if workload is not None:
+            payload["expected"] = {
+                rule: list(ids)
+                for rule, ids in sorted(workload.expected.items())
+            }
+            payload["mismatches"] = mismatches
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in report:
+            print(finding)
+        counts = ", ".join(
+            f"{report.count(severity)} {severity.value}"
+            for severity in Severity
+        )
+        print(f"# {len(report)} finding(s) ({counts}) over "
+              f"{report.edges} delegation(s) in "
+              f"{report.elapsed_seconds * 1000:.1f} ms"
+              + (f" [{report.source}]" if report.source else ""))
+        for mismatch in mismatches:
+            print(f"# MISMATCH {mismatch}", file=sys.stderr)
+    if mismatches:
+        return 1
+    return 1 if report.fails(threshold) else 0
+
+
 def cmd_renew(workspace: Workspace, args) -> int:
     matches = [d for d in workspace.store.delegations()
                if d.id.startswith(args.delegation_id)]
@@ -379,6 +462,13 @@ def build_parser() -> argparse.ArgumentParser:
         "issue", help="issue a delegation from its text form")
     issue_cmd.add_argument("delegation",
                            help="e.g. \"[Maria -> BigISP.member] Mark\"")
+    issue_cmd.add_argument("--lint", default=None,
+                           choices=["error", "warn", "info"],
+                           help="pre-publication lint gate: reject the "
+                                "delegation if it would introduce a "
+                                "finding at/above this severity")
+    issue_cmd.add_argument("--timing", action="store_true",
+                           help="report lint-gate overhead on stderr")
     issue_cmd.set_defaults(func=cmd_issue)
 
     show = commands.add_parser("show", help="list wallet contents")
@@ -437,6 +527,24 @@ def build_parser() -> argparse.ArgumentParser:
         "dot", help="export the wallet graph as Graphviz DOT")
     dot.add_argument("-o", "--output", default=None)
     dot.set_defaults(func=cmd_dot)
+
+    lint = commands.add_parser(
+        "lint", help="static policy analysis over the wallet graph")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON")
+    lint.add_argument("--fail-on", default="error",
+                      choices=["error", "warn", "info"],
+                      help="exit 1 when a finding at/above this severity "
+                           "exists (default: error)")
+    lint.add_argument("--rule", action="append", metavar="ID",
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--ignore", action="append", metavar="ID",
+                      help="skip this rule (repeatable)")
+    lint.add_argument("--workload", default=None, metavar="SPEC",
+                      help="lint a generated workload instead of the "
+                           "workspace wallet: "
+                           "defective[:SEED[:WIDTHxDEPTH]]")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -21,6 +21,7 @@ inserted into the local wallet, which is trusted to verify signatures"
 (Section 5, Step 5).
 """
 
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.core.attributes import AttributeRef, Constraint
@@ -66,7 +67,8 @@ class Wallet:
                  clock: Optional[Clock] = None,
                  store: Optional[WalletStore] = None,
                  cache: bool = True,
-                 cache_size: int = 4096) -> None:
+                 cache_size: int = 4096,
+                 lint_gate: Optional[str] = None) -> None:
         if isinstance(owner, Principal):
             self.owner: Optional[Entity] = owner.entity
         else:
@@ -75,6 +77,10 @@ class Wallet:
         self.clock = clock if clock is not None else SimClock()
         self.store = store if store is not None else WalletStore()
         self.hub = SubscriptionHub()
+        # Optional pre-publication lint gate: a Severity name ("error",
+        # "warn", "info") or None (off). See publish(lint=...).
+        self.lint_gate = lint_gate
+        self._lint_stats = {"checks": 0, "blocked": 0, "seconds": 0.0}
         # Keys already announced as expired, to avoid duplicate events.
         self._expired_announced: set = set()
         # Awaited relationships: key -> (subject, obj, constraints)
@@ -102,7 +108,8 @@ class Wallet:
 
     def publish(self, delegation: Delegation,
                 supports: Iterable[Proof] = (),
-                at: Optional[float] = None) -> bool:
+                at: Optional[float] = None,
+                lint: Optional[str] = None) -> bool:
         """Accept a delegation into the wallet.
 
         Returns False if the delegation was already present. Raises
@@ -112,6 +119,12 @@ class Wallet:
 
         ``at`` overrides the validation timestamp -- used by journal
         replay to re-apply an operation at its original time.
+
+        ``lint`` overrides the wallet's ``lint_gate`` for this call: a
+        Severity name runs the static analyzer over the would-be graph
+        and rejects the delegation if it is implicated in a finding at
+        or above that severity; ``"off"`` disables an instance-level
+        gate for this call.
         """
         now = self.clock.now() if at is None else at
         if not delegation.verify_signature():
@@ -128,6 +141,10 @@ class Wallet:
             )
         supports = tuple(supports)
         self._check_supports(delegation, supports, now)
+        gate = self.lint_gate if lint is None else lint
+        if gate and gate != "off" \
+                and delegation.id not in self.store.graph:
+            self._lint_gate_check(delegation, supports, now, gate)
         inserted = self.store.add_delegation(delegation, supports)
         if inserted:
             # Index before announcing: the PUBLISHED event's cache
@@ -170,6 +187,55 @@ class Wallet:
                     f"rejecting {delegation}: support proof for {role} "
                     f"is invalid: {exc}"
                 ) from exc
+
+    def _lint_gate_check(self, delegation: Delegation,
+                         supports: Tuple[Proof, ...], now: float,
+                         threshold_name: str) -> None:
+        """Reject ``delegation`` if publishing it would introduce a
+        static-analysis finding at or above ``threshold_name``.
+
+        The analyzer runs over a *copy* of the stored graph plus the
+        candidate edge -- the real graph is never mutated outside the
+        event-publishing insert path -- and only findings implicating
+        the candidate block it: pre-existing defects in the store do
+        not punish an innocent newcomer.
+        """
+        from repro.analysis.static import Severity, analyze
+        threshold = Severity.from_name(threshold_name)
+        start = perf_counter()
+        candidate = self.store.graph.copy()
+        candidate.add(delegation)
+
+        def lookup(delegation_id: str) -> Tuple[Proof, ...]:
+            if delegation_id == delegation.id:
+                return supports
+            return self.store.supports_for(delegation_id)
+
+        report = analyze(candidate, at=now,
+                         revoked=self.store.is_revoked,
+                         bases=self.store.base_allocations(),
+                         supports=lookup)
+        blocking = [finding for finding in report.findings
+                    if finding.severity.at_least(threshold)
+                    and delegation.id in finding.delegation_ids]
+        self._lint_stats["checks"] += 1
+        self._lint_stats["seconds"] += perf_counter() - start
+        if blocking:
+            self._lint_stats["blocked"] += 1
+            details = "; ".join(
+                f"{finding.rule_id}: {finding.message}"
+                for finding in blocking
+            )
+            raise PublicationError(
+                f"rejecting {delegation}: lint gate "
+                f"({threshold.value}) -- {details}"
+            )
+
+    def lint_gate_info(self) -> dict:
+        """Lint-gate counters: checks run, publishes blocked, seconds."""
+        info = dict(self._lint_stats)
+        info["threshold"] = self.lint_gate
+        return info
 
     def publish_many(self, items: Iterable[Tuple[Delegation,
                                                  Iterable[Proof]]]) -> int:
@@ -391,6 +457,8 @@ class Wallet:
                     self.reach_index.stats.incremental_updates,
             }
         info["crypto_memo"] = verify_cache.cache_info()
+        if self.lint_gate or self._lint_stats["checks"]:
+            info["lint_gate"] = self.lint_gate_info()
         return info
 
     # ------------------------------------------------------------------

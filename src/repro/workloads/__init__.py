@@ -9,6 +9,11 @@
   single-wallet and distributed (multi-wallet) form.
 """
 
+from repro.workloads.defects import (
+    ANALYSIS_AT,
+    DefectiveWorkload,
+    make_defective_workload,
+)
 from repro.workloads.topology import (
     GeneratedWorkload,
     make_chain,
@@ -30,7 +35,10 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "ANALYSIS_AT",
+    "DefectiveWorkload",
     "GeneratedWorkload",
+    "make_defective_workload",
     "make_chain",
     "make_coalition",
     "make_fan_tree",

@@ -1,0 +1,237 @@
+"""The static policy analyzer: rules, edge cases, clean-set silence."""
+
+import pytest
+
+from repro.analysis.static import (
+    RULES,
+    RuleSelectionError,
+    Severity,
+    analyze,
+    analyze_wallet,
+    rule_catalog,
+    select_rules,
+)
+from repro.core.attributes import AttributeRef, Modifier, Operator
+from repro.core.delegation import issue
+from repro.core.identity import create_principal
+from repro.core.roles import Role
+from repro.graph.delegation_graph import DelegationGraph
+from repro.wallet import Wallet
+from repro.workloads import (
+    ANALYSIS_AT,
+    build_case_study,
+    build_table1,
+    make_coalition,
+    make_defective_workload,
+)
+
+EXPECTED_SEVERITIES = {
+    "amplification-cycle": Severity.ERROR,
+    "dangling-support": Severity.ERROR,
+    "attribute-misuse": Severity.ERROR,
+    "namespace-squat": Severity.ERROR,
+    "dead-credential": Severity.WARN,
+    "shadowed-credential": Severity.WARN,
+    "validity-inversion": Severity.WARN,
+    "revocation-blind-spot": Severity.WARN,
+    "self-delegation": Severity.WARN,
+    "orphan-discovery-tag": Severity.INFO,
+}
+
+
+def rules_fired(report):
+    return {finding.rule_id for finding in report}
+
+
+class TestCleanSets:
+    """The paper's own scenarios must produce zero findings."""
+
+    def test_table1_is_clean(self):
+        scenario = build_table1()
+        graph = DelegationGraph([scenario.d1_mark_services,
+                                 scenario.d2_services_assign,
+                                 scenario.d3_maria_member])
+        supports = {scenario.d3_maria_member.id:
+                    (scenario.support_proof,)}
+        report = analyze(graph, at=0.0,
+                         supports=lambda i: supports.get(i, ()))
+        assert len(report) == 0
+        assert report.worst() is None
+
+    def test_case_study_is_clean(self):
+        case = build_case_study(seed=5)
+        pairs = list(case.all_delegations())
+        graph = DelegationGraph(d for d, _supports in pairs)
+        supports = {d.id: s for d, s in pairs if s}
+        report = analyze(graph, at=ANALYSIS_AT,
+                         bases=case.base_allocations(),
+                         supports=lambda i: supports.get(i, ()))
+        assert len(report) == 0
+
+    def test_coalition_is_clean(self):
+        workload = make_coalition(3, 3, 2, seed=9)
+        supports = workload.supports_map()
+        report = analyze(workload.graph(), at=0.0,
+                         supports=lambda i: supports.get(i, ()))
+        assert len(report) == 0
+
+
+class TestDefectiveWorkload:
+    """Every planted defect found by its rule; nothing else flagged."""
+
+    def test_exact_findings(self):
+        workload = make_defective_workload(seed=11)
+        report = workload.analyze()
+        assert workload.verify(report) == []
+        assert {f.rule_id: f.severity for f in report} \
+            == EXPECTED_SEVERITIES
+
+    def test_exact_findings_with_filler(self):
+        workload = make_defective_workload(seed=2, filler_width=6,
+                                           filler_depth=4)
+        assert workload.extras["filler_edges"] > 0
+        report = workload.analyze()
+        assert workload.verify(report) == []
+
+    def test_every_rule_has_a_plant(self):
+        workload = make_defective_workload(seed=0)
+        assert set(workload.expected) == set(RULES)
+
+    def test_report_serializes(self):
+        report = make_defective_workload(seed=3).analyze()
+        payload = report.to_dict()
+        assert payload["counts"] == {"error": 4, "warn": 5, "info": 1}
+        assert len(payload["findings"]) == 10
+        assert payload["edges"] == 23
+
+
+class TestEdgeCases:
+    def test_neutral_cycle_product_one_is_silent(self):
+        """A *= 1.0 factor is the identity: the cycle re-modulates
+        nothing, so amplification-cycle must stay quiet."""
+        org = create_principal("Org")
+        holder = create_principal("Holder")
+        x, y = Role(org.entity, "x"), Role(org.entity, "y")
+        amp = AttributeRef(org.entity, "amp")
+        graph = DelegationGraph([
+            issue(org, holder.entity, x),
+            issue(org, x, y,
+                  modifiers=[Modifier(amp, Operator.MULTIPLY, 1.0)]),
+            issue(org, y, x),
+        ])
+        report = analyze(graph, at=0.0)
+        assert len(report) == 0
+
+    def test_non_neutral_cycle_is_flagged(self):
+        org = create_principal("Org")
+        holder = create_principal("Holder")
+        x, y = Role(org.entity, "x"), Role(org.entity, "y")
+        amp = AttributeRef(org.entity, "amp")
+        leg = issue(org, x, y,
+                    modifiers=[Modifier(amp, Operator.MULTIPLY, 0.25)])
+        back = issue(org, y, x)
+        graph = DelegationGraph([issue(org, holder.entity, x), leg, back])
+        report = analyze(graph, at=0.0)
+        assert rules_fired(report) == {"amplification-cycle"}
+        (finding,) = report.findings
+        assert set(finding.delegation_ids) == {leg.id, back.id}
+
+    def test_support_through_expired_edge_is_dangling(self):
+        """A support chain satisfiable only via an expired edge cannot
+        be assembled now: statically a dangling third-party grant."""
+        owner = create_principal("Owner")
+        broker = create_principal("Broker")
+        client = create_principal("Client")
+        member = Role(owner.entity, "member")
+        grant = issue(owner, broker.entity, member.with_tick(),
+                      issued_at=0.0, expiry=50.0)
+        third_party = issue(broker, client.entity, member, issued_at=0.0)
+        graph = DelegationGraph([grant, third_party])
+        live = analyze(graph, at=25.0, rules=["dangling-support"])
+        assert len(live) == 0
+        lapsed = analyze(graph, at=100.0, rules=["dangling-support"])
+        assert rules_fired(lapsed) == {"dangling-support"}
+        (finding,) = lapsed.findings
+        assert finding.delegation_ids == (third_party.id,)
+
+    def test_differing_operators_do_not_shadow(self):
+        """`<= 50` and `-= 10` on the same attribute are incomparable
+        grants: neither subsumes the other."""
+        org = create_principal("Org")
+        sam = create_principal("Sam")
+        svc = Role(org.entity, "svc")
+        quota = AttributeRef(org.entity, "quota")
+        graph = DelegationGraph([
+            issue(org, sam.entity, svc,
+                  modifiers=[Modifier(quota, Operator.MIN, 50.0)]),
+            issue(org, sam.entity, svc,
+                  modifiers=[Modifier(quota, Operator.SUBTRACT, 10.0)]),
+        ])
+        report = analyze(graph, at=0.0)
+        assert len(report) == 0
+
+    def test_identical_restatement_shadows(self):
+        """Control for the operator test: make the operators agree and
+        the weaker certificate is flagged."""
+        org = create_principal("Org")
+        sam = create_principal("Sam")
+        svc = Role(org.entity, "svc")
+        quota = AttributeRef(org.entity, "quota")
+        weaker = issue(org, sam.entity, svc,
+                       modifiers=[Modifier(quota, Operator.MIN, 50.0)])
+        stronger = issue(org, sam.entity, svc,
+                         modifiers=[Modifier(quota, Operator.MIN, 80.0)])
+        report = analyze(DelegationGraph([weaker, stronger]), at=0.0)
+        assert rules_fired(report) == {"shadowed-credential"}
+        (finding,) = report.findings
+        assert finding.delegation_ids == (weaker.id,)
+
+
+class TestRuleSelection:
+    def test_only(self):
+        workload = make_defective_workload(seed=1)
+        report = workload.analyze(rules=["self-delegation",
+                                         "dead-credential"])
+        # Selection preserves registration order, not argument order.
+        assert report.rules_run == ("dead-credential", "self-delegation")
+        assert rules_fired(report) == {"self-delegation",
+                                       "dead-credential"}
+
+    def test_ignore(self):
+        workload = make_defective_workload(seed=1)
+        report = workload.analyze(ignore=["orphan-discovery-tag"])
+        assert "orphan-discovery-tag" not in report.rules_run
+        assert len(report) == 9
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(RuleSelectionError):
+            select_rules(only=["no-such-rule"])
+        with pytest.raises(RuleSelectionError):
+            select_rules(ignore=["no-such-rule"])
+
+    def test_catalog_covers_registry(self):
+        catalog = rule_catalog()
+        assert {entry.id for entry in catalog} == set(RULES)
+        assert all(entry.fix_hint and entry.title for entry in catalog)
+
+
+class TestAnalyzeWallet:
+    def test_reads_wallet_state(self):
+        org = create_principal("Org")
+        narciss = create_principal("Narciss")
+        wallet = Wallet(owner=org, address="w.test")
+        wallet.publish(issue(org, narciss.entity,
+                             Role(org.entity, "ok")))
+        report = analyze_wallet(wallet)
+        assert len(report) == 0
+        assert report.source == "w.test"
+        assert report.edges == 1
+
+    def test_severity_threshold_helpers(self):
+        workload = make_defective_workload(seed=4)
+        report = workload.analyze()
+        assert report.worst() is Severity.ERROR
+        assert report.fails(Severity.ERROR)
+        only_info = workload.analyze(rules=["orphan-discovery-tag"])
+        assert not only_info.fails(Severity.WARN)
+        assert only_info.fails(Severity.INFO)

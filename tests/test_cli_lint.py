@@ -1,0 +1,106 @@
+"""End-to-end tests of `drbac lint` and the issue-time lint gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def ws(tmp_path):
+    return str(tmp_path / "workspace")
+
+
+def run(ws, *args):
+    return main(["-w", ws, *args])
+
+
+@pytest.fixture()
+def small_workspace(ws, capsys):
+    for name in ("Org", "Holder"):
+        assert run(ws, "entity", "create", name) == 0
+    assert run(ws, "issue", "[Holder -> Org.svc] Org") == 0
+    capsys.readouterr()
+    return ws
+
+
+class TestLintWorkspace:
+    def test_clean_wallet_exits_zero(self, small_workspace, capsys):
+        assert run(small_workspace, "lint") == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_defect_in_wallet_reported(self, small_workspace, capsys):
+        assert run(small_workspace, "issue", "[Org -> Org.solo] Org") == 0
+        capsys.readouterr()
+        # self-delegation is WARN: error threshold passes, warn fails.
+        assert run(small_workspace, "lint") == 0
+        assert run(small_workspace, "lint", "--fail-on", "warn") == 1
+        out = capsys.readouterr().out
+        assert "self-delegation" in out
+
+
+class TestLintDefectiveWorkload:
+    def test_finds_all_plants_and_fails(self, ws, capsys):
+        assert run(ws, "lint", "--workload", "defective:3") == 1
+        out = capsys.readouterr().out
+        assert "10 finding(s)" in out
+        assert "MISMATCH" not in capsys.readouterr().err
+
+    def test_json_report(self, ws, capsys):
+        assert run(ws, "lint", "--workload", "defective:3",
+                   "--json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"error": 4, "warn": 5, "info": 1}
+        assert payload["mismatches"] == []
+        assert set(payload["expected"]) == {
+            f["rule"] for f in payload["findings"]}
+
+    def test_filler_spec(self, ws, capsys):
+        assert run(ws, "lint", "--workload", "defective:3:4x3",
+                   "--json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["edges"] > 23
+        assert payload["mismatches"] == []
+
+    def test_rule_selection(self, ws, capsys):
+        assert run(ws, "lint", "--workload", "defective:3",
+                   "--rule", "self-delegation") == 0
+        out = capsys.readouterr().out
+        assert "1 finding(s)" in out
+        assert run(ws, "lint", "--workload", "defective:3",
+                   "--ignore", "amplification-cycle",
+                   "--ignore", "dangling-support",
+                   "--ignore", "attribute-misuse",
+                   "--ignore", "namespace-squat") == 0
+
+    def test_unknown_rule_errors(self, ws, capsys):
+        assert run(ws, "lint", "--rule", "no-such-rule") == 1
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_unknown_workload_errors(self, ws, capsys):
+        assert run(ws, "lint", "--workload", "pristine") == 1
+        assert "unknown lint workload" in capsys.readouterr().err
+
+
+class TestIssueLintGate:
+    def test_gate_blocks_defective_issue(self, small_workspace, capsys):
+        assert run(small_workspace, "issue", "[Org -> Org.solo] Org",
+                   "--lint", "warn") == 1
+        err = capsys.readouterr().err
+        assert "self-delegation" in err
+        # The rejected delegation must not be in the wallet.
+        run(small_workspace, "show")
+        assert "Org.solo" not in capsys.readouterr().out
+
+    def test_gate_passes_clean_issue_with_timing(self, small_workspace,
+                                                 capsys):
+        assert run(small_workspace, "issue", "[Holder -> Org.extra] Org",
+                   "--lint", "warn", "--timing") == 0
+        captured = capsys.readouterr()
+        assert "issued" in captured.out
+        assert "lint gate" in captured.err
+
+    def test_no_gate_by_default(self, small_workspace, capsys):
+        assert run(small_workspace, "issue", "[Org -> Org.solo] Org") == 0

@@ -1,0 +1,177 @@
+"""The repo invariant linter: clean on src, sharp on planted breaches."""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+REPROLINT = os.path.join(REPO_ROOT, "tools", "reprolint.py")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+import reprolint  # noqa: E402
+
+
+def run_reprolint(*targets):
+    return subprocess.run(
+        [sys.executable, REPROLINT, *targets],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+
+
+def lint_source(tmp_path, source, name="module.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return reprolint.lint_file(str(path))
+
+
+class TestRepoIsClean:
+    def test_src_passes(self):
+        result = run_reprolint("src")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 violation(s)" in result.stderr
+
+    def test_tools_pass(self):
+        result = run_reprolint("tools")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestClockDiscipline:
+    def test_time_time_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, """
+            import time
+            def stamp():
+                return time.time()
+        """)
+        assert [v.rule for v in violations] == ["clock-discipline"]
+
+    def test_from_import_alias_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, """
+            from time import time as wallclock
+            def stamp():
+                return wallclock()
+        """)
+        assert [v.rule for v in violations] == ["clock-discipline"]
+
+    def test_datetime_now_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, """
+            import datetime
+            def stamp():
+                return datetime.datetime.now()
+        """)
+        assert [v.rule for v in violations] == ["clock-discipline"]
+
+    def test_perf_counter_allowed(self, tmp_path):
+        assert lint_source(tmp_path, """
+            from time import perf_counter
+            import time
+            def measure():
+                return perf_counter() + time.perf_counter()
+        """) == []
+
+    def test_clock_abstraction_allowed(self, tmp_path):
+        assert lint_source(tmp_path, """
+            def query(wallet):
+                return wallet.clock.now()
+        """) == []
+
+    def test_core_clock_module_exempt(self, tmp_path):
+        clock_dir = tmp_path / "core"
+        clock_dir.mkdir()
+        path = clock_dir / "clock.py"
+        path.write_text("import time\n\ndef now():\n"
+                        "    return time.time()\n")
+        assert reprolint.lint_file(str(path)) == []
+
+
+class TestGraphEventCoupling:
+    def test_silent_mutation_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, """
+            def sneak(store, delegation):
+                store.add_delegation(delegation, ())
+        """)
+        assert [v.rule for v in violations] == ["graph-event-coupling"]
+
+    def test_graph_add_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, """
+            def sneak(store, delegation):
+                store.graph.add(delegation)
+        """)
+        assert [v.rule for v in violations] == ["graph-event-coupling"]
+
+    def test_mutation_with_publish_allowed(self, tmp_path):
+        assert lint_source(tmp_path, """
+            def proper(self, delegation, event):
+                self.store.add_delegation(delegation, ())
+                self.hub.publish(event)
+        """) == []
+
+    def test_detached_graph_layers_exempt(self, tmp_path):
+        layer = tmp_path / "workloads"
+        layer.mkdir()
+        path = layer / "builder.py"
+        path.write_text("def build(graph, d):\n    graph.add(d)\n")
+        # `graph.add` on a bare name is not a tracked receiver anyway;
+        # use the store form to prove the path exemption does the work.
+        path.write_text("def build(store, d):\n"
+                        "    store.add_delegation(d, ())\n")
+        assert reprolint.lint_file(str(path)) == []
+
+
+class TestMutableDefaults:
+    def test_literal_default_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, """
+            def accumulate(item, seen=[]):
+                seen.append(item)
+                return seen
+        """)
+        assert [v.rule for v in violations] == ["mutable-default"]
+
+    def test_constructor_default_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, """
+            def accumulate(item, *, seen=dict()):
+                return seen
+        """)
+        assert [v.rule for v in violations] == ["mutable-default"]
+
+    def test_none_sentinel_allowed(self, tmp_path):
+        assert lint_source(tmp_path, """
+            def accumulate(item, seen=None):
+                return seen or [item]
+        """) == []
+
+
+class TestFrozenSetattr:
+    def test_setattr_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, """
+            def pierce(obj):
+                object.__setattr__(obj, "x", 1)
+        """)
+        assert [v.rule for v in violations] == ["frozen-setattr"]
+
+    def test_owning_module_exempt(self, tmp_path):
+        core = tmp_path / "core"
+        core.mkdir()
+        path = core / "delegation.py"
+        path.write_text("def cache(obj):\n"
+                        "    object.__setattr__(obj, '_memo', 1)\n")
+        assert reprolint.lint_file(str(path)) == []
+
+
+class TestCli:
+    def test_exit_one_and_report_on_violations(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\ndef t(x=[]):\n"
+                       "    return time.time()\n")
+        result = run_reprolint(str(tmp_path))
+        assert result.returncode == 1
+        assert "clock-discipline" in result.stdout
+        assert "mutable-default" in result.stdout
+
+    def test_syntax_error_reported(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def (:\n")
+        result = run_reprolint(str(tmp_path))
+        assert result.returncode == 1
+        assert "syntax" in result.stdout

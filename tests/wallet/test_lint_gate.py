@@ -1,0 +1,111 @@
+"""The wallet's optional pre-publication lint gate."""
+
+import pytest
+
+from repro.core.attributes import AttributeRef, Modifier, Operator
+from repro.core.delegation import issue
+from repro.core.errors import PublicationError
+from repro.core.identity import create_principal
+from repro.core.roles import Role
+from repro.wallet import Wallet
+
+
+@pytest.fixture()
+def org():
+    return create_principal("Org")
+
+
+@pytest.fixture()
+def holder():
+    return create_principal("Holder")
+
+
+def self_noop(org):
+    return issue(org, org.entity, Role(org.entity, "solo"))
+
+
+class TestGateOff:
+    def test_default_wallet_has_no_gate(self, org):
+        wallet = Wallet(owner=org, address="w.test")
+        assert wallet.publish(self_noop(org))
+        assert wallet.lint_gate_info()["checks"] == 0
+        assert "lint_gate" not in wallet.cache_info()
+
+
+class TestGateOn:
+    def test_blocks_at_threshold(self, org):
+        wallet = Wallet(owner=org, address="w.test", lint_gate="warn")
+        with pytest.raises(PublicationError) as excinfo:
+            wallet.publish(self_noop(org))
+        assert "self-delegation" in str(excinfo.value)
+        assert len(wallet.store) == 0
+
+    def test_error_threshold_lets_warnings_through(self, org):
+        wallet = Wallet(owner=org, address="w.test", lint_gate="error")
+        assert wallet.publish(self_noop(org))
+
+    def test_blocks_edge_that_completes_a_cycle(self, org, holder):
+        """Each leg is clean alone; the gate analyzes the would-be
+        graph, so the leg that closes the amplifying cycle is caught."""
+        wallet = Wallet(owner=org, address="w.test", lint_gate="error")
+        x, y = Role(org.entity, "x"), Role(org.entity, "y")
+        amp = AttributeRef(org.entity, "amp")
+        assert wallet.publish(issue(org, holder.entity, x))
+        assert wallet.publish(issue(
+            org, x, y,
+            modifiers=[Modifier(amp, Operator.MULTIPLY, 0.5)]))
+        with pytest.raises(PublicationError) as excinfo:
+            wallet.publish(issue(org, y, x))
+        assert "amplification-cycle" in str(excinfo.value)
+
+    def test_clean_delegation_passes(self, org, holder):
+        wallet = Wallet(owner=org, address="w.test", lint_gate="warn")
+        assert wallet.publish(
+            issue(org, holder.entity, Role(org.entity, "svc")))
+        info = wallet.lint_gate_info()
+        assert info["checks"] == 1
+        assert info["blocked"] == 0
+
+    def test_preexisting_defects_do_not_block_newcomers(self, org,
+                                                        holder):
+        """Only findings implicating the candidate block it."""
+        wallet = Wallet(owner=org, address="w.test")
+        wallet.publish(self_noop(org))  # defect already in the store
+        wallet.lint_gate = "warn"
+        assert wallet.publish(
+            issue(org, holder.entity, Role(org.entity, "svc")))
+
+    def test_graph_unchanged_after_block(self, org, holder):
+        wallet = Wallet(owner=org, address="w.test", lint_gate="warn")
+        clean = issue(org, holder.entity, Role(org.entity, "svc"))
+        wallet.publish(clean)
+        with pytest.raises(PublicationError):
+            wallet.publish(self_noop(org))
+        assert len(wallet.store) == 1
+        assert wallet.query_direct(holder.entity,
+                                   Role(org.entity, "svc")) is not None
+
+
+class TestPerCallOverride:
+    def test_override_enables(self, org):
+        wallet = Wallet(owner=org, address="w.test")
+        with pytest.raises(PublicationError):
+            wallet.publish(self_noop(org), lint="warn")
+
+    def test_off_disables_instance_gate(self, org):
+        wallet = Wallet(owner=org, address="w.test", lint_gate="warn")
+        assert wallet.publish(self_noop(org), lint="off")
+
+
+class TestAccounting:
+    def test_stats_surface_in_cache_info(self, org, holder):
+        wallet = Wallet(owner=org, address="w.test", lint_gate="warn")
+        wallet.publish(issue(org, holder.entity,
+                             Role(org.entity, "svc")))
+        with pytest.raises(PublicationError):
+            wallet.publish(self_noop(org))
+        info = wallet.cache_info()["lint_gate"]
+        assert info["checks"] == 2
+        assert info["blocked"] == 1
+        assert info["seconds"] > 0.0
+        assert info["threshold"] == "warn"

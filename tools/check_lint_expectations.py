@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Assert a ``drbac lint --json`` report matches planted ground truth.
+
+CI runs ``drbac lint --workload defective:SEED --json`` and pipes the
+report here. This script *independently* rebuilds the same defective
+workload (same seed) and checks the report id-for-id: every planted
+defect found by its rule, nothing else flagged. It deliberately does
+not trust the report's embedded ``mismatches`` field -- the point is an
+end-to-end check that the CLI, the analyzer, and the generator agree.
+
+Usage::
+
+    python -m repro.cli lint --workload defective:3 --json > report.json
+    python tools/check_lint_expectations.py report.json --workload defective:3
+"""
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Set
+
+
+def compare(payload: dict, expected: Dict[str, tuple]) -> List[str]:
+    """Mismatch descriptions between a lint report and ground truth."""
+    found: Dict[str, Set[str]] = {}
+    for finding in payload.get("findings", []):
+        found.setdefault(finding["rule"], set()).update(
+            finding["delegations"])
+    mismatches: List[str] = []
+    for rule, want in sorted(expected.items()):
+        got = found.pop(rule, set())
+        if set(want) != got:
+            mismatches.append(
+                f"rule {rule}: expected "
+                f"{sorted(i[:12] for i in want)}, report has "
+                f"{sorted(i[:12] for i in got)}")
+    for rule, ids in sorted(found.items()):
+        mismatches.append(
+            f"rule {rule}: unexpected findings on "
+            f"{sorted(i[:12] for i in ids)}")
+    return mismatches
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="check a drbac lint --json report against the "
+                    "defective workload's planted defects")
+    parser.add_argument("report", help="path to the JSON report")
+    parser.add_argument("--workload", default="defective",
+                        help="workload spec the report was generated "
+                             "from (default: defective)")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+    from repro.cli import _lint_workload
+    workload = _lint_workload(args.workload)
+
+    with open(args.report, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+
+    mismatches = compare(payload, workload.expected)
+    for mismatch in mismatches:
+        print(f"MISMATCH {mismatch}", file=sys.stderr)
+    planted = sum(len(ids) for ids in workload.expected.values())
+    print(f"check_lint_expectations: {len(workload.expected)} rule(s), "
+          f"{planted} planted delegation id(s), "
+          f"{len(mismatches)} mismatch(es) [{args.workload}]")
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

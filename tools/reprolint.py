@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Repo invariant linter: AST checks the test suite can't express.
+
+Four invariants the codebase relies on but Python won't enforce:
+
+* **clock-discipline** -- all wall-clock reads go through the
+  ``repro.core.clock`` abstraction. Direct ``time.time()`` /
+  ``datetime.now()`` calls make simulations non-deterministic and
+  queries non-reproducible; only ``core/clock.py`` may touch the real
+  clock. (``perf_counter``/``monotonic`` are fine: they measure
+  durations, not policy-relevant instants.)
+* **graph-event-coupling** -- any module that mutates a delegation
+  graph must also publish subscription-hub events somewhere; silent
+  mutations strand the proof cache, the reachability index, and every
+  Section 4.2.2 subscriber. Pure-graph layers (``graph/``, analysis,
+  workload builders, baselines) are exempt: they operate on detached
+  graphs no hub watches.
+* **mutable-default** -- no ``[]`` / ``{}`` / ``set()`` default
+  arguments (shared across calls; a classic source of cross-wallet
+  state bleed).
+* **frozen-setattr** -- ``object.__setattr__`` escapes frozen
+  dataclasses' immutability; only the modules that own a frozen type's
+  construction-time caches may use it.
+
+Usage::
+
+    python tools/reprolint.py src [more dirs or files ...]
+
+Exits 1 if any violation is found. Run as a tier-1 test via
+``tests/test_reprolint.py`` and as a CI step.
+"""
+
+import ast
+import os
+import sys
+from typing import List, NamedTuple, Optional, Sequence, Set
+
+
+class Violation(NamedTuple):
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+# Files (by normalized path suffix) allowed to read the wall clock.
+CLOCK_ALLOWED_SUFFIXES = ("core/clock.py",)
+# time-module members that measure durations, not instants.
+CLOCK_SAFE_ATTRS = {"perf_counter", "perf_counter_ns", "monotonic",
+                    "monotonic_ns", "process_time", "sleep"}
+# Receivers whose .now()/.today() are the real clock (never a
+# repro Clock instance, whose receiver is `clock`/`self.clock`).
+CLOCK_BAD_RECEIVERS = {"datetime", "datetime.datetime", "date",
+                       "datetime.date"}
+
+# Modules allowed to mutate delegation graphs without publishing
+# events: detached-graph layers no subscription hub observes.
+EVENT_EXEMPT_SEGMENTS = ("/graph/", "/workloads/", "/analysis/",
+                         "/baselines/", "/tools/")
+EVENT_EXEMPT_SUFFIXES = ("wallet/storage.py",)
+
+# Modules that own frozen-dataclass construction-time caches.
+SETATTR_ALLOWED_SUFFIXES = ("core/delegation.py", "core/attributes.py",
+                            "core/proof.py", "crypto/keys.py")
+
+
+def _norm(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _check_clock(path: str, tree: ast.AST) -> List[Violation]:
+    norm = _norm(path)
+    if norm.endswith(CLOCK_ALLOWED_SUFFIXES):
+        return []
+    violations: List[Violation] = []
+    # Names bound by `from time import time [as alias]` (and the
+    # datetime equivalents) so bare calls are caught too.
+    bad_names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                bad_names.update(
+                    alias.asname or alias.name
+                    for alias in node.names if alias.name == "time")
+            if node.module == "datetime":
+                bad_names.update(
+                    alias.asname or alias.name
+                    for alias in node.names
+                    if alias.name in ("datetime", "date"))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = _dotted(func.value)
+            if receiver == "time" and func.attr == "time":
+                violations.append(Violation(
+                    path, node.lineno, "clock-discipline",
+                    "time.time() bypasses the Clock abstraction; "
+                    "take the instant from a Clock (e.g. "
+                    "wallet.clock.now())"))
+            elif func.attr in ("now", "utcnow", "today") and (
+                    receiver in CLOCK_BAD_RECEIVERS
+                    or (receiver or "").split(".")[0] in bad_names):
+                violations.append(Violation(
+                    path, node.lineno, "clock-discipline",
+                    f"{receiver}.{func.attr}() bypasses the Clock "
+                    f"abstraction; route through repro.core.clock"))
+        elif isinstance(func, ast.Name) and func.id in bad_names:
+            violations.append(Violation(
+                path, node.lineno, "clock-discipline",
+                f"{func.id}() (from-imported wall clock) bypasses "
+                f"the Clock abstraction"))
+    return violations
+
+
+def _check_graph_events(path: str, tree: ast.AST) -> List[Violation]:
+    norm = _norm(path)
+    if any(seg in f"/{norm}" for seg in EVENT_EXEMPT_SEGMENTS) \
+            or norm.endswith(EVENT_EXEMPT_SUFFIXES):
+        return []
+    mutations: List[ast.Call] = []
+    publishes = False
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) \
+                or not isinstance(node.func, ast.Attribute):
+            continue
+        attr = node.func.attr
+        if attr in ("add_delegation", "remove_delegation"):
+            mutations.append(node)
+        elif attr in ("add", "remove") \
+                and isinstance(node.func.value, ast.Attribute) \
+                and node.func.value.attr == "graph":
+            mutations.append(node)
+        elif attr == "publish":
+            receiver = _dotted(node.func.value) or ""
+            if receiver == "hub" or receiver.endswith(".hub"):
+                publishes = True
+    if mutations and not publishes:
+        return [Violation(
+            path, mutations[0].lineno, "graph-event-coupling",
+            "module mutates a delegation graph but never publishes a "
+            "subscription-hub event; caches and monitors go stale "
+            "silently")]
+    return []
+
+
+def _check_mutable_defaults(path: str, tree: ast.AST) -> List[Violation]:
+    violations: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if isinstance(default, ast.Call) \
+                    and isinstance(default.func, ast.Name) \
+                    and default.func.id in ("list", "dict", "set"):
+                mutable = True
+            if mutable:
+                violations.append(Violation(
+                    path, default.lineno, "mutable-default",
+                    f"mutable default argument in {node.name}(); the "
+                    f"object is shared across every call"))
+    return violations
+
+
+def _check_frozen_setattr(path: str, tree: ast.AST) -> List[Violation]:
+    norm = _norm(path)
+    if norm.endswith(SETATTR_ALLOWED_SUFFIXES):
+        return []
+    violations: List[Violation] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "__setattr__" \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id == "object":
+            violations.append(Violation(
+                path, node.lineno, "frozen-setattr",
+                "object.__setattr__ pierces a frozen dataclass outside "
+                "the module that owns it"))
+    return violations
+
+
+CHECKS = (_check_clock, _check_graph_events, _check_mutable_defaults,
+          _check_frozen_setattr)
+
+
+def lint_file(path: str) -> List[Violation]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 0, "syntax",
+                          f"cannot parse: {exc.msg}")]
+    violations: List[Violation] = []
+    for check in CHECKS:
+        violations.extend(check(path, tree))
+    return violations
+
+
+def iter_python_files(targets: Sequence[str]):
+    for target in targets:
+        if os.path.isfile(target):
+            yield target
+            continue
+        for dirpath, dirnames, filenames in os.walk(target):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in ("__pycache__", ".git"))
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    targets = list(argv if argv is not None else sys.argv[1:]) or ["src"]
+    violations: List[Violation] = []
+    checked = 0
+    for path in iter_python_files(targets):
+        checked += 1
+        violations.extend(lint_file(path))
+    for violation in sorted(violations):
+        print(violation)
+    print(f"reprolint: {checked} file(s), {len(violations)} violation(s)",
+          file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
