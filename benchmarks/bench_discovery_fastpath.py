@@ -1,0 +1,225 @@
+"""Benchmark the distributed-discovery fast path (PR 4).
+
+Phases, on the repeated Figure 2 workload (see docs/PERFORMANCE.md,
+"Distributed discovery"):
+
+* **cold** -- Steps 1-5 on a fresh deployment: coalesced
+  ``discover_batch`` RPCs, switchboard handshakes, first-contact
+  credential transfer;
+* **warm** -- the same authorization repeated: served locally (the
+  absorbed credentials answer before any wire traffic);
+* **epochs** -- the leases lapse and the coherent cache sweeps the
+  absorbed credentials, then the authorization re-runs: the re-fetch
+  rides the still-open sessions and ships ``{"ref": id}`` placeholders
+  instead of full certificates (wire-level dedup);
+* **seed baseline** -- all of the above with the fast path pinned off:
+  the paper walkthrough's sequential wire pattern, unchanged from the
+  repo seed;
+* **scaling** -- one cold cross-domain authorization on federations of
+  growing size, fast path on vs off.
+
+Emits ``BENCH_discovery_fastpath.json`` and exits nonzero unless, on the
+repeated workload, (a) the warm repeat beats the cold authorization by
+``REQUIRED_WARM_SPEEDUP``x, (b) steady-state epochs move at least
+``REQUIRED_BYTE_REDUCTION`` fewer bytes than the seed protocol's, and
+(c) the discovered proofs are byte-identical with the fast path on and
+off (coherence).
+
+Run standalone (``python benchmarks/bench_discovery_fastpath.py
+[--quick]``) or under pytest.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro.crypto.encoding import canonical_encode      # noqa: E402
+from repro.workloads.scenarios import (                 # noqa: E402
+    EXPECTED_BW,
+    build_distributed_case_study,
+    build_distributed_federation,
+)
+
+OUTPUT = "BENCH_discovery_fastpath.json"
+REQUIRED_WARM_SPEEDUP = 2.0
+REQUIRED_BYTE_REDUCTION = 0.30
+SEED = 1702
+TAG_TTL = 30.0          # the case study's discovery-tag lease
+
+
+def _median_ms(fn, repeat):
+    samples = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples) * 1e3
+
+
+def _walkthrough(fastpath, epochs, warm_repeat):
+    """Cold + warm + lease-lapse epochs on one Figure 2 deployment."""
+    d = build_distributed_case_study(seed=SEED, fastpath=fastpath)
+    case = d.case
+    subject, obj = case.maria.entity, case.airnet_access
+
+    started = time.perf_counter()
+    proof = d.run_steps_1_to_5()
+    cold_ms = (time.perf_counter() - started) * 1e3
+    assert proof is not None
+    assert proof.grants(case.base_allocations())[case.bw] == EXPECTED_BW
+    cold = {"ms": cold_ms,
+            "messages": d.network.totals.messages,
+            "bytes": d.network.totals.bytes}
+
+    warm_ms = _median_ms(lambda: d.engine.discover(subject, obj),
+                         warm_repeat)
+    warm_messages = d.network.totals.messages - cold["messages"]
+
+    epoch_rows = []
+    for _ in range(epochs):
+        d.clock.advance(TAG_TTL + 1.0)
+        d.server.cache.sweep()          # evict the absorbed credentials
+        d.network.reset_counters()      # sweep unsubscribes not counted
+        started = time.perf_counter()
+        proof = d.engine.discover(subject, obj)
+        elapsed = (time.perf_counter() - started) * 1e3
+        assert proof is not None
+        assert proof.grants(case.base_allocations())[case.bw] \
+            == EXPECTED_BW
+        epoch_rows.append({"ms": elapsed,
+                           "messages": d.network.totals.messages,
+                           "bytes": d.network.totals.bytes})
+
+    stats = d.engine.stats
+    return {
+        "fastpath": fastpath,
+        "cold": cold,
+        "warm_ms": warm_ms,
+        "warm_messages": warm_messages,
+        "epoch_messages": [r["messages"] for r in epoch_rows],
+        "epoch_bytes": [r["bytes"] for r in epoch_rows],
+        "epoch_ms": [r["ms"] for r in epoch_rows],
+        "batch_rpcs": stats.batch_rpcs,
+        "dedup_refs": stats.dedup_refs,
+        "pulls": stats.pulls,
+        "handshakes": stats.handshakes,
+        "sessions_reused": stats.sessions_reused,
+        "cache_hits": stats.cache_hits,
+        "proof_bytes": canonical_encode(proof.to_dict()),
+    }
+
+
+def _federation_point(domains, fastpath):
+    """One cold cross-domain authorization on an n-domain federation,
+    from the farthest domain: the search crosses n-1 home wallets."""
+    fed = build_distributed_federation(domains=domains, seed=SEED,
+                                       fastpath=fastpath)
+    target, source = fed.domains[0], fed.domains[domains - 1]
+    target.server.wallet.publish(source.credentials[0])
+    started = time.perf_counter()
+    proof = target.engine.discover(source.users[0].entity, target.access)
+    elapsed = (time.perf_counter() - started) * 1e3
+    assert proof is not None
+    return {"domains": domains, "fastpath": fastpath, "ms": elapsed,
+            "messages": fed.network.totals.messages,
+            "bytes": fed.network.totals.bytes}
+
+
+def run(quick: bool, output: str) -> int:
+    epochs = 4 if quick else 8
+    warm_repeat = 20 if quick else 100
+    sizes = (3, 5) if quick else (3, 5, 8)
+
+    fast = _walkthrough(True, epochs, warm_repeat)
+    seed = _walkthrough(False, epochs, warm_repeat)
+
+    byte_identical = fast.pop("proof_bytes") == seed.pop("proof_bytes")
+    warm_speedup = fast["cold"]["ms"] / fast["warm_ms"] \
+        if fast["warm_ms"] > 0 else float("inf")
+    fast_epoch_bytes = statistics.mean(fast["epoch_bytes"])
+    seed_epoch_bytes = statistics.mean(seed["epoch_bytes"])
+    byte_reduction = 1.0 - fast_epoch_bytes / seed_epoch_bytes
+    message_reduction = 1.0 - (
+        statistics.mean(fast["epoch_messages"])
+        / statistics.mean(seed["epoch_messages"]))
+
+    scaling = [_federation_point(n, fp)
+               for n in sizes for fp in (True, False)]
+
+    print(f"cold:   fast={fast['cold']['messages']} msgs "
+          f"{fast['cold']['bytes']} B {fast['cold']['ms']:.2f} ms | "
+          f"seed={seed['cold']['messages']} msgs "
+          f"{seed['cold']['bytes']} B {seed['cold']['ms']:.2f} ms")
+    print(f"warm:   {fast['warm_ms']:.4f} ms, "
+          f"{fast['warm_messages']} msgs "
+          f"(speedup {warm_speedup:.0f}x vs cold)")
+    print(f"epochs: fast={fast_epoch_bytes:.0f} B/epoch "
+          f"(dedup_refs={fast['dedup_refs']}, pulls={fast['pulls']}, "
+          f"handshakes={fast['handshakes']}) | "
+          f"seed={seed_epoch_bytes:.0f} B/epoch -> "
+          f"bytes -{byte_reduction:.0%}, messages "
+          f"-{message_reduction:.0%}")
+    for row in scaling:
+        mode = "fast" if row["fastpath"] else "seed"
+        print(f"federation n={row['domains']}: [{mode}] "
+              f"{row['messages']} msgs {row['bytes']} B "
+              f"{row['ms']:.2f} ms")
+
+    ok = (byte_identical
+          and warm_speedup >= REQUIRED_WARM_SPEEDUP
+          and byte_reduction >= REQUIRED_BYTE_REDUCTION)
+
+    result = {
+        "benchmark": "discovery_fastpath",
+        "quick": quick,
+        "timestamp": time.time(),
+        "required_warm_speedup": REQUIRED_WARM_SPEEDUP,
+        "required_byte_reduction": REQUIRED_BYTE_REDUCTION,
+        "warm_speedup": warm_speedup,
+        "epoch_byte_reduction": byte_reduction,
+        "epoch_message_reduction": message_reduction,
+        "proofs_byte_identical": byte_identical,
+        "pass": ok,
+        "fastpath_on": fast,
+        "fastpath_off": seed,
+        "federation_scaling": scaling,
+    }
+    with open(output, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}; warm speedup {warm_speedup:.0f}x "
+          f"(required {REQUIRED_WARM_SPEEDUP:.0f}x), epoch bytes "
+          f"-{byte_reduction:.0%} (required "
+          f"-{REQUIRED_BYTE_REDUCTION:.0%}), "
+          f"byte-identical={byte_identical} -> "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+# -- pytest entry points -----------------------------------------------------
+
+def test_discovery_fastpath_gates(tmp_path):
+    """Shape claim: warm repeats 2x+ faster, steady-state epochs move
+    30%+ fewer bytes, and the proofs never change."""
+    assert run(quick=True, output=str(tmp_path / OUTPUT)) == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer epochs and repeats (CI smoke)")
+    parser.add_argument("-o", "--output", default=OUTPUT,
+                        help=f"trajectory file (default: {OUTPUT})")
+    args = parser.parse_args(argv)
+    return run(quick=args.quick, output=args.output)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

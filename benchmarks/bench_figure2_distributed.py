@@ -5,6 +5,11 @@ AirNet home wallets holding each delegation in its subject's home) and
 measures the full distributed pipeline: message counts per protocol step,
 bytes on the wire, subscriptions established, and the monitoring /
 revocation epilogue.
+
+The discovery fast path is pinned *off* here: this file documents the
+seed protocol's wire shape (the paper's sequential walkthrough).
+``bench_discovery_fastpath.py`` measures the optimized pipeline against
+these numbers.
 """
 
 import pytest
@@ -19,7 +24,7 @@ from repro.workloads.scenarios import (
 class TestFigure2Reproduction:
     def test_report_steps_and_messages(self, benchmark, report):
         def run():
-            deployment = build_distributed_case_study()
+            deployment = build_distributed_case_study(fastpath=False)
             stats = DiscoveryStats()
             deployment.server.wallet.publish(
                 deployment.case.d1_maria_member)          # Step 1
@@ -68,7 +73,7 @@ class TestFigure2Reproduction:
 
     def test_report_revocation_push(self, benchmark, report):
         def run():
-            deployment = build_distributed_case_study()
+            deployment = build_distributed_case_study(fastpath=False)
             monitor = deployment.authorize_and_monitor()
             deployment.network.reset_counters()
             deployment.bigisp_home.wallet.revoke(
@@ -103,7 +108,7 @@ class TestFigure2Latency:
 
     def test_report_virtual_latency(self, benchmark, report):
         def run():
-            deployment = build_distributed_case_study()
+            deployment = build_distributed_case_study(fastpath=False)
             deployment.network.default_latency = self.LINK_MS / 1000.0
             deployment.server.wallet.publish(
                 deployment.case.d1_maria_member)
@@ -136,14 +141,14 @@ class TestFigure2Latency:
 class TestFigure2Timings:
     def test_bench_full_pipeline(self, benchmark):
         def pipeline():
-            deployment = build_distributed_case_study()
+            deployment = build_distributed_case_study(fastpath=False)
             return deployment.run_steps_1_to_5()
 
         proof = benchmark(pipeline)
         assert proof is not None
 
     def test_bench_discovery_only(self, benchmark):
-        deployment = build_distributed_case_study()
+        deployment = build_distributed_case_study(fastpath=False)
         deployment.server.wallet.publish(deployment.case.d1_maria_member)
         # Warm run caches delegations; measure the warm (local) path.
         deployment.engine.discover(deployment.case.maria.entity,
@@ -158,14 +163,14 @@ class TestFigure2Timings:
         assert proof is not None
 
     def test_bench_remote_subject_query(self, benchmark):
-        deployment = build_distributed_case_study()
+        deployment = build_distributed_case_study(fastpath=False)
         result = benchmark(
             deployment.server.remote_subject_query,
             "wallet.bigISP.com", deployment.case.bigisp_member)
         assert len(result) == 1
 
     def test_bench_confirmation_probe(self, benchmark):
-        deployment = build_distributed_case_study()
+        deployment = build_distributed_case_study(fastpath=False)
         deployment.run_steps_1_to_5()
         result = benchmark(
             deployment.server.remote_confirm, "wallet.bigISP.com",

@@ -253,6 +253,90 @@ def cmd_query(workspace: Workspace, args) -> int:
     return 0
 
 
+def cmd_discover(_workspace: Workspace, args) -> int:
+    """Distributed proof discovery over a simulated coalition deployment.
+
+    Unlike ``query`` (which asks the local workspace wallet), this
+    command builds one of the paper's distributed scenarios in-process
+    and runs the tag-directed discovery protocol across its simulated
+    network, reporting the wire traffic and the fast-path breakdown.
+    """
+    from repro.crypto import verify_cache
+    from repro.discovery import fastpath
+    from repro.discovery.engine import DiscoveryStats
+    from repro.workloads.scenarios import (
+        build_distributed_case_study,
+        build_distributed_federation,
+    )
+
+    if args.no_crypto_cache:
+        verify_cache.set_enabled(False)
+    if args.no_discovery_cache:
+        fastpath.set_enabled(False)
+    repeat = max(1, args.repeat)
+
+    parts = (args.workload or "case-study").split(":")
+    kind = parts[0]
+    if kind == "case-study":
+        seed = int(parts[1]) if len(parts) > 1 else None
+        d = build_distributed_case_study(seed=seed)
+        engine, network = d.engine, d.network
+        # Step 2 of the walkthrough: Maria presents her credential.
+        d.server.wallet.publish(d.case.d1_maria_member)
+        subject, obj = d.case.maria.entity, d.case.airnet_access
+    elif kind == "federation":
+        domains = int(parts[1]) if len(parts) > 1 else 4
+        seed = int(parts[2]) if len(parts) > 2 else None
+        fed = build_distributed_federation(domains=domains, seed=seed)
+        # A domain-1 user at domain 0's access server: one ring bridge.
+        target, source = fed.domains[0], fed.domains[1 % domains]
+        engine, network = target.engine, fed.network
+        target.server.wallet.publish(source.credentials[0])
+        subject, obj = source.users[0].entity, target.access
+    else:
+        print(f"error: unknown workload {args.workload!r} "
+              "(expected case-study[:SEED] or "
+              "federation[:DOMAINS[:SEED]])", file=sys.stderr)
+        return 1
+
+    stats = DiscoveryStats()
+    proof = None
+    for i in range(repeat):
+        started = time.perf_counter()
+        proof = engine.discover(subject, obj, stats=stats)
+        elapsed = (time.perf_counter() - started) * 1000
+        if repeat > 1 or args.timing:
+            label = "warm" if i > 0 else "cold"
+            print(f"# pass {i + 1}: {elapsed:.3f} ms ({label})",
+                  file=sys.stderr)
+    if args.timing:
+        snapshot = network.snapshot()
+        print(f"# wire: {snapshot['messages']} messages, "
+              f"{snapshot['bytes']} bytes", file=sys.stderr)
+        info = engine.discovery_info()
+        s = info["stats"]
+        print(
+            "# discovery: "
+            f"fastpath={info['fastpath']} "
+            f"batch_rpcs={s['batch_rpcs']} "
+            f"coalesced={s['coalesced_queries']} "
+            f"deduped={s['deduped_queries']} "
+            f"cache_hits={s['cache_hits']} "
+            f"negative_hits={s['cache_negative_hits']} "
+            f"dedup_refs={s['dedup_refs']} pulls={s['pulls']} "
+            f"handshakes={s['handshakes']} "
+            f"sessions_reused={s['sessions_reused']}",
+            file=sys.stderr,
+        )
+    if proof is None:
+        print("NO PROOF")
+        return 2
+    print(f"PROOF ({proof.depth()} links):")
+    for delegation in proof.chain:
+        print(f"  {format_delegation(delegation)}")
+    return 0
+
+
 def cmd_revoke(workspace: Workspace, args) -> int:
     matches = [d for d in workspace.store.delegations()
                if d.id.startswith(args.delegation_id)]
@@ -494,6 +578,35 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("object", nargs="?",
                        help="target role (direct queries only)")
     query.set_defaults(func=cmd_query)
+
+    discover = commands.add_parser(
+        "discover",
+        help="run distributed proof discovery over a simulated "
+             "coalition deployment")
+    discover.add_argument(
+        "--workload", default="case-study", metavar="SPEC",
+        help="case-study[:SEED] (the Figure 2 walkthrough) or "
+             "federation[:DOMAINS[:SEED]] (a ring coalition)")
+    discover.add_argument(
+        "--no-discovery-cache", action="store_true",
+        help="disable the discovery fast path (coalesced batch RPCs, "
+             "per-home result cache, session reuse, wire-level "
+             "credential dedup) and run the sequential seed protocol; "
+             "DRBAC_NO_DISCOVERY_CACHE=1 does the same")
+    discover.add_argument(
+        "--no-crypto-cache", action="store_true",
+        help="disable the signature-verification memo (re-verify every "
+             "signature from scratch)")
+    discover.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run the discovery N times, reporting per-pass latency on "
+             "stderr (shows cold vs result-cache-warm)")
+    discover.add_argument(
+        "--timing", action="store_true",
+        help="report wire traffic and the discovery stats breakdown "
+             "(batch_rpcs, coalesced/deduped queries, cache hits, "
+             "dedup_refs/pulls, handshakes, sessions_reused) on stderr")
+    discover.set_defaults(func=cmd_discover)
 
     revoke = commands.add_parser("revoke", help="revoke a delegation")
     revoke.add_argument("delegation_id", help="id prefix")

@@ -30,7 +30,8 @@ prescribes for mixed-flag searches.
 """
 
 from collections import deque
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.attributes import AttributeRef, Constraint
@@ -39,14 +40,38 @@ from repro.core.errors import DiscoveryError, DRBACError
 from repro.core.proof import Proof
 from repro.core.roles import Role, Subject, subject_key
 from repro.core.tags import DiscoveryTag
+from repro.discovery import fastpath as fastpath_mod
+from repro.discovery import wire
+from repro.discovery.fastpath import DiscoveryCache, make_discovery_key
 from repro.discovery.resolver import WalletServer
 from repro.net.rpc import RpcError
 from repro.net.transport import NetworkError
 
 
+def _constraints_key(constraints: Iterable[Constraint]) -> tuple:
+    """Hashable identity of a constraint set for result-cache keys."""
+    return tuple((c.attribute.entity.id, c.attribute.name, c.minimum)
+                 for c in constraints)
+
+
+def _bases_key(bases: Optional[Mapping[AttributeRef, float]]) -> tuple:
+    """Hashable, order-independent identity of an attribute-base map."""
+    if not bases:
+        return ()
+    return tuple(sorted((attribute.entity.id, attribute.name, value)
+                        for attribute, value in bases.items()))
+
+
 @dataclass
 class DiscoveryStats:
-    """Counters for one discovery run (Figure 2 / E1 reporting)."""
+    """Counters for one discovery run (Figure 2 / E1 reporting).
+
+    The seed fields describe the logical protocol; the fast-path block
+    describes the wire-level breakdown (coalesced RPCs, session reuse,
+    credential dedup, result-cache traffic). ``wire_messages`` /
+    ``wire_bytes`` are honest network-counter deltas measured around the
+    run.
+    """
 
     local_hit: bool = False
     remote_direct_queries: int = 0
@@ -58,6 +83,38 @@ class DiscoveryStats:
     delegations_rejected: int = 0
     subscriptions_established: int = 0
     rounds: int = 0
+    # -- fast-path breakdown (all zero with the fast path off) ---------
+    batch_rpcs: int = 0
+    coalesced_queries: int = 0
+    deduped_queries: int = 0
+    cache_hits: int = 0
+    cache_negative_hits: int = 0
+    cache_misses: int = 0
+    dedup_refs: int = 0
+    pulls: int = 0
+    handshakes: int = 0
+    sessions_reused: int = 0
+    wire_messages: int = 0
+    wire_bytes: int = 0
+
+    def merge(self, other: "DiscoveryStats") -> None:
+        """Accumulate another run's counters into this record."""
+        self.local_hit = self.local_hit or other.local_hit
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "local_hit" or isinstance(value, set):
+                continue
+            setattr(self, spec.name, value + getattr(other, spec.name))
+        self.wallets_contacted |= other.wallets_contacted
+        self.wallets_rejected |= other.wallets_rejected
+
+    def to_dict(self) -> dict:
+        data = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            data[spec.name] = sorted(value) if isinstance(value, set) \
+                else value
+        return data
 
 
 class DiscoveryEngine:
@@ -67,18 +124,102 @@ class DiscoveryEngine:
                  default_ttl: float = 30.0,
                  subscribe: bool = True,
                  verify_home_authority: bool = False,
-                 entity_directory=None) -> None:
+                 entity_directory=None,
+                 fastpath: Optional[bool] = None,
+                 negative_ttl: float = 5.0,
+                 session_idle_ttl: float = 300.0,
+                 result_cache_size: int = 2048) -> None:
         """``verify_home_authority`` enables the Section 4.2.1 check that
         a contacted wallet's host holds the tag's authorizing role
         before its answers are trusted; role names in tags are resolved
         through ``entity_directory`` (an
-        :class:`~repro.core.identity.EntityDirectory`)."""
+        :class:`~repro.core.identity.EntityDirectory`).
+
+        ``fastpath`` pins the discovery fast path on/off for this engine;
+        None defers to the global switch in
+        :mod:`repro.discovery.fastpath`. ``negative_ttl`` bounds how long
+        a remote miss (or an unreachable home) is trusted before the
+        query is retried; positive results are bounded by their
+        discovery-tag leases. ``session_idle_ttl`` evicts authenticated
+        Switchboard channels idle longer than that many simulated
+        seconds.
+        """
         self.server = server
         self.default_ttl = default_ttl
         self.subscribe = subscribe
         self.verify_home_authority = verify_home_authority
         self.entity_directory = entity_directory
         self._authority_cache: Dict[Tuple[str, str], bool] = {}
+        self._fastpath = fastpath
+        self.negative_ttl = negative_ttl
+        self.session_idle_ttl = session_idle_ttl
+        self.result_cache = DiscoveryCache(maxsize=result_cache_size)
+        self.stats = DiscoveryStats()
+        # In-flight query ledger: shared results for identical sub-queries
+        # within one coalesced scope (a discover() call, or one
+        # rediscover_supports() spanning several).
+        self._inflight: Optional[Dict[tuple, object]] = None
+        # Support-delegation ids this engine already subscribed to at
+        # their source (the seed path re-subscribes unconditionally; the
+        # remote side never cancels these, so skipping duplicates is
+        # coherence-neutral and saves the repeat wire traffic).
+        self._support_subs: Set[Tuple[str, str]] = set()
+        # Result-cache coherence rides the wallet's own event stream,
+        # exactly like graph/proof_cache.py.
+        self._cache_subscription = server.wallet.hub.subscribe_all(
+            self._on_hub_event)
+        server.wallet.discovery_info = self.discovery_info
+
+    # ------------------------------------------------------------------
+
+    @property
+    def fastpath_active(self) -> bool:
+        """Is the fast path in effect for this engine right now?"""
+        if self._fastpath is not None:
+            return self._fastpath
+        return fastpath_mod.enabled()
+
+    def _on_hub_event(self, event) -> None:
+        from repro.pubsub.events import EventKind
+        kind = event.kind
+        # Credentials the engine absorbs mid-run arrive *from* the remote
+        # homes, so they cannot make a home's cached answers stale; the
+        # publish-drops-negatives arm is suspended inside a coalesced run
+        # (every event fired then is the engine's own insertion).
+        grows = kind.grows_graph and self._inflight is None
+        self.result_cache.on_event(
+            grows, event.delegation_id,
+            invalidates=kind.invalidates or kind is EventKind.UPDATED)
+
+    def discovery_info(self) -> dict:
+        """Fast-path breakdown for ``Wallet.cache_info()["discovery"]``
+        and the CLI ``--timing`` output."""
+        info = {
+            "fastpath": self.fastpath_active,
+            "stats": self.stats.to_dict(),
+            "result_cache": self.result_cache.info(),
+        }
+        switchboard = self.server.switchboard
+        if switchboard is not None:
+            info["sessions"] = {
+                "handshakes_completed": switchboard.handshakes_completed,
+                "sessions_reused": switchboard.sessions_reused,
+                "open_channels": len(switchboard._channels),
+            }
+        return info
+
+    @contextmanager
+    def coalesced(self):
+        """Scope in which identical remote sub-queries are issued once
+        and their results shared (in-flight dedup)."""
+        if self._inflight is not None:
+            yield self._inflight
+            return
+        self._inflight = {}
+        try:
+            yield self._inflight
+        finally:
+            self._inflight = None
 
     # ------------------------------------------------------------------
 
@@ -90,9 +231,54 @@ class DiscoveryEngine:
                  stats: Optional[DiscoveryStats] = None) -> Optional[Proof]:
         """Find a proof for ``subject => obj``, fetching remote credentials
         as directed by discovery tags. Returns None when the search space
-        is exhausted without a satisfying proof."""
+        is exhausted without a satisfying proof.
+
+        With the fast path active (see :mod:`repro.discovery.fastpath`)
+        the same search runs over coalesced per-home batch RPCs, the
+        per-home result cache, and reusable authenticated sessions; the
+        proofs found are byte-identical either way.
+        """
         stats = stats if stats is not None else DiscoveryStats()
-        constraints = tuple(constraints)
+        run = DiscoveryStats()
+        network = self.server.network
+        switchboard = self.server.switchboard
+        fast = self.fastpath_active
+        messages_before = network.totals.messages
+        bytes_before = network.totals.bytes
+        handshakes_before = switchboard.handshakes_completed \
+            if switchboard is not None else 0
+        reused_before = switchboard.sessions_reused \
+            if switchboard is not None else 0
+        if fast and switchboard is not None and self.session_idle_ttl > 0:
+            switchboard.evict_idle(self.session_idle_ttl)
+        try:
+            if fast:
+                with self.coalesced():
+                    return self._discover_fast(
+                        subject, obj, tuple(constraints), bases, hints,
+                        max_remote_queries, run)
+            return self._discover_seed(
+                subject, obj, tuple(constraints), bases, hints,
+                max_remote_queries, run)
+        finally:
+            run.wire_messages = network.totals.messages - messages_before
+            run.wire_bytes = network.totals.bytes - bytes_before
+            if switchboard is not None:
+                run.handshakes = \
+                    switchboard.handshakes_completed - handshakes_before
+                run.sessions_reused = \
+                    switchboard.sessions_reused - reused_before
+            stats.merge(run)
+            self.stats.merge(run)
+
+    def _discover_seed(self, subject: Subject, obj: Role,
+                       constraints: Tuple[Constraint, ...],
+                       bases: Optional[Mapping[AttributeRef, float]],
+                       hints: Optional[Mapping[tuple, DiscoveryTag]],
+                       max_remote_queries: int,
+                       stats: DiscoveryStats) -> Optional[Proof]:
+        """The seed protocol, preserved query-for-query: one node per
+        round, one sequential RPC per probe, full proof encoding."""
         wallet = self.server.wallet
 
         tags: Dict[tuple, DiscoveryTag] = dict(hints or {})
@@ -153,6 +339,397 @@ class DiscoveryEngine:
             if proof is not None:
                 return proof
         return None
+
+    # ------------------------------------------------------------------
+    # Fast path: coalesced batches + result cache + sessions
+    # ------------------------------------------------------------------
+
+    def _discover_fast(self, subject: Subject, obj: Role,
+                       constraints: Tuple[Constraint, ...],
+                       bases: Optional[Mapping[AttributeRef, float]],
+                       hints: Optional[Mapping[tuple, DiscoveryTag]],
+                       max_remote_queries: int,
+                       stats: DiscoveryStats) -> Optional[Proof]:
+        """The same tag-directed bidirectional search, issuing each
+        round's frontier expansions as one ``discover_batch`` per home."""
+        wallet = self.server.wallet
+
+        tags: Dict[tuple, DiscoveryTag] = dict(hints or {})
+        self._harvest_store_tags(tags)
+
+        proof = wallet.query_direct(subject, obj, constraints=constraints,
+                                    bases=bases)
+        if proof is not None:
+            stats.local_hit = True
+            return proof
+
+        forward_frontier: deque = deque()
+        reverse_frontier: deque = deque()
+        forward_seen: Set[tuple] = set()
+        reverse_seen: Set[tuple] = set()
+
+        def push_forward(node_subject: Subject) -> None:
+            key = subject_key(node_subject)
+            if key not in forward_seen:
+                forward_seen.add(key)
+                forward_frontier.append(node_subject)
+
+        def push_reverse(node_obj: Subject) -> None:
+            key = subject_key(node_obj)
+            if key not in reverse_seen:
+                reverse_seen.add(key)
+                reverse_frontier.append(node_obj)
+
+        push_forward(subject)
+        for sub_proof in wallet.query_subject(subject):
+            push_forward(sub_proof.obj)
+        push_reverse(obj)
+        for sub_proof in wallet.query_object(obj):
+            push_reverse(sub_proof.subject)
+
+        remote_budget = max_remote_queries
+        while (forward_frontier or reverse_frontier) and remote_budget > 0:
+            stats.rounds += 1
+            go_forward = bool(forward_frontier) and (
+                not reverse_frontier
+                or len(forward_frontier) <= len(reverse_frontier)
+            )
+            frontier = forward_frontier if go_forward else reverse_frontier
+            push = push_forward if go_forward else push_reverse
+            # Drain the whole frontier, grouped by home: every eligible
+            # expansion of this round rides one batch per home.
+            by_home: Dict[str, List[Subject]] = {}
+            home_order: List[str] = []
+            while frontier:
+                node = frontier.popleft()
+                home = self._home_for(node, tags, stats, go_forward)
+                if home is None:
+                    continue
+                if home not in by_home:
+                    by_home[home] = []
+                    home_order.append(home)
+                by_home[home].append(node)
+            for home in home_order:
+                proof, used, retry = self._query_home(
+                    home, by_home[home], go_forward, subject, obj,
+                    constraints, bases, tags, push, stats, remote_budget)
+                remote_budget -= used
+                # Nodes whose queries were cut short (stop-on-hit or the
+                # query budget) go back on the frontier for the next
+                # round; their seen-keys are already recorded, so append
+                # directly.
+                frontier.extend(retry)
+                if proof is not None:
+                    return proof
+                if remote_budget <= 0:
+                    break
+        return None
+
+    def _home_for(self, node: Subject, tags: Dict[tuple, DiscoveryTag],
+                  stats: DiscoveryStats, forward: bool) -> Optional[str]:
+        """The seed loop's eligibility checks, factored for batching."""
+        tag = tags.get(subject_key(node))
+        if tag is None:
+            return None
+        flag = tag.subject_flag if forward else tag.object_flag
+        if not flag.stores_at_home:
+            return None
+        if not forward and not isinstance(node, Role):
+            return None
+        home = tag.home
+        if not home or home == self.server.address:
+            return None
+        if not self._authorized(home, tag, stats):
+            return None
+        return home
+
+    def _query_home(self, home: str, nodes: List[Subject], forward: bool,
+                    subject: Subject, obj: Role,
+                    constraints: Tuple[Constraint, ...],
+                    bases: Optional[Mapping[AttributeRef, float]],
+                    tags: Dict[tuple, DiscoveryTag], push, stats,
+                    budget: int
+                    ) -> Tuple[Optional[Proof], int, List[Subject]]:
+        """Expand ``nodes`` at one home: serve what the result cache and
+        in-flight ledger can, batch the rest into one wire call.
+
+        Returns ``(proof, queries_used, retry_nodes)``.
+        """
+        wallet = self.server.wallet
+        now = wallet.clock.now()
+        ck = _constraints_key(constraints)
+        bk = _bases_key(bases)
+        constraints_wire = wire.constraints_to_wire(constraints)
+        bases_wire = wire.bases_to_wire(bases)
+
+        # The per-node plan mirrors the seed expansion: a direct probe
+        # toward the target, then an enumeration query.
+        to_send: List[tuple] = []   # (node, kind, key, wire_query)
+        for node in nodes:
+            if forward:
+                direct_key = make_discovery_key(
+                    home, "direct", subject_key(node), subject_key(obj),
+                    ck, bk)
+                direct_query = {
+                    "kind": "direct",
+                    "subject": wire.subject_to_wire(node),
+                    "object": wire.role_to_wire(obj),
+                    "constraints": constraints_wire,
+                    "bases": bases_wire,
+                }
+                enum_key = make_discovery_key(
+                    home, "subject", subject_key(node), None, ck, ())
+                enum_query = {
+                    "kind": "subject",
+                    "subject": wire.subject_to_wire(node),
+                    "constraints": constraints_wire,
+                }
+            else:
+                direct_key = make_discovery_key(
+                    home, "direct", subject_key(subject),
+                    subject_key(node), ck, bk)
+                direct_query = {
+                    "kind": "direct",
+                    "subject": wire.subject_to_wire(subject),
+                    "object": wire.role_to_wire(node),
+                    "constraints": constraints_wire,
+                    "bases": bases_wire,
+                }
+                enum_key = make_discovery_key(
+                    home, "object", None, subject_key(node), ck, ())
+                enum_query = {
+                    "kind": "object",
+                    "object": wire.role_to_wire(node),
+                    "constraints": constraints_wire,
+                }
+
+            # Direct probe first, from the ledger/cache when possible.
+            hit, value = self._local_lookup(direct_key, now, stats)
+            if hit:
+                if value is not None:
+                    self._absorb_fast([value], home, tags, stats)
+                    done = self._finish(subject, obj, constraints, bases)
+                    if done is not None:
+                        return done, 0, []
+                    continue    # direct hit consumed the node (seed rule)
+            else:
+                to_send.append((node, "direct", direct_key, direct_query))
+
+            hit, value = self._local_lookup(enum_key, now, stats)
+            if hit:
+                proofs = tuple(value or ())
+                self._absorb_fast(proofs, home, tags, stats)
+                for sub_proof in proofs:
+                    push(sub_proof.obj if forward else sub_proof.subject)
+                done = self._finish(subject, obj, constraints, bases)
+                if done is not None:
+                    return done, 0, []
+            else:
+                to_send.append((node, "enum", enum_key, enum_query))
+
+        if not to_send:
+            return None, 0, []
+
+        batch = to_send[:budget]
+        overflow = to_send[budget:]
+        stats.wallets_contacted.add(home)
+        stats.batch_rpcs += 1
+        stats.coalesced_queries += len(batch)
+        for _node, kind, _key, query in batch:
+            if kind == "direct":
+                stats.remote_direct_queries += 1
+            elif query["kind"] == "subject":
+                stats.remote_subject_queries += 1
+            else:
+                stats.remote_object_queries += 1
+        try:
+            results, meta = self.server.remote_discover_batch(
+                home, [query for _n, _k, _key, query in batch])
+        except (RpcError, NetworkError, DiscoveryError):
+            # Unreachable or misbehaving home: a clean miss, negative-
+            # cached so the next ``negative_ttl`` seconds don't retry
+            # the dead link. Heals by TTL lapse (or a PUBLISHED event).
+            for _node, kind, key, _query in batch:
+                value = None if kind == "direct" else ()
+                self._remember(key, value, now, self.negative_ttl)
+            return None, len(batch), []
+
+        stats.dedup_refs += meta["dedup_refs"]
+        stats.pulls += meta["pulls"]
+        self._prefetch_batch_signatures(results)
+
+        used = 0
+        hit_node_key: Optional[tuple] = None
+        retry: List[Subject] = []
+        retry_keys: Set[tuple] = set()
+
+        def mark_retry(node: Subject) -> None:
+            key = subject_key(node)
+            if key != hit_node_key and key not in retry_keys:
+                retry_keys.add(key)
+                retry.append(node)
+
+        for (node, kind, key, _query), result in zip(batch, results):
+            if result.get("skipped"):
+                mark_retry(node)
+                continue
+            used += 1
+            if kind == "direct":
+                remote_proof = result["proof"]
+                if remote_proof is None:
+                    self._remember(key, None, now, self.negative_ttl)
+                    continue
+                self._remember(key, remote_proof, now,
+                               self._result_ttl((remote_proof,)),
+                               delegation_ids=[
+                                   d.id for d in
+                                   remote_proof.all_delegations()])
+                self._absorb_fast([remote_proof], home, tags, stats)
+                hit_node_key = subject_key(node)
+                retry_keys.discard(hit_node_key)
+                done = self._finish(subject, obj, constraints, bases)
+                if done is not None:
+                    return done, used, []
+            else:
+                proofs = tuple(result["proofs"])
+                self._remember(key, proofs, now, self._result_ttl(proofs),
+                               delegation_ids=[
+                                   d.id for p in proofs
+                                   for d in p.all_delegations()])
+                self._absorb_fast(proofs, home, tags, stats)
+                for sub_proof in proofs:
+                    push(sub_proof.obj if forward else sub_proof.subject)
+                done = self._finish(subject, obj, constraints, bases)
+                if done is not None:
+                    return done, used, []
+        for node, _kind, _key, _query in overflow:
+            mark_retry(node)
+        # Drop retries for the node whose direct probe hit (seed rule:
+        # a direct hit ends that node's expansion).
+        if hit_node_key is not None:
+            retry = [node for node in retry
+                     if subject_key(node) != hit_node_key]
+        return None, used, retry
+
+    def _local_lookup(self, key: tuple, now: float,
+                      stats: DiscoveryStats) -> Tuple[bool, object]:
+        """Consult the in-flight ledger, then the result cache."""
+        if self._inflight is not None and key in self._inflight:
+            stats.deduped_queries += 1
+            return True, self._inflight[key]
+        hit, value = self.result_cache.lookup(key, now)
+        if hit:
+            stats.cache_hits += 1
+            if value is None or value == ():
+                stats.cache_negative_hits += 1
+            return True, value
+        stats.cache_misses += 1
+        return False, None
+
+    def _remember(self, key: tuple, value: object, now: float, ttl: float,
+                  delegation_ids: Iterable[str] = ()) -> None:
+        self.result_cache.store(key, value, now, ttl,
+                                delegation_ids=delegation_ids)
+        if self._inflight is not None:
+            self._inflight[key] = value
+
+    def _result_ttl(self, proofs: Iterable[Proof]) -> float:
+        """A cached result may not outlive the discovery-tag lease of any
+        delegation it contains (Section 4.2.1 trust window)."""
+        ttls = [self._ttl_for(d) for p in proofs for d in p.chain]
+        return min(ttls) if ttls else self.default_ttl
+
+    def _prefetch_batch_signatures(self, results: List[dict]) -> None:
+        """Batch-verify every fresh signature across all proofs of one
+        batch response (one multi-scalar check instead of one ladder per
+        certificate per proof)."""
+        from repro.core.delegation import verify_signatures
+        from repro.crypto import verify_cache
+        if not verify_cache.enabled():
+            return
+        store = self.server.wallet.store
+        fresh: List[Delegation] = []
+        seen: Set[str] = set()
+        for result in results:
+            proofs = []
+            if result.get("proof") is not None:
+                proofs.append(result["proof"])
+            proofs.extend(result.get("proofs", ()))
+            for proof in proofs:
+                for delegation in proof.all_delegations():
+                    if delegation.id in seen \
+                            or delegation.__dict__.get("_sig_ok") \
+                            or store.get_delegation(delegation.id) \
+                            is not None:
+                        continue
+                    seen.add(delegation.id)
+                    fresh.append(delegation)
+        if len(fresh) > 1:
+            verify_signatures(fresh)
+
+    def _absorb_fast(self, proofs: Iterable[Proof], home: str,
+                     tags: Dict[tuple, DiscoveryTag],
+                     stats: DiscoveryStats) -> None:
+        """The fast path's :meth:`_absorb`: same inserts, same tag
+        harvest, but all validation subscriptions for the batch ride one
+        ``subscribe`` batch RPC, and support subscriptions this engine
+        already holds are not re-established."""
+        proofs = list(proofs)
+        if not proofs:
+            return
+        wallet = self.server.wallet
+        to_subscribe: List[str] = []
+        chain_inserts: List[Tuple[Delegation, Proof]] = []
+        support_subs: List[Tuple[str, str]] = []
+        seen_ids: Set[str] = set()
+        for proof in proofs:
+            chain_ids = {d.id for d in proof.chain}
+            for delegation in proof.chain:
+                self._harvest_delegation_tags(delegation, tags)
+                if delegation.id in seen_ids:
+                    continue
+                seen_ids.add(delegation.id)
+                if wallet.store.get_delegation(delegation.id) is not None:
+                    continue
+                if self.subscribe:
+                    to_subscribe.append(delegation.id)
+                chain_inserts.append((delegation, proof))
+            if self.subscribe:
+                for delegation in proof.all_delegations():
+                    if delegation.id in chain_ids:
+                        continue
+                    self._harvest_delegation_tags(delegation, tags)
+                    sub_key = (home, delegation.id)
+                    if sub_key in self._support_subs \
+                            or delegation.id in seen_ids:
+                        continue
+                    seen_ids.add(delegation.id)
+                    to_subscribe.append(delegation.id)
+                    support_subs.append(sub_key)
+        cancels: Dict[str, object] = {}
+        if to_subscribe:
+            try:
+                cancel_fns = self.server.remote_subscribe_batch(
+                    home, to_subscribe)
+                for delegation_id, cancel in zip(to_subscribe, cancel_fns):
+                    cancels[delegation_id] = cancel
+                stats.subscriptions_established += len(cancel_fns)
+                self._support_subs.update(support_subs)
+            except (RpcError, NetworkError):
+                cancels = {}
+        for delegation, proof in chain_inserts:
+            cancel = cancels.get(delegation.id)
+            try:
+                self.server.cache.insert(
+                    delegation, proof.supports_for(delegation),
+                    home=home, ttl=self._ttl_for(delegation),
+                    cancel_remote=cancel,
+                )
+                stats.delegations_cached += 1
+            except DRBACError:
+                stats.delegations_rejected += 1
+                if cancel is not None:
+                    cancel()
 
     # ------------------------------------------------------------------
 
@@ -260,25 +837,29 @@ class DiscoveryEngine:
         now = wallet.clock.now()
         satisfied = 0
         fresh: List = []
-        for role in required:
-            existing = next(
-                (proof for proof in wallet.store.supports_for(
-                    delegation.id)
-                 if proof.obj == role and proof.subject ==
-                 delegation.issuer
-                 and is_valid_proof(proof, at=now,
-                                    revoked=wallet.store.is_revoked)),
-                None,
-            )
-            if existing is not None:
-                satisfied += 1
-                continue
-            found = self.discover(delegation.issuer, role, hints=hints,
-                                  max_remote_queries=max_remote_queries,
-                                  stats=stats)
-            if found is not None:
-                fresh.append(found)
-                satisfied += 1
+        # One coalesced scope across all required roles: the per-role
+        # searches typically fan out to the same issuer home, so their
+        # identical sub-queries are issued once and shared.
+        with self.coalesced():
+            for role in required:
+                existing = next(
+                    (proof for proof in wallet.store.supports_for(
+                        delegation.id)
+                     if proof.obj == role and proof.subject ==
+                     delegation.issuer
+                     and is_valid_proof(proof, at=now,
+                                        revoked=wallet.store.is_revoked)),
+                    None,
+                )
+                if existing is not None:
+                    satisfied += 1
+                    continue
+                found = self.discover(
+                    delegation.issuer, role, hints=hints,
+                    max_remote_queries=max_remote_queries, stats=stats)
+                if found is not None:
+                    fresh.append(found)
+                    satisfied += 1
         if fresh:
             wallet.store.add_supports(delegation.id, fresh)
         return satisfied == len(required)

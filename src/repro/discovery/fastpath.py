@@ -1,0 +1,271 @@
+"""Discovery fast path: global toggle + per-home result cache.
+
+The distributed pipeline's seed behavior pays one sequential RPC per
+frontier node and re-ships every delegation in full on every exchange.
+The fast path layers four optimizations over it (see
+docs/PERFORMANCE.md, "Distributed discovery"):
+
+1. **RPC coalescing** -- same-home frontier expansions ride a single
+   ``discover_batch`` call (engine);
+2. **wire-level credential dedup** -- a per-channel seen-set so each
+   delegation crosses a Switchboard session at most once (wire/net);
+3. **per-home result caching** -- the :class:`DiscoveryCache` below;
+4. **Switchboard session reuse** -- authenticated channels outlive a
+   single query (net/switchboard).
+
+This module owns the *global switch* (mirroring
+``repro.crypto.verify_cache``): disable with the CLI's
+``--no-discovery-cache``, the ``DRBAC_NO_DISCOVERY_CACHE`` environment
+variable, :func:`set_enabled`, or the :func:`disabled` context manager.
+With the fast path off the engine runs the seed protocol byte-for-byte;
+with it on, the discovered proofs are byte-identical -- only the wire
+pattern changes (asserted by ``tests/discovery/test_fastpath.py``).
+
+The cache memoizes *remote* query results per ``(home, kind, subject,
+object, constraints, bases)`` key. Unlike ``graph/proof_cache.py`` --
+whose entries mirror the local graph -- these entries mirror a *remote*
+wallet's answers, so every entry is TTL-bounded by the discovery-tag
+lease (Section 4.2.1: trust cached information for the tag's TTL, then
+reconfirm). Within that window the invalidation matrix is the
+proof-cache's, fed by the same :class:`SubscriptionHub` events:
+
+====================  =====================  ========================
+entry type            REVOKED/EXPIRED/UPD    PUBLISHED
+====================  =====================  ========================
+positive (any kind)   via inverted index     never (monotone algebra)
+negative / error      untouched (no deps)    dropped (growable)
+====================  =====================  ========================
+
+EXPIRED events include the coherent cache's ``ttl-lapsed`` sweeps, so a
+positive entry never outlives the local copies of its delegations.
+Negative entries also cover *unreachable* homes (a partitioned link
+raises ``NetworkError``): the miss is cached for ``negative_ttl``
+seconds and heals by lapse, never by a stale positive.
+"""
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+# A cache key: (home, kind, skey, okey, constraints_key, bases_key).
+DiscoveryKey = Tuple[str, str, Optional[tuple], Optional[tuple],
+                     tuple, tuple]
+
+DEFAULT_MAXSIZE = 2048
+
+
+# ---------------------------------------------------------------------------
+# Global toggle (the shape of crypto/verify_cache's switch)
+# ---------------------------------------------------------------------------
+
+_ENABLED = not os.environ.get("DRBAC_NO_DISCOVERY_CACHE")
+
+
+def enabled() -> bool:
+    """Is the discovery fast path globally enabled?"""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    """Globally enable/disable the fast path (CLI ``--no-discovery-cache``).
+
+    Engines constructed with an explicit ``fastpath=`` argument ignore
+    the global switch.
+    """
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+@contextmanager
+def disabled():
+    """Temporarily run with the fast path off (tests, honest baselines)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+# ---------------------------------------------------------------------------
+# Per-home result cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DiscoveryCacheStats:
+    """Hit/miss/invalidation accounting, surfaced by ``cache_info()``."""
+
+    hits: int = 0
+    negative_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+    publish_invalidations: int = 0
+    expirations: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "negative_hits": self.negative_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "publish_invalidations": self.publish_invalidations,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
+@dataclass
+class _Entry:
+    value: object                  # Proof | None | Tuple[Proof, ...]
+    delegation_ids: frozenset
+    created_at: float
+    valid_until: float
+    negative: bool
+
+
+def make_discovery_key(home: str, kind: str,
+                       skey: Optional[tuple], okey: Optional[tuple],
+                       constraints_key: tuple, bases_key: tuple
+                       ) -> DiscoveryKey:
+    return (home, kind, skey, okey, constraints_key, bases_key)
+
+
+class DiscoveryCache:
+    """TTL-bounded, event-invalidated memo of remote query results.
+
+    Owned by one :class:`~repro.discovery.engine.DiscoveryEngine`; the
+    engine wires :meth:`on_event` into the local wallet's subscription
+    hub (wildcard channel) so coherence rides the Section 4.2.2 event
+    stream, exactly like ``graph/proof_cache.py``.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.stats = DiscoveryCacheStats()
+        self._entries: "OrderedDict[DiscoveryKey, _Entry]" = OrderedDict()
+        self._by_delegation: Dict[str, Set[DiscoveryKey]] = {}
+        self._negatives: Set[DiscoveryKey] = set()
+
+    # -- lookup / store ----------------------------------------------------
+
+    def lookup(self, key: DiscoveryKey, now: float
+               ) -> Tuple[bool, object]:
+        """Return ``(hit, value)``; a miss returns ``(False, None)``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return False, None
+        if now < entry.created_at or now >= entry.valid_until:
+            self._drop(key)
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return False, None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        if entry.negative:
+            self.stats.negative_hits += 1
+        return True, entry.value
+
+    def store(self, key: DiscoveryKey, value: object, now: float,
+              ttl: float, delegation_ids=()) -> None:
+        """Memoize one remote result observed at ``now`` for ``ttl``
+        seconds (the discovery-tag lease for positives, the negative
+        TTL for misses and unreachable homes)."""
+        if ttl <= 0:
+            return
+        if key in self._entries:
+            self._drop(key)
+        ids = frozenset(delegation_ids)
+        negative = not ids
+        while len(self._entries) >= self.maxsize:
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._unlink(evicted_key, evicted)
+            self.stats.evictions += 1
+        self._entries[key] = _Entry(
+            value=value, delegation_ids=ids, created_at=now,
+            valid_until=now + ttl, negative=negative,
+        )
+        for delegation_id in ids:
+            self._by_delegation.setdefault(delegation_id, set()).add(key)
+        if negative:
+            self._negatives.add(key)
+        self.stats.stores += 1
+
+    # -- event-driven invalidation ----------------------------------------
+
+    def on_event(self, kind_grows: bool, delegation_id: str,
+                 invalidates: bool = True) -> int:
+        """Apply one hub event.
+
+        ``kind_grows`` is ``EventKind.grows_graph`` (PUBLISHED/UPDATED
+        add paths -> drop negatives); ``invalidates`` runs the
+        inverted-index arm, which kills positives depending on the
+        delegation (REVOKED/EXPIRED, and UPDATED because the answer may
+        embed the superseded certificate). A pure PUBLISHED must pass
+        ``invalidates=False``: a newly inserted copy cannot make a
+        remote answer containing it stale.
+        """
+        dropped = 0
+        if invalidates:
+            keys = self._by_delegation.pop(delegation_id, None)
+            if keys:
+                for key in list(keys):
+                    if self._drop(key):
+                        dropped += 1
+                self.stats.invalidations += dropped
+        if kind_grows:
+            grown = 0
+            for key in list(self._negatives):
+                if self._drop(key):
+                    grown += 1
+            self.stats.publish_invalidations += grown
+            dropped += grown
+        return dropped
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_delegation.clear()
+        self._negatives.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _drop(self, key: DiscoveryKey) -> bool:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._unlink(key, entry)
+        return True
+
+    def _unlink(self, key: DiscoveryKey, entry: _Entry) -> None:
+        self._negatives.discard(key)
+        for delegation_id in entry.delegation_ids:
+            keys = self._by_delegation.get(delegation_id)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_delegation[delegation_id]
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: DiscoveryKey) -> bool:
+        return key in self._entries
+
+    def info(self) -> dict:
+        data = self.stats.to_dict()
+        data["entries"] = len(self._entries)
+        data["maxsize"] = self.maxsize
+        return data

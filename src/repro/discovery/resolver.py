@@ -14,13 +14,14 @@ address without going through the network.
 import itertools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core.delegation import Revocation
+from repro.core.delegation import Delegation, Revocation
 from repro.core.errors import DiscoveryError
 from repro.core.identity import Principal
 from repro.core.proof import Proof
 from repro.discovery import wire
 from repro.net.rpc import RpcError, RpcNode
-from repro.net.transport import Network
+from repro.net.switchboard import Channel, HandshakeError, Switchboard
+from repro.net.transport import Network, NetworkError
 from repro.pubsub.events import DelegationEvent, EventKind
 from repro.wallet.cache import CoherentCache
 from repro.wallet.wallet import Wallet
@@ -38,6 +39,17 @@ class WalletServer:
         self.principal = principal
         self.cache = CoherentCache(wallet)
         self.rpc = RpcNode(network, wallet.address)
+        # An authenticated-session endpoint for the discovery fast path
+        # (session reuse + per-channel credential dedup). Needs a signing
+        # principal; skipped when the host already runs its own
+        # switchboard at this address.
+        self.switchboard: Optional[Switchboard] = None
+        if principal is not None:
+            try:
+                self.switchboard = Switchboard(network, principal,
+                                               wallet.address)
+            except NetworkError:
+                self.switchboard = None
         self._remote_subs: Dict[str, Tuple[str, Any]] = {}
         self._sub_ids = itertools.count()
         self._expose_all()
@@ -62,6 +74,7 @@ class WalletServer:
         self.rpc.expose("prove_role", self._rpc_prove_role)
         self.rpc.expose("get_delegation", self._rpc_get_delegation)
         self.rpc.expose("delegation_event", self._rpc_delegation_event)
+        self.rpc.expose("discover_batch", self._rpc_discover_batch)
 
     # ------------------------------------------------------------------
     # Server-side RPC handlers
@@ -187,6 +200,71 @@ class WalletServer:
                 self.wallet.store.supports_for(delegation.id)),
         }
 
+    def _rpc_discover_batch(self, src: str, params: dict) -> dict:
+        """Serve several coalesced discovery queries in one round trip.
+
+        ``params["queries"]`` is an ordered list of
+        ``{"kind": "direct"|"subject"|"object", ...}`` records; a
+        ``"session"`` channel id (from an established Switchboard
+        session with this host) switches the reply to the
+        credential-deduplicated proof encoding. ``stop_on_hit`` skips
+        the queries after a successful direct probe -- exactly the work
+        the seed protocol's early return would never have issued.
+        """
+        channel = self._session_channel(params.get("session"), src)
+        if channel is not None:
+            channel.last_used = self.network.clock.now()
+
+        def encode(data: Optional[dict]) -> Optional[dict]:
+            # Re-encode one full wire proof for the session. The round
+            # trip through Proof keeps the single-query handlers as the
+            # one implementation (subclass overrides included); only the
+            # session encoding actually crosses the wire.
+            if channel is None or data is None:
+                return data
+            return wire.proof_to_wire_session(Proof.from_dict(data),
+                                              channel.sent_ids)
+
+        stop_on_hit = bool(params.get("stop_on_hit", True))
+        results: List[dict] = []
+        hit = False
+        for query in params.get("queries", ()):
+            if hit and stop_on_hit:
+                results.append({"skipped": True})
+                continue
+            kind = query.get("kind")
+            if kind == "direct":
+                data = self._rpc_direct_query(src, query)
+                results.append({"proof": encode(data)})
+                if data is not None:
+                    hit = True
+            elif kind == "subject":
+                data = self._rpc_subject_query(src, query)
+                results.append({"proofs": [encode(p) for p in data]})
+            elif kind == "object":
+                data = self._rpc_object_query(src, query)
+                results.append({"proofs": [encode(p) for p in data]})
+            else:
+                results.append({"error": f"unknown query kind {kind!r}"})
+        return {
+            "results": results,
+            "session": channel.channel_id if channel is not None else None,
+        }
+
+    def _session_channel(self, channel_id: Optional[str],
+                         src: str) -> Optional[Channel]:
+        """Validate a claimed session: the channel must exist on this
+        host's switchboard, be open, and belong to the calling address
+        (a peer cannot borrow another session's dedup state)."""
+        if channel_id is None or self.switchboard is None:
+            return None
+        channel = self.switchboard.channel(channel_id)
+        if channel is None or not channel.open:
+            return None
+        if getattr(channel, "_peer_address", None) != src:
+            return None
+        return channel
+
     def _rpc_delegation_event(self, src: str, params: dict) -> None:
         """Inbound push from a wallet we subscribed at (client side)."""
         event = DelegationEvent.from_dict(params["event"])
@@ -282,6 +360,152 @@ class WalletServer:
 
         return cancel
 
+    def session_to(self, remote: str) -> Optional[Channel]:
+        """An authenticated Switchboard session to ``remote``, reusing an
+        open channel when one exists. None when either end lacks a
+        switchboard or the handshake fails -- callers fall back to the
+        sessionless (full-encoding) protocol."""
+        if self.switchboard is None:
+            return None
+        try:
+            return self.switchboard.session_to(remote)
+        except (HandshakeError, NetworkError, RpcError):
+            return None
+
+    def remote_discover_batch(self, remote: str, queries: List[dict],
+                              stop_on_hit: bool = True
+                              ) -> Tuple[List[dict], dict]:
+        """Run coalesced discovery queries at ``remote`` in one round
+        trip, riding an authenticated session when available.
+
+        Returns ``(results, meta)``: per-query dicts with decoded
+        :class:`Proof` objects (``{"proof": ...}``, ``{"proofs": [...]}``
+        or ``{"skipped": True}``), and wire accounting
+        (``session``/``dedup_refs``/``pulls``).
+        """
+        channel = self.session_to(remote)
+        params: Dict[str, Any] = {"queries": queries,
+                                  "stop_on_hit": stop_on_hit}
+        if channel is not None:
+            params["session"] = channel.channel_id
+        reply = self.rpc.call(remote, "discover_batch", params)
+        raw = reply.get("results", [])
+        meta = {"session": False, "dedup_refs": 0, "pulls": 0}
+
+        payloads = []
+        for result in raw:
+            if result.get("skipped") or result.get("error"):
+                continue
+            if "proof" in result:
+                if result["proof"] is not None:
+                    payloads.append(result["proof"])
+            else:
+                payloads.extend(result.get("proofs", ()))
+
+        if channel is not None \
+                and reply.get("session") == channel.channel_id:
+            meta["session"] = True
+            decode = self._session_decoder(remote, channel, payloads, meta)
+        else:
+            decode = Proof.from_dict
+
+        results: List[dict] = []
+        for result in raw:
+            if result.get("skipped"):
+                results.append({"skipped": True})
+            elif result.get("error"):
+                results.append({"skipped": True, "error": result["error"]})
+            elif "proof" in result:
+                results.append({
+                    "proof": None if result["proof"] is None
+                    else decode(result["proof"]),
+                })
+            else:
+                results.append({
+                    "proofs": [decode(p)
+                               for p in result.get("proofs", ())],
+                })
+        return results, meta
+
+    def _session_decoder(self, remote: str, channel: Channel,
+                         payloads: List[dict], meta: dict):
+        """Build the ref-resolving decoder for one session-encoded batch:
+        collect every ref across ``payloads``, pull the ones neither the
+        channel's received-store nor the wallet holds (one batched
+        ``get_delegation``), and decode against the union."""
+        refs: List[str] = []
+        for payload in payloads:
+            refs.extend(wire.proof_refs(payload))
+        meta["dedup_refs"] = len(refs)
+        # Certificates arriving in full within this same batch resolve
+        # refs in its other payloads; record them before deciding what
+        # to pull.
+        for payload in payloads:
+            for delegation in wire.proof_full_delegations(payload):
+                channel.received[delegation.id] = delegation
+        missing = []
+        for delegation_id in dict.fromkeys(refs):
+            if delegation_id in channel.received:
+                continue
+            if self.wallet.store.get_delegation(delegation_id) is not None:
+                continue
+            missing.append(delegation_id)
+        pulled: Dict[str, Delegation] = {}
+        if missing:
+            meta["pulls"] = len(missing)
+            records = self.rpc.call_batch(
+                remote, "get_delegation",
+                [{"delegation_id": i} for i in missing])
+            for delegation_id, record in zip(missing, records):
+                if record is not None:
+                    delegation = wire.delegation_from_wire(
+                        record["delegation"])
+                    pulled[delegation_id] = delegation
+                    channel.received[delegation.id] = delegation
+
+        def resolve(delegation_id: str) -> Delegation:
+            delegation = channel.received.get(delegation_id)
+            if delegation is None:
+                delegation = pulled.get(delegation_id)
+            if delegation is None:
+                delegation = self.wallet.store.get_delegation(
+                    delegation_id)
+            if delegation is None:
+                raise DiscoveryError(
+                    f"unresolvable delegation ref {delegation_id!r} "
+                    f"from {remote!r}"
+                )
+            return delegation
+
+        def record(delegation: Delegation) -> None:
+            channel.received[delegation.id] = delegation
+
+        return lambda payload: wire.proof_from_wire_session(
+            payload, resolve, record)
+
+    def remote_subscribe_batch(self, remote: str,
+                               delegation_ids: List[str]
+                               ) -> List[Callable[[], None]]:
+        """Subscribe to several delegations at ``remote`` in one round
+        trip; returns one cancel function per id, in order."""
+        results = self.rpc.call_batch(remote, "subscribe", [
+            {"delegation_id": delegation_id, "subscriber": self.address}
+            for delegation_id in delegation_ids
+        ])
+        cancels = []
+        for result in results:
+            sub_id = result["subscription"]
+
+            def cancel(sub_id=sub_id) -> None:
+                try:
+                    self.rpc.call(remote, "unsubscribe",
+                                  {"subscription": sub_id})
+                except (RpcError, Exception):  # noqa: BLE001 - best effort
+                    pass
+
+            cancels.append(cancel)
+        return cancels
+
     def remote_prove_role(self, remote: str, role) -> Optional[Proof]:
         data = self.rpc.call(remote, "prove_role",
                              {"role": wire.role_to_wire(role)})
@@ -323,6 +547,8 @@ class WalletServer:
         for _delegation_id, subscription in self._remote_subs.values():
             subscription.cancel()
         self._remote_subs.clear()
+        if self.switchboard is not None:
+            self.switchboard.close()
         self.rpc.close()
 
 

@@ -3,9 +3,33 @@
 Everything crossing the simulated network is plain data (dicts, lists,
 numbers, bytes, strings) so the transport can canonically encode it and
 count honest byte sizes.
+
+Two encoding families live here:
+
+* the plain ``*_to_wire``/``*_from_wire`` pairs -- every value is
+  self-contained, decodable with no shared state;
+* the ``*_session`` pairs -- credential-deduplicated proofs for
+  established Switchboard sessions. The sender keeps a per-channel
+  seen-set and replaces a delegation it has already shipped on that
+  channel with ``{"ref": <delegation id>}``; the receiver resolves refs
+  against its per-channel received-store (or its wallet, or a
+  ``get_delegation`` pull). Each certificate therefore crosses a
+  session at most once, and the byte counters record the savings
+  honestly because the refs are what actually crosses the simulated
+  wire.
 """
 
-from typing import Any, Iterable, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.attributes import AttributeRef, Constraint
 from repro.core.delegation import (
@@ -104,3 +128,103 @@ def delegation_to_wire(delegation: Delegation) -> dict:
 
 def delegation_from_wire(data: dict) -> Delegation:
     return Delegation.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Session-deduplicated proof encoding
+# ---------------------------------------------------------------------------
+#
+# A delegation's wire dict never carries a bare "ref" key (its mandatory
+# keys are "v"/"subject"/"object"/...), so {"ref": <id>} is unambiguous
+# as a placeholder for a certificate the channel has already carried.
+
+
+def proof_to_wire_session(proof: Proof, sent_ids: Set[str]) -> dict:
+    """Encode ``proof`` for a session whose peer has already received the
+    delegations in ``sent_ids`` (mutated: newly shipped ids are added)."""
+
+    def encode(p: Proof) -> dict:
+        chain = []
+        for delegation in p.chain:
+            if delegation.id in sent_ids:
+                chain.append({"ref": delegation.id})
+            else:
+                sent_ids.add(delegation.id)
+                chain.append(delegation.to_dict())
+        return {
+            "subject": _subject_to_dict(p.subject),
+            "object": _role_to_dict(p.obj),
+            "chain": chain,
+            "supports": {
+                delegation.id: [encode(s)
+                                for s in p.supports_for(delegation)]
+                for delegation in p.chain
+                if p.supports_for(delegation)
+            },
+        }
+
+    return encode(proof)
+
+
+def proof_refs(data: Mapping) -> Iterator[str]:
+    """Yield every ``{"ref": id}`` placeholder in a session-encoded proof
+    (duplicates included; callers typically collect into a set)."""
+    stack = [data]
+    while stack:
+        node = stack.pop()
+        for entry in node["chain"]:
+            if "ref" in entry:
+                yield entry["ref"]
+        for proofs in node.get("supports", {}).values():
+            stack.extend(proofs)
+
+
+def proof_full_delegations(data: Mapping) -> Iterator[Delegation]:
+    """Yield every delegation that appears *in full* in a session-encoded
+    proof. Used to pre-seed the receiver's per-channel store before
+    computing which refs need a ``get_delegation`` pull -- a certificate
+    shipped in one payload of a batch resolves refs in the others."""
+    stack = [data]
+    while stack:
+        node = stack.pop()
+        for entry in node["chain"]:
+            if "ref" not in entry:
+                yield Delegation.from_dict(entry)
+        for proofs in node.get("supports", {}).values():
+            stack.extend(proofs)
+
+
+def proof_from_wire_session(data: Mapping,
+                            resolve: Callable[[str], Delegation],
+                            record: Optional[Callable[[Delegation], None]]
+                            = None) -> Proof:
+    """Decode a session-encoded proof.
+
+    ``resolve`` maps a ref id to the full :class:`Delegation` (the
+    channel's received-store, the wallet, or a ``get_delegation`` pull
+    -- raising :class:`KeyError` on an unknown id). ``record`` is called
+    with every delegation that arrived *in full*, letting the caller
+    populate the received-store for future refs.
+    """
+
+    def decode(node: Mapping) -> Proof:
+        chain = []
+        for entry in node["chain"]:
+            if "ref" in entry:
+                chain.append(resolve(entry["ref"]))
+            else:
+                delegation = Delegation.from_dict(entry)
+                if record is not None:
+                    record(delegation)
+                chain.append(delegation)
+        return Proof(
+            subject=_subject_from_dict(node["subject"]),
+            obj=_role_from_dict(node["object"]),
+            chain=chain,
+            supports={
+                delegation_id: tuple(decode(p) for p in proofs)
+                for delegation_id, proofs in node.get("supports", {}).items()
+            },
+        )
+
+    return decode(data)

@@ -22,7 +22,7 @@ reproduced claim depends on encryption.
 import itertools
 import secrets
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.core.identity import Entity, Principal
 from repro.core.proof import Proof
@@ -52,6 +52,12 @@ class Channel:
     inbox: List[Any] = field(default_factory=list)
     on_message: Optional[Callable[[Any], None]] = None
     open: bool = True
+    # Credential-dedup state for the discovery fast path: ids this end
+    # has shipped in full on this channel, and the full certificates this
+    # end has received (resolving later {"ref": id} placeholders).
+    sent_ids: Set[str] = field(default_factory=set, repr=False)
+    received: Dict[str, Any] = field(default_factory=dict, repr=False)
+    last_used: float = 0.0
 
     def send(self, payload: Any) -> None:
         """Send a MAC'd frame to the peer."""
@@ -64,6 +70,7 @@ class Channel:
         }
         frame["mac"] = _frame_mac(self.session_key, self.send_seq, payload)
         self.send_seq += 1
+        self.last_used = self.switchboard.network.clock.now()
         self.switchboard._send_frame(self, frame)
 
     def _receive(self, frame: dict) -> None:
@@ -105,10 +112,12 @@ class Switchboard:
         self._rng = rng if rng is not None else secrets.SystemRandom()
         self._channels: Dict[str, Channel] = {}
         self._pending: Dict[str, dict] = {}
+        self._by_peer: Dict[str, str] = {}
         self._ids = itertools.count()
         network.register(self._net_address(address), self._handle)
         self.handshakes_completed = 0
         self.handshakes_rejected = 0
+        self.sessions_reused = 0
 
     @staticmethod
     def _net_address(address: str) -> str:
@@ -177,9 +186,48 @@ class Switchboard:
             session_key=session_key,
         )
         channel._peer_address = remote_address  # type: ignore[attr-defined]
+        channel.last_used = self.network.clock.now()
         self._channels[channel.channel_id] = channel
+        self._by_peer[remote_address] = channel.channel_id
         self.handshakes_completed += 1
         return channel
+
+    # -- session reuse -----------------------------------------------------
+
+    def session_to(self, remote_address: str,
+                   expected_peer: Optional[Entity] = None,
+                   role_proof: Optional[Proof] = None) -> Channel:
+        """An authenticated channel to ``remote_address``, reusing the
+        open one from a previous query when available (the fast path's
+        session reuse -- no re-handshake, and the channel's credential
+        dedup state survives across queries)."""
+        channel_id = self._by_peer.get(remote_address)
+        if channel_id is not None:
+            channel = self._channels.get(channel_id)
+            if channel is not None and channel.open:
+                if expected_peer is None or channel.peer == expected_peer:
+                    channel.last_used = self.network.clock.now()
+                    self.sessions_reused += 1
+                    return channel
+            self._by_peer.pop(remote_address, None)
+        return self.connect(remote_address, expected_peer=expected_peer,
+                            role_proof=role_proof)
+
+    def evict_idle(self, idle_ttl: float) -> int:
+        """Close channels untouched for longer than ``idle_ttl`` seconds
+        of simulated time; returns how many were evicted."""
+        now = self.network.clock.now()
+        evicted = 0
+        for channel_id, channel in list(self._channels.items()):
+            if now - channel.last_used > idle_ttl:
+                channel.close()
+                del self._channels[channel_id]
+                evicted += 1
+        self._by_peer = {
+            peer: cid for peer, cid in self._by_peer.items()
+            if cid in self._channels
+        }
+        return evicted
 
     # -- acceptor side -------------------------------------------------------
 
@@ -253,7 +301,9 @@ class Switchboard:
             session_key=session_key,
         )
         channel._peer_address = pending["from"]  # type: ignore[attr-defined]
+        channel.last_used = self.network.clock.now()
         self._channels[channel.channel_id] = channel
+        self._by_peer[pending["from"]] = channel.channel_id
         self.handshakes_completed += 1
         return {"ok": True}
 

@@ -132,6 +132,23 @@ class Network:
         self.by_link_topic.clear()
         self.total_latency = 0.0
 
+    def topic_summary(self, prefix: str = "") -> Dict[str, Dict[str, int]]:
+        """Aggregate per-topic counters whose topic starts with ``prefix``.
+
+        Strips the prefix from the keys, so ``topic_summary("rpc:")``
+        gives ``{"subject_query": {"messages": ..., "bytes": ...}, ...}``
+        -- the shape benchmark reports and ``--timing`` output use.
+        """
+        summary: Dict[str, Dict[str, int]] = {}
+        for topic, stats in self.by_topic.items():
+            if not topic.startswith(prefix):
+                continue
+            entry = summary.setdefault(topic[len(prefix):],
+                                       {"messages": 0, "bytes": 0})
+            entry["messages"] += stats.messages
+            entry["bytes"] += stats.bytes
+        return summary
+
     def messages_from(self, src: str, topic: str) -> int:
         """Messages on ``topic`` originated by ``src`` (any destination)."""
         return sum(

@@ -81,6 +81,10 @@ class Wallet:
         # "warn", "info") or None (off). See publish(lint=...).
         self.lint_gate = lint_gate
         self._lint_stats = {"checks": 0, "blocked": 0, "seconds": 0.0}
+        # Set by a DiscoveryEngine attached to this wallet's server: a
+        # zero-arg callable returning the discovery fast-path breakdown
+        # (surfaced under cache_info()["discovery"]).
+        self.discovery_info: Optional[Callable[[], dict]] = None
         # Keys already announced as expired, to avoid duplicate events.
         self._expired_announced: set = set()
         # Awaited relationships: key -> (subject, obj, constraints)
@@ -459,6 +463,8 @@ class Wallet:
         info["crypto_memo"] = verify_cache.cache_info()
         if self.lint_gate or self._lint_stats["checks"]:
             info["lint_gate"] = self.lint_gate_info()
+        if self.discovery_info is not None:
+            info["discovery"] = self.discovery_info()
         return info
 
     # ------------------------------------------------------------------

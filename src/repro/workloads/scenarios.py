@@ -320,13 +320,16 @@ class DistributedFederation:
 def build_distributed_federation(domains: int = 4,
                                  users_per_domain: int = 2,
                                  ttl: float = 300.0,
-                                 seed: Optional[int] = None
+                                 seed: Optional[int] = None,
+                                 fastpath: Optional[bool] = None
                                  ) -> DistributedFederation:
     """Build an n-domain federation over one simulated network.
 
     Per domain: a principal, roles ``member``/``access``, a home wallet
     (holding the member->access grant and the inbound bridge), an empty
     access server with a discovery engine, and tagged user credentials.
+    ``fastpath`` pins the engines' discovery fast path on/off (None
+    defers to the global switch).
     """
     from repro.workloads.topology import _rng
     from repro.discovery.engine import DiscoveryStats  # noqa: F401
@@ -357,7 +360,8 @@ def build_distributed_federation(domains: int = 4,
                             principal=principals[k])
         server = WalletServer(network, server_wallet,
                               principal=principals[k])
-        engine = DiscoveryEngine(server, default_ttl=ttl)
+        engine = DiscoveryEngine(server, default_ttl=ttl,
+                                 fastpath=fastpath)
         users = [create_principal(f"D{k}-u{u}", rng=rng)
                  for u in range(users_per_domain)]
         credentials = [
@@ -389,7 +393,8 @@ def build_distributed_federation(domains: int = 4,
 
 
 def build_distributed_case_study(seed: Optional[int] = None,
-                                 ttl: float = 30.0
+                                 ttl: float = 30.0,
+                                 fastpath: Optional[bool] = None
                                  ) -> DistributedCaseStudy:
     """Wire the Figure 2(a) initial state.
 
@@ -430,7 +435,7 @@ def build_distributed_case_study(seed: Optional[int] = None,
                                              principal=case.big_isp))
     airnet_home = directory.add(WalletServer(network, airnet_wallet,
                                              principal=case.air_net))
-    engine = DiscoveryEngine(server, default_ttl=ttl)
+    engine = DiscoveryEngine(server, default_ttl=ttl, fastpath=fastpath)
     return DistributedCaseStudy(
         case=case, network=network, clock=clock, server=server,
         bigisp_home=bigisp_home, airnet_home=airnet_home,

@@ -1,0 +1,317 @@
+"""The discovery fast path: coherence with the seed protocol, the
+per-home result cache, RPC coalescing, session reuse, and the global
+bypass switches.
+
+The load-bearing invariant: the fast path may change the wire pattern
+(fewer messages, fewer bytes, deduplicated credentials) but never the
+*answer* -- discovered proofs are byte-identical with the fast path on
+or off.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import (
+    DiscoveryTag,
+    ObjectFlag,
+    Role,
+    SimClock,
+    SubjectFlag,
+    issue,
+)
+from repro.crypto.encoding import canonical_encode
+from repro.discovery import fastpath
+from repro.discovery.engine import DiscoveryEngine, DiscoveryStats
+from repro.discovery.fastpath import DiscoveryCache, make_discovery_key
+from repro.discovery.resolver import WalletServer
+from repro.net.transport import Network
+from repro.wallet.wallet import Wallet
+from repro.workloads.scenarios import (
+    EXPECTED_BW,
+    build_distributed_case_study,
+)
+
+
+def _proof_bytes(proof):
+    return canonical_encode(proof.to_dict())
+
+
+def _run_walkthrough(fastpath_on, seed=11):
+    d = build_distributed_case_study(seed=seed, fastpath=fastpath_on)
+    proof = d.run_steps_1_to_5()
+    assert proof is not None
+    return d, proof
+
+
+class TestCoherence:
+    def test_proofs_byte_identical_fast_on_vs_off(self):
+        """Same seed, both protocols: the discovered proof encodes to
+        the exact same bytes."""
+        _d_fast, fast_proof = _run_walkthrough(True)
+        _d_seed, seed_proof = _run_walkthrough(False)
+        assert _proof_bytes(fast_proof) == _proof_bytes(seed_proof)
+
+    def test_grants_identical(self):
+        d_fast, fast_proof = _run_walkthrough(True)
+        d_seed, seed_proof = _run_walkthrough(False)
+        fast_grants = fast_proof.grants(d_fast.case.base_allocations())
+        seed_grants = seed_proof.grants(d_seed.case.base_allocations())
+        assert fast_grants[d_fast.case.bw] == EXPECTED_BW
+        assert {a.name: v for a, v in fast_grants.items()} == \
+            {a.name: v for a, v in seed_grants.items()}
+
+    def test_same_wallet_contents_absorbed(self):
+        d_fast, _p1 = _run_walkthrough(True)
+        d_seed, _p2 = _run_walkthrough(False)
+        fast_ids = {d.id for d in
+                    d_fast.server.wallet.store.delegations()}
+        seed_ids = {d.id for d in
+                    d_seed.server.wallet.store.delegations()}
+        assert fast_ids == seed_ids
+
+    def test_fast_path_uses_fewer_messages_and_bytes(self):
+        d_fast, _p1 = _run_walkthrough(True)
+        d_seed, _p2 = _run_walkthrough(False)
+        assert d_fast.network.totals.messages < \
+            d_seed.network.totals.messages
+        assert d_fast.network.totals.bytes < d_seed.network.totals.bytes
+
+
+@pytest.fixture()
+def two_home(org, alice, clock):
+    """The two_hop topology from test_engine.py, fast path pinned on:
+    [alice -> r1] local, [r1 -> r2] at w.mid, [r2 -> r3] at w.far."""
+    network = Network(clock=clock)
+    local = Wallet(owner=org, address="w.local", clock=clock)
+    mid = Wallet(owner=org, address="w.mid", clock=clock)
+    far = Wallet(owner=org, address="w.far", clock=clock)
+    r1, r2, r3 = (Role(org.entity, n) for n in ("r1", "r2", "r3"))
+
+    def tag(home):
+        return DiscoveryTag(home=home, ttl=30.0,
+                            subject_flag=SubjectFlag.SEARCH,
+                            object_flag=ObjectFlag.NONE)
+
+    local.publish(issue(org, alice.entity, r1, object_tag=tag("w.mid")))
+    mid.publish(issue(org, r1, r2, subject_tag=tag("w.mid"),
+                      object_tag=tag("w.far")))
+    far.publish(issue(org, r2, r3, subject_tag=tag("w.far")))
+    server = WalletServer(network, local, principal=org)
+    WalletServer(network, mid, principal=org)
+    WalletServer(network, far, principal=org)
+    engine = DiscoveryEngine(server, fastpath=True)
+    return engine, server, network, (r1, r2, r3)
+
+
+class TestResultCache:
+    def test_negative_result_cached(self, two_home, alice, org):
+        engine, _server, network, _roles = two_home
+        ghost = Role(org.entity, "ghost")
+        assert engine.discover(alice.entity, ghost) is None
+        first = network.totals.messages
+        assert first > 0
+        stats = DiscoveryStats()
+        assert engine.discover(alice.entity, ghost, stats=stats) is None
+        # The repeat is served entirely from the result cache: the
+        # direct probes hit their negative entries, the enumerations
+        # their positive ones.
+        assert network.totals.messages == first
+        assert stats.wire_messages == 0
+        assert stats.cache_hits > 0
+        assert stats.cache_negative_hits > 0
+        assert stats.batch_rpcs == 0
+
+    def test_positive_enum_reused_across_targets(self, two_home, alice,
+                                                 org):
+        engine, _server, _network, _roles = two_home
+        assert engine.discover(alice.entity,
+                               Role(org.entity, "ghostA")) is None
+        stats = DiscoveryStats()
+        assert engine.discover(alice.entity,
+                               Role(org.entity, "ghostB"),
+                               stats=stats) is None
+        # The frontier enumerations are target-independent; only the
+        # ghostB direct probes had to go to the wire.
+        assert stats.cache_hits > 0
+        assert stats.remote_subject_queries == 0
+        assert stats.remote_direct_queries > 0
+
+    def test_negative_ttl_lapse_retries(self, two_home, alice, org,
+                                        clock):
+        engine, _server, network, _roles = two_home
+        ghost = Role(org.entity, "ghost")
+        assert engine.discover(alice.entity, ghost) is None
+        before = network.totals.messages
+        clock.advance(engine.negative_ttl + 1.0)
+        assert engine.discover(alice.entity, ghost) is None
+        assert network.totals.messages > before   # re-probed after lapse
+
+    def test_publish_event_drops_negatives(self, two_home, alice, bob,
+                                           org):
+        engine, server, _network, _roles = two_home
+        ghost = Role(org.entity, "ghost")
+        assert engine.discover(alice.entity, ghost) is None
+        assert len(engine.result_cache._negatives) > 0
+        # A publication grows the graph: negative answers may now be
+        # stale, so all of them are dropped (positives survive).
+        positives = len(engine.result_cache) \
+            - len(engine.result_cache._negatives)
+        server.wallet.publish(issue(org, bob.entity,
+                                    Role(org.entity, "other")))
+        assert len(engine.result_cache._negatives) == 0
+        assert len(engine.result_cache) == positives
+
+    def test_cache_info_surfaced_via_wallet(self, two_home, alice):
+        engine, server, _network, roles = two_home
+        assert engine.discover(alice.entity, roles[2]) is not None
+        info = server.wallet.cache_info()
+        assert "discovery" in info
+        disc = info["discovery"]
+        assert disc["fastpath"] is True
+        assert disc["stats"]["batch_rpcs"] > 0
+        assert disc["result_cache"]["stores"] > 0
+        assert disc["sessions"]["handshakes_completed"] > 0
+
+
+class TestCoalescingAndSessions:
+    def test_chain_found_with_batches(self, two_home, alice):
+        engine, server, network, roles = two_home
+        stats = DiscoveryStats()
+        proof = engine.discover(alice.entity, roles[2], stats=stats)
+        assert proof is not None
+        server.wallet.validate(proof)
+        assert stats.wallets_contacted == {"w.mid", "w.far"}
+        assert stats.batch_rpcs == 2          # one RPC per home contacted
+        assert stats.coalesced_queries >= stats.batch_rpcs
+        # No per-probe RPCs crossed the network.
+        assert "rpc:direct_query" not in network.by_topic
+        assert "rpc:subject_query" not in network.by_topic
+        assert network.by_topic["rpc:discover_batch"].messages == 2
+
+    def test_sessions_reused_across_queries(self, two_home, alice, org):
+        engine, _server, _network, roles = two_home
+        first = DiscoveryStats()
+        assert engine.discover(alice.entity, roles[2],
+                               stats=first) is not None
+        assert first.handshakes == 2          # one per home, first contact
+        second = DiscoveryStats()
+        engine.discover(alice.entity, Role(org.entity, "ghost"),
+                        stats=second)
+        # The ghost search re-contacts both homes over the channels the
+        # first query authenticated.
+        assert second.handshakes == 0
+        assert second.sessions_reused >= 1
+
+    def test_idle_sessions_evicted(self, two_home, alice, org, clock):
+        engine, server, _network, roles = two_home
+        engine.session_idle_ttl = 10.0
+        assert engine.discover(alice.entity, roles[2]) is not None
+        assert len(server.switchboard._channels) > 0
+        clock.advance(60.0)
+        stats = DiscoveryStats()
+        engine.discover(alice.entity, Role(org.entity, "ghost"),
+                        stats=stats)
+        # The pre-advance channels were evicted, forcing re-handshakes.
+        assert stats.handshakes > 0
+
+    def test_credential_dedup_across_epochs(self, two_home, alice,
+                                            clock):
+        """After a TTL sweep evicts the absorbed delegations, the
+        re-discovery re-fetches them -- but over the still-open session
+        their certificates ride ``{"ref": id}`` placeholders, not full
+        bodies."""
+        engine, server, network, roles = two_home
+        assert engine.discover(alice.entity, roles[2]) is not None
+        cold_bytes = network.totals.bytes
+        clock.advance(31.0)                  # lapse the 30 s tag leases
+        server.cache.sweep()                 # evict the local copies
+        network.reset_counters()
+        stats = DiscoveryStats()
+        assert engine.discover(alice.entity, roles[2],
+                               stats=stats) is not None
+        assert stats.dedup_refs > 0          # refs crossed, not bodies
+        assert stats.pulls == 0              # channel store resolved all
+        assert stats.handshakes == 0         # session outlived the epoch
+        assert network.totals.bytes < cold_bytes
+
+
+class TestBypass:
+    def test_engine_pin_overrides_global(self, two_home):
+        engine = two_home[0]
+        with fastpath.disabled():
+            assert engine.fastpath_active    # pinned True at build time
+
+    def test_global_switch(self, org, clock):
+        network = Network(clock=clock)
+        server = WalletServer(
+            network, Wallet(owner=org, address="w.x", clock=clock),
+            principal=org)
+        engine = DiscoveryEngine(server)      # defers to the global
+        assert engine.fastpath_active == fastpath.enabled()
+        with fastpath.disabled():
+            assert not engine.fastpath_active
+        assert engine.fastpath_active == fastpath.enabled()
+
+    def test_env_variable_disables(self):
+        root = pathlib.Path(__file__).resolve().parents[2]
+        code = ("import sys; from repro.discovery import fastpath; "
+                "sys.exit(0 if not fastpath.enabled() else 1)")
+        result = subprocess.run(
+            [sys.executable, "-c", code], cwd=root,
+            env={"DRBAC_NO_DISCOVERY_CACHE": "1",
+                 "PYTHONPATH": str(root / "src")})
+        assert result.returncode == 0
+
+    def test_seed_protocol_when_disabled(self, two_home, alice):
+        # Same topology, fast path pinned off: the seed wire pattern.
+        _engine, server, network, roles = two_home
+        seed_engine = DiscoveryEngine(server, fastpath=False)
+        stats = DiscoveryStats()
+        proof = seed_engine.discover(alice.entity, roles[2],
+                                     stats=stats)
+        assert proof is not None
+        assert stats.batch_rpcs == 0
+        assert stats.cache_hits == 0
+        assert stats.dedup_refs == 0
+        assert "rpc:discover_batch" not in network.by_topic
+        assert network.by_topic["rpc:direct_query"].messages > 0
+
+
+class TestDiscoveryCacheUnit:
+    def test_lru_eviction(self):
+        cache = DiscoveryCache(maxsize=2)
+        keys = [make_discovery_key("h", "direct", ("s", i), ("o",),
+                                   (), ())
+                for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.store(key, "x", now=0.0, ttl=10.0,
+                        delegation_ids=[f"d{i}"])
+        assert len(cache) == 2
+        assert keys[0] not in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalidation_via_inverted_index(self):
+        cache = DiscoveryCache()
+        key = make_discovery_key("h", "direct", ("s",), ("o",), (), ())
+        cache.store(key, "value", now=0.0, ttl=10.0,
+                    delegation_ids=["d1", "d2"])
+        assert cache.on_event(False, "d2") == 1
+        assert key not in cache
+
+    def test_ttl_window(self):
+        cache = DiscoveryCache()
+        key = make_discovery_key("h", "direct", ("s",), ("o",), (), ())
+        cache.store(key, "value", now=5.0, ttl=10.0,
+                    delegation_ids=["d"])
+        assert cache.lookup(key, 14.9) == (True, "value")
+        assert cache.lookup(key, 15.0) == (False, None)
+        assert cache.stats.expirations == 1
+
+    def test_zero_ttl_not_stored(self):
+        cache = DiscoveryCache()
+        key = make_discovery_key("h", "direct", ("s",), ("o",), (), ())
+        cache.store(key, "value", now=0.0, ttl=0.0)
+        assert len(cache) == 0

@@ -146,5 +146,9 @@ class TestSessionIntegration:
         assert d.engine.discover(d.case.maria.entity,
                                  d.case.airnet_access) is None
         d.network.heal("server.airnet.com", "wallet.bigISP.com")
+        # The unreachable home was negative-cached; the miss heals once
+        # the negative TTL lapses (tests/discovery/test_partition.py
+        # covers the full partition semantics).
+        d.clock.advance(d.engine.negative_ttl + 1.0)
         assert d.engine.discover(d.case.maria.entity,
                                  d.case.airnet_access) is not None

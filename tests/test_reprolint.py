@@ -37,6 +37,19 @@ class TestRepoIsClean:
         result = run_reprolint("tools")
         assert result.returncode == 0, result.stdout + result.stderr
 
+    def test_discovery_fastpath_modules_in_scope(self):
+        """The fast-path modules (PR 4) ride the src walk; pin them so a
+        future scope change can't silently drop them from the linter."""
+        walked = {p.replace(os.sep, "/") for p in
+                  reprolint.iter_python_files(
+                      [os.path.join(REPO_ROOT, "src")])}
+        for needed in ("src/repro/discovery/fastpath.py",
+                       "src/repro/discovery/wire.py",
+                       "src/repro/discovery/engine.py",
+                       "src/repro/net/switchboard.py",
+                       "src/repro/net/rpc.py"):
+            assert any(path.endswith(needed) for path in walked), needed
+
 
 class TestClockDiscipline:
     def test_time_time_flagged(self, tmp_path):

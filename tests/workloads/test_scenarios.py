@@ -115,13 +115,34 @@ class TestDistributedScenario:
         monitor = distributed_case.authorize_and_monitor()
         assert monitor is not None and monitor.valid
 
-    def test_message_flow_matches_walkthrough(self, distributed_case):
-        """Steps 3-4: one subject query at BigISP's home, direct queries
-        per frontier role, subscriptions for every fetched delegation."""
-        d = distributed_case
+    def test_message_flow_matches_walkthrough(self):
+        """Steps 3-4 under the seed protocol: one subject query at
+        BigISP's home, direct queries per frontier role, subscriptions
+        for every fetched delegation."""
+        from repro.workloads.scenarios import build_distributed_case_study
+        d = build_distributed_case_study(fastpath=False)
         d.run_steps_1_to_5()
         by_topic = {topic: stats.messages
                     for topic, stats in d.network.by_topic.items()}
         assert by_topic.get("rpc:subject_query") == 1
         assert by_topic.get("rpc:direct_query") == 2
         assert by_topic.get("rpc:subscribe") == 7
+
+    def test_message_flow_fastpath(self):
+        """The same walkthrough over the fast path: the ten sequential
+        RPCs collapse into two coalesced batches (one per home) and two
+        batched subscribe calls, with no sequential query topics at all;
+        the granted attributes are unchanged."""
+        from repro.workloads.scenarios import build_distributed_case_study
+        d = build_distributed_case_study(fastpath=True)
+        proof = d.run_steps_1_to_5()
+        assert proof is not None
+        grants = proof.grants(d.case.base_allocations())
+        assert grants[d.case.bw] == EXPECTED_BW
+        by_topic = {topic: stats.messages
+                    for topic, stats in d.network.by_topic.items()}
+        assert by_topic.get("rpc:discover_batch") == 2
+        assert by_topic.get("rpc:subscribe") == 2
+        assert "rpc:subject_query" not in by_topic
+        assert "rpc:direct_query" not in by_topic
+        assert "rpc:get_delegation" not in by_topic
