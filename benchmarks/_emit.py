@@ -1,0 +1,110 @@
+"""Shared trajectory emission for the standalone benchmarks.
+
+Every ``BENCH_*.json`` file now carries the same header (schema v1) in
+front of the benchmark-specific payload::
+
+    {
+      "schema_version": 1,
+      "benchmark": "proof_cache",        # which bench wrote it
+      "git_rev": "ed30e32",              # or null outside a checkout
+      "seed": 7,                         # or null for unseeded benches
+      "quick": false,                    # CI smoke vs. full run
+      "timestamp": 1754550000.0,         # wall clock at emission
+      "wall_seconds": 12.3,              # whole-run host time
+      "virtual_time": 42.0,              # obs clock, when one is set
+      "metrics": {...},                  # obs registry snapshot
+      ...                                # benchmark payload
+    }
+
+The ``metrics`` block is the observability registry's JSON snapshot, so
+a trajectory file records not just the headline numbers but every
+counter and histogram the instrumented stack accumulated while
+producing them (cache hit/miss tallies, RPC latencies, handshake
+counts).  ``--metrics-out PATH`` additionally dumps the registry in
+Prometheus text format, the same thing ``drbac metrics`` prints.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro import obs                       # noqa: E402
+from repro.obs.export import to_prometheus  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+_REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          os.pardir)
+
+
+def git_rev() -> Optional[str]:
+    """Short commit hash of this checkout, or None without git."""
+    try:
+        proc = subprocess.run(
+            ["git", "-C", _REPO_ROOT, "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+def add_common_args(parser, default_output: str):
+    """The argument surface every standalone benchmark shares."""
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes, few repeats (CI smoke)")
+    parser.add_argument("-o", "--output", default=default_output,
+                        help=f"trajectory file "
+                             f"(default: {default_output})")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="also dump the metrics registry to PATH "
+                             "in Prometheus text format")
+    return parser
+
+
+def emit(output: str, benchmark: str, payload: dict, *,
+         quick: bool = False, seed: Optional[int] = None,
+         started: Optional[float] = None,
+         metrics_out: Optional[str] = None) -> dict:
+    """Write ``payload`` under the schema-v1 header; returns the record.
+
+    ``started`` is a ``time.perf_counter()`` reading taken at the top
+    of the run; ``wall_seconds`` is measured against it.
+    """
+    result = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "git_rev": git_rev(),
+        "seed": seed,
+        "quick": quick,
+        "timestamp": time.time(),
+        "wall_seconds":
+            None if started is None else time.perf_counter() - started,
+        "virtual_time": obs.virtual_time(),
+        "metrics": obs.registry().snapshot(),
+    }
+    for key, value in payload.items():
+        if key in result:
+            raise ValueError(
+                f"benchmark payload key {key!r} collides with the "
+                f"schema header")
+        result[key] = value
+    with open(output, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    if metrics_out:
+        write_metrics(metrics_out)
+    return result
+
+
+def write_metrics(path: str) -> None:
+    """Dump the live registry as Prometheus exposition text."""
+    with open(path, "w") as handle:
+        handle.write(to_prometheus(obs.registry()))

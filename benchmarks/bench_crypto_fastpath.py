@@ -24,7 +24,6 @@ pytest (``pytest benchmarks/bench_crypto_fastpath.py``).
 """
 
 import argparse
-import json
 import os
 import random
 import statistics
@@ -34,6 +33,9 @@ import time
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                     os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import _emit                                          # noqa: E402
 
 from repro.core import SimClock                          # noqa: E402
 from repro.core.proof import Proof, validate_proof       # noqa: E402
@@ -185,7 +187,8 @@ def bench_batch_verify(batch_size: int, repeat: int) -> dict:
     }
 
 
-def run(quick: bool, output: str) -> int:
+def run(quick: bool, output: str, metrics_out=None) -> int:
+    started = time.perf_counter()
     repeat = 5 if quick else 15
 
     validate = bench_validate_proof(repeat)
@@ -210,20 +213,14 @@ def run(quick: bool, output: str) -> int:
     ok = (validate["warm_speedup_vs_cold"] >= REQUIRED_WARM_SPEEDUP
           and verify["cold_verify_speedup"] >= REQUIRED_VERIFY_SPEEDUP)
 
-    result = {
-        "benchmark": "crypto_fastpath",
-        "quick": quick,
-        "timestamp": time.time(),
+    _emit.emit(output, "crypto_fastpath", {
         "required_warm_speedup": REQUIRED_WARM_SPEEDUP,
         "required_verify_speedup": REQUIRED_VERIFY_SPEEDUP,
         "pass": ok,
         "validate_proof": validate,
         "schnorr_verify": verify,
         "batch_verify": batch,
-    }
-    with open(output, "w") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
+    }, quick=quick, started=started, metrics_out=metrics_out)
     print(f"wrote {output} -> {'PASS' if ok else 'FAIL'}")
     return 0 if ok else 1
 
@@ -237,12 +234,10 @@ def test_crypto_fastpath_speedups(tmp_path):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="few repeats (CI smoke)")
-    parser.add_argument("-o", "--output", default=OUTPUT,
-                        help=f"trajectory file (default: {OUTPUT})")
+    _emit.add_common_args(parser, OUTPUT)
     args = parser.parse_args(argv)
-    return run(quick=args.quick, output=args.output)
+    return run(quick=args.quick, output=args.output,
+               metrics_out=args.metrics_out)
 
 
 if __name__ == "__main__":

@@ -30,7 +30,6 @@ Run standalone (``python benchmarks/bench_discovery_fastpath.py
 """
 
 import argparse
-import json
 import os
 import statistics
 import sys
@@ -39,6 +38,9 @@ import time
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                     os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import _emit                                          # noqa: E402
 
 from repro.crypto.encoding import canonical_encode      # noqa: E402
 from repro.workloads.scenarios import (                 # noqa: E402
@@ -132,7 +134,8 @@ def _federation_point(domains, fastpath):
             "bytes": fed.network.totals.bytes}
 
 
-def run(quick: bool, output: str) -> int:
+def run(quick: bool, output: str, metrics_out=None) -> int:
+    started = time.perf_counter()
     epochs = 4 if quick else 8
     warm_repeat = 20 if quick else 100
     sizes = (3, 5) if quick else (3, 5, 8)
@@ -176,10 +179,7 @@ def run(quick: bool, output: str) -> int:
           and warm_speedup >= REQUIRED_WARM_SPEEDUP
           and byte_reduction >= REQUIRED_BYTE_REDUCTION)
 
-    result = {
-        "benchmark": "discovery_fastpath",
-        "quick": quick,
-        "timestamp": time.time(),
+    _emit.emit(output, "discovery_fastpath", {
         "required_warm_speedup": REQUIRED_WARM_SPEEDUP,
         "required_byte_reduction": REQUIRED_BYTE_REDUCTION,
         "warm_speedup": warm_speedup,
@@ -190,10 +190,7 @@ def run(quick: bool, output: str) -> int:
         "fastpath_on": fast,
         "fastpath_off": seed,
         "federation_scaling": scaling,
-    }
-    with open(output, "w") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
+    }, quick=quick, started=started, metrics_out=metrics_out)
     print(f"wrote {output}; warm speedup {warm_speedup:.0f}x "
           f"(required {REQUIRED_WARM_SPEEDUP:.0f}x), epoch bytes "
           f"-{byte_reduction:.0%} (required "
@@ -213,12 +210,10 @@ def test_discovery_fastpath_gates(tmp_path):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="fewer epochs and repeats (CI smoke)")
-    parser.add_argument("-o", "--output", default=OUTPUT,
-                        help=f"trajectory file (default: {OUTPUT})")
+    _emit.add_common_args(parser, OUTPUT)
     args = parser.parse_args(argv)
-    return run(quick=args.quick, output=args.output)
+    return run(quick=args.quick, output=args.output,
+               metrics_out=args.metrics_out)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,186 @@
+"""Benchmark the observability layer's overhead: DRBAC_OBS on vs off.
+
+The design contract (docs/OBSERVABILITY.md): metric counters always
+count -- they are the same per-instance tallies the stats surfaces
+always kept -- and the ``DRBAC_OBS`` switch gates *tracing* only, so
+the on/off delta isolates exactly what a span costs.  Two measurements:
+
+* **warm query** (the gate): repeated ``query_direct`` on a cached
+  wallet, tracing on vs off, interleaved batches to cancel machine
+  drift.  The warm hit path opens no spans at all, so the regression
+  budget is < 3%; a failure here means instrumentation leaked onto the
+  hot path.
+* **cold discovery** (report-only): the full case-study distributed
+  walkthrough, where spans *are* opened (authorize, discovery, batch
+  RPCs, handshakes, signature verifies), reporting what end-to-end
+  tracing actually costs when it is doing its job.
+
+Emits ``BENCH_observability.json`` and exits nonzero if the warm-query
+overhead exceeds the budget.  Run standalone
+(``python benchmarks/bench_observability.py [--quick]``) or under
+pytest (``pytest benchmarks/bench_observability.py``).
+"""
+
+import argparse
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import _emit                                          # noqa: E402
+from repro import obs                                 # noqa: E402
+from repro.core import SimClock                       # noqa: E402
+from repro.wallet.wallet import Wallet                # noqa: E402
+from repro.workloads.scenarios import (               # noqa: E402
+    build_distributed_case_study,
+)
+from repro.workloads.topology import make_coalition   # noqa: E402
+
+OUTPUT = "BENCH_observability.json"
+MAX_OVERHEAD_PCT = 3.0
+
+
+def _warm_wallet() -> Wallet:
+    workload = make_coalition(3, 3, 2, seed=7, partner_links=1)
+    wallet = Wallet(owner=None, address="bench", clock=SimClock())
+    for delegation, supports in workload.delegations:
+        wallet.publish(delegation, supports)
+    wallet.query_direct(workload.subject, workload.obj)  # cold fill
+    wallet._bench_query = lambda: wallet.query_direct(
+        workload.subject, workload.obj)
+    return wallet
+
+
+def bench_warm_query(quick: bool) -> dict:
+    """Median seconds per warm-query batch, tracing on vs off.
+
+    On/off batches are interleaved within each trial so slow drift
+    (thermal, scheduler) hits both arms equally; the comparison is
+    median-vs-median across trials.
+    """
+    batch = 2000 if quick else 10000
+    trials = 9 if quick else 15
+    wallet = _warm_wallet()
+    query = wallet._bench_query
+
+    def one_batch() -> float:
+        started = time.perf_counter()
+        for _ in range(batch):
+            query()
+        return time.perf_counter() - started
+
+    # Warm up both arms before sampling.
+    with obs.disabled():
+        one_batch()
+    with obs.enabled_ctx():
+        one_batch()
+
+    off_samples, on_samples = [], []
+    for _ in range(trials):
+        with obs.disabled():
+            off_samples.append(one_batch())
+        with obs.enabled_ctx():
+            on_samples.append(one_batch())
+
+    off = statistics.median(off_samples)
+    on = statistics.median(on_samples)
+    overhead_pct = (on / off - 1.0) * 100 if off > 0 else 0.0
+    return {
+        "batch": batch,
+        "trials": trials,
+        "off_us_per_query": off / batch * 1e6,
+        "on_us_per_query": on / batch * 1e6,
+        "overhead_pct": overhead_pct,
+    }
+
+
+def bench_cold_discovery(quick: bool) -> dict:
+    """Cold case-study walkthrough with tracing on vs off (report-only).
+
+    Each sample builds a fresh deployment, so every pass pays the same
+    cold costs; with tracing on, the run opens the full span tree.
+    """
+    samples = 3 if quick else 5
+
+    def one_pass() -> float:
+        d = build_distributed_case_study(seed=7)
+        d.server.wallet.publish(d.case.d1_maria_member)
+        started = time.perf_counter()
+        proof = d.server.wallet.authorize(
+            d.case.maria.entity, d.case.airnet_access)
+        elapsed = time.perf_counter() - started
+        assert proof is not None
+        return elapsed
+
+    off_samples, on_samples = [], []
+    for _ in range(samples):
+        with obs.disabled():
+            off_samples.append(one_pass())
+        with obs.enabled_ctx():
+            obs.tracer().clear()
+            on_samples.append(one_pass())
+    span_count = len(obs.tracer().finished())
+
+    off = statistics.median(off_samples)
+    on = statistics.median(on_samples)
+    return {
+        "samples": samples,
+        "off_ms": off * 1e3,
+        "on_ms": on * 1e3,
+        "overhead_pct": (on / off - 1.0) * 100 if off > 0 else 0.0,
+        "spans_per_authorize": span_count,
+    }
+
+
+def run(quick: bool, output: str, metrics_out=None) -> int:
+    started = time.perf_counter()
+
+    warm = bench_warm_query(quick)
+    print(f"warm query   off={warm['off_us_per_query']:.3f}us "
+          f"on={warm['on_us_per_query']:.3f}us "
+          f"overhead={warm['overhead_pct']:+.2f}% "
+          f"(budget {MAX_OVERHEAD_PCT:.0f}%)")
+
+    cold = bench_cold_discovery(quick)
+    print(f"cold deploy  off={cold['off_ms']:.2f}ms "
+          f"on={cold['on_ms']:.2f}ms "
+          f"overhead={cold['overhead_pct']:+.2f}% "
+          f"({cold['spans_per_authorize']} spans/authorize, "
+          f"report-only)")
+
+    ok = warm["overhead_pct"] < MAX_OVERHEAD_PCT
+    _emit.emit(output, "observability", {
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "pass": ok,
+        "warm_query": warm,
+        "cold_discovery": cold,
+    }, quick=quick, seed=7, started=started, metrics_out=metrics_out)
+    print(f"wrote {output}; warm-query overhead "
+          f"{warm['overhead_pct']:+.2f}% "
+          f"(budget {MAX_OVERHEAD_PCT:.0f}%) -> "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+# -- pytest entry points -----------------------------------------------------
+
+def test_observability_overhead(tmp_path):
+    """Shape claim: tracing never leaks onto the warm query path."""
+    assert run(quick=True, output=str(tmp_path / OUTPUT)) == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    _emit.add_common_args(parser, OUTPUT)
+    args = parser.parse_args(argv)
+    return run(quick=args.quick, output=args.output,
+               metrics_out=args.metrics_out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

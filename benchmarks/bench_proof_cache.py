@@ -21,7 +21,6 @@ under pytest (``pytest benchmarks/bench_proof_cache.py``).
 """
 
 import argparse
-import json
 import os
 import statistics
 import sys
@@ -30,7 +29,9 @@ import time
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                     os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import _emit                                          # noqa: E402
 from repro.core import Role, SimClock, issue          # noqa: E402
 from repro.wallet.wallet import Wallet                # noqa: E402
 from repro.workloads.topology import (                # noqa: E402
@@ -177,7 +178,8 @@ def bench_topology(name: str, workload, warm_repeat: int) -> dict:
     }
 
 
-def run(quick: bool, output: str) -> int:
+def run(quick: bool, output: str, metrics_out=None) -> int:
+    started = time.perf_counter()
     warm_repeat = 50 if quick else 200
     rows = []
     for name, workload in _topologies(quick):
@@ -196,20 +198,14 @@ def run(quick: bool, output: str) -> int:
     coherent = all(row["coherent"] for row in rows)
     ok = speedup >= REQUIRED_SPEEDUP and coherent
 
-    result = {
-        "benchmark": "proof_cache",
-        "quick": quick,
-        "timestamp": time.time(),
+    _emit.emit(output, "proof_cache", {
         "required_speedup": REQUIRED_SPEEDUP,
         "largest_topology": largest["topology"],
         "largest_warm_speedup": speedup,
         "all_coherent": coherent,
         "pass": ok,
         "topologies": rows,
-    }
-    with open(output, "w") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
+    }, quick=quick, seed=7, started=started, metrics_out=metrics_out)
     print(f"wrote {output}; largest topology {largest['topology']} "
           f"warm speedup {speedup:.1f}x "
           f"(required {REQUIRED_SPEEDUP:.0f}x) -> "
@@ -226,12 +222,10 @@ def test_warm_cache_speedup(tmp_path):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small topologies, few repeats (CI smoke)")
-    parser.add_argument("-o", "--output", default=OUTPUT,
-                        help=f"trajectory file (default: {OUTPUT})")
+    _emit.add_common_args(parser, OUTPUT)
     args = parser.parse_args(argv)
-    return run(quick=args.quick, output=args.output)
+    return run(quick=args.quick, output=args.output,
+               metrics_out=args.metrics_out)
 
 
 if __name__ == "__main__":

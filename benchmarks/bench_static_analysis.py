@@ -18,7 +18,6 @@ pytest (``pytest benchmarks/bench_static_analysis.py``).
 """
 
 import argparse
-import json
 import os
 import statistics
 import sys
@@ -27,6 +26,9 @@ import time
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                     os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import _emit                                          # noqa: E402
 
 from repro.core import SimClock                       # noqa: E402
 from repro.wallet.wallet import Wallet                # noqa: E402
@@ -93,7 +95,9 @@ def bench_size(name: str, width: int, depth: int, seed: int,
     }
 
 
-def run(quick: bool, output: str, seed: int = 7) -> int:
+def run(quick: bool, output: str, seed: int = 7,
+        metrics_out=None) -> int:
+    started = time.perf_counter()
     repeat = 3 if quick else 5
     rows = []
     for name, width, depth in _sizes(quick):
@@ -111,17 +115,11 @@ def run(quick: bool, output: str, seed: int = 7) -> int:
     # Gate: exactness at every size. Timing numbers are reported, not
     # gated -- CI machines are too noisy for throughput floors.
     ok = all(row["exact"] for row in rows)
-    result = {
-        "benchmark": "static_analysis",
-        "quick": quick,
-        "timestamp": time.time(),
-        "seed": seed,
+    _emit.emit(output, "static_analysis", {
         "pass": ok,
         "sizes": rows,
-    }
-    with open(output, "w") as handle:
-        json.dump(result, handle, indent=2)
-        handle.write("\n")
+    }, quick=quick, seed=seed, started=started,
+        metrics_out=metrics_out)
     largest = rows[-1]
     print(f"wrote {output}; largest graph {largest['delegations']} "
           f"delegations analyzed in {largest['analyze_ms']:.1f} ms -> "
@@ -139,13 +137,11 @@ def test_static_analysis_exact_at_scale(tmp_path):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small graphs, few repeats (CI smoke)")
+    _emit.add_common_args(parser, OUTPUT)
     parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("-o", "--output", default=OUTPUT,
-                        help=f"trajectory file (default: {OUTPUT})")
     args = parser.parse_args(argv)
-    return run(quick=args.quick, output=args.output, seed=args.seed)
+    return run(quick=args.quick, output=args.output, seed=args.seed,
+               metrics_out=args.metrics_out)
 
 
 if __name__ == "__main__":

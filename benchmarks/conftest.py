@@ -11,11 +11,37 @@ Section 1) and follows the same pattern:
 Run everything with::
 
     pytest benchmarks/ --benchmark-only
+
+``--metrics-out PATH`` dumps the observability registry (Prometheus
+text format, same as ``drbac metrics``) after the session, covering
+whatever the selected benchmarks exercised.
 """
 
+import os
 import sys
 
 import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-out", default=None, metavar="PATH",
+        help="after the benchmark session, dump the observability "
+             "metrics registry to PATH in Prometheus text format")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--metrics-out")
+    if not path:
+        return
+    from repro import obs
+    from repro.obs.export import to_prometheus
+    with open(path, "w") as handle:
+        handle.write(to_prometheus(obs.registry()))
 
 
 def print_table(title: str, headers, rows) -> str:

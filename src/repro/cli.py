@@ -164,6 +164,19 @@ def cmd_issue(workspace: Workspace, args) -> int:
                   f"{info['blocked']} blocked, "
                   f"{info['seconds'] * 1000:.3f} ms",
                   file=sys.stderr)
+        if args.timing:
+            from repro import obs
+            registry = obs.registry()
+            print(
+                "# metrics: "
+                f"publishes={registry.total('drbac_wallet_publishes_total'):g} "
+                f"memo_hits={registry.total('drbac_crypto_memo_hits_total'):g} "
+                f"memo_misses="
+                f"{registry.total('drbac_crypto_memo_misses_total'):g} "
+                f"hub_events="
+                f"{registry.total('drbac_hub_events_published_total'):g}",
+                file=sys.stderr,
+            )
     workspace.save()
     print(f"issued {delegation.short_id}: "
           f"{format_delegation(delegation)}")
@@ -253,6 +266,45 @@ def cmd_query(workspace: Workspace, args) -> int:
     return 0
 
 
+def _build_distributed_workload(spec: Optional[str]):
+    """Build the coalition deployment named by a ``--workload`` spec.
+
+    Shared by ``discover``, ``metrics``, and ``trace``: returns
+    ``(engine, network, clock, server_wallet, subject, obj)`` with the
+    subject's credential already presented at the access server, so a
+    single ``server_wallet.authorize(subject, obj)`` (or
+    ``engine.discover``) exercises the paper's full distributed flow.
+    """
+    from repro.workloads.scenarios import (
+        build_distributed_case_study,
+        build_distributed_federation,
+    )
+
+    parts = (spec or "case-study").split(":")
+    kind = parts[0]
+    if kind == "case-study":
+        seed = int(parts[1]) if len(parts) > 1 else None
+        d = build_distributed_case_study(seed=seed)
+        # Step 2 of the walkthrough: Maria presents her credential.
+        d.server.wallet.publish(d.case.d1_maria_member)
+        return (d.engine, d.network, d.clock, d.server.wallet,
+                d.case.maria.entity, d.case.airnet_access)
+    if kind == "federation":
+        domains = int(parts[1]) if len(parts) > 1 else 4
+        seed = int(parts[2]) if len(parts) > 2 else None
+        fed = build_distributed_federation(domains=domains, seed=seed)
+        # A domain-1 user at domain 0's access server: one ring bridge.
+        target, source = fed.domains[0], fed.domains[1 % domains]
+        target.server.wallet.publish(source.credentials[0])
+        return (target.engine, fed.network, fed.clock,
+                target.server.wallet, source.users[0].entity,
+                target.access)
+    raise DRBACError(
+        f"unknown workload {spec!r} (expected case-study[:SEED] or "
+        f"federation[:DOMAINS[:SEED]])"
+    )
+
+
 def cmd_discover(_workspace: Workspace, args) -> int:
     """Distributed proof discovery over a simulated coalition deployment.
 
@@ -264,10 +316,6 @@ def cmd_discover(_workspace: Workspace, args) -> int:
     from repro.crypto import verify_cache
     from repro.discovery import fastpath
     from repro.discovery.engine import DiscoveryStats
-    from repro.workloads.scenarios import (
-        build_distributed_case_study,
-        build_distributed_federation,
-    )
 
     if args.no_crypto_cache:
         verify_cache.set_enabled(False)
@@ -275,29 +323,8 @@ def cmd_discover(_workspace: Workspace, args) -> int:
         fastpath.set_enabled(False)
     repeat = max(1, args.repeat)
 
-    parts = (args.workload or "case-study").split(":")
-    kind = parts[0]
-    if kind == "case-study":
-        seed = int(parts[1]) if len(parts) > 1 else None
-        d = build_distributed_case_study(seed=seed)
-        engine, network = d.engine, d.network
-        # Step 2 of the walkthrough: Maria presents her credential.
-        d.server.wallet.publish(d.case.d1_maria_member)
-        subject, obj = d.case.maria.entity, d.case.airnet_access
-    elif kind == "federation":
-        domains = int(parts[1]) if len(parts) > 1 else 4
-        seed = int(parts[2]) if len(parts) > 2 else None
-        fed = build_distributed_federation(domains=domains, seed=seed)
-        # A domain-1 user at domain 0's access server: one ring bridge.
-        target, source = fed.domains[0], fed.domains[1 % domains]
-        engine, network = target.engine, fed.network
-        target.server.wallet.publish(source.credentials[0])
-        subject, obj = source.users[0].entity, target.access
-    else:
-        print(f"error: unknown workload {args.workload!r} "
-              "(expected case-study[:SEED] or "
-              "federation[:DOMAINS[:SEED]])", file=sys.stderr)
-        return 1
+    engine, network, _clock, _wallet, subject, obj = \
+        _build_distributed_workload(args.workload)
 
     stats = DiscoveryStats()
     proof = None
@@ -334,6 +361,81 @@ def cmd_discover(_workspace: Workspace, args) -> int:
     print(f"PROOF ({proof.depth()} links):")
     for delegation in proof.chain:
         print(f"  {format_delegation(delegation)}")
+    return 0
+
+
+def cmd_metrics(_workspace: Workspace, args) -> int:
+    """Run a distributed workload and dump the metrics registry.
+
+    The workload is driven through ``Wallet.authorize`` (the paper's
+    full query contract), so the dump covers the whole instrumented
+    stack: wallet counters, proof-cache and discovery-cache stats,
+    discovery aggregates, RPC latencies, Switchboard handshakes, and
+    the signature memo.
+    """
+    from repro import obs
+    from repro.obs.export import to_prometheus
+
+    _engine, _network, clock, wallet, subject, obj = \
+        _build_distributed_workload(args.workload)
+    obs.use_clock(clock)
+    repeat = max(1, args.repeat)
+    grant = None
+    for _ in range(repeat):
+        grant = wallet.authorize(subject, obj)
+    if args.format == "json":
+        text = json.dumps(obs.registry().snapshot(), indent=2,
+                          sort_keys=True) + "\n"
+    else:
+        text = to_prometheus(obs.registry())
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    if grant is None:
+        print("# NO PROOF (workload denied access)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_trace(_workspace: Workspace, args) -> int:
+    """Run a distributed workload and export its trace spans.
+
+    Tracing is forced on for the run regardless of ``DRBAC_OBS``; the
+    buffer is cleared after deployment setup so the export holds
+    exactly the authorization's span trees: ``wallet.authorize`` at the
+    root, discovery, batch RPCs, handshakes, and signature verifies
+    beneath it.
+    """
+    from repro import obs
+    from repro.obs.export import spans_to_chrome, spans_to_jsonl
+
+    with obs.enabled_ctx():
+        _engine, _network, clock, wallet, subject, obj = \
+            _build_distributed_workload(args.workload)
+        obs.use_clock(clock)
+        obs.tracer().clear()
+        grant = None
+        for _ in range(max(1, args.repeat)):
+            grant = wallet.authorize(subject, obj)
+    spans = obs.tracer().finished()
+    if args.format == "jsonl":
+        text = spans_to_jsonl(spans)
+    else:
+        text = json.dumps(spans_to_chrome(spans), indent=2,
+                          sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out} ({len(spans)} spans, "
+              f"{len(obs.tracer().trees())} roots)")
+    else:
+        sys.stdout.write(text)
+    if grant is None:
+        print("# NO PROOF (workload denied access)", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -529,6 +631,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("-w", "--workspace", default=".drbac",
                         help="workspace directory (default: .drbac)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="after the command runs, dump the metrics "
+                             "registry to PATH in Prometheus text "
+                             "format (works with every subcommand)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     entity = commands.add_parser("entity", help="manage identities")
@@ -608,6 +714,45 @@ def build_parser() -> argparse.ArgumentParser:
              "dedup_refs/pulls, handshakes, sessions_reused) on stderr")
     discover.set_defaults(func=cmd_discover)
 
+    metrics = commands.add_parser(
+        "metrics",
+        help="run a distributed workload and dump the metrics registry")
+    metrics.add_argument(
+        "--workload", default="case-study", metavar="SPEC",
+        help="case-study[:SEED] or federation[:DOMAINS[:SEED]] "
+             "(same specs as discover)")
+    metrics.add_argument(
+        "--format", default="prometheus",
+        choices=["prometheus", "json"],
+        help="Prometheus text exposition format (default) or the "
+             "JSON registry snapshot")
+    metrics.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="authorize N times before dumping (warms the caches)")
+    metrics.add_argument("-o", "--output", default=None,
+                         help="write the dump to a file instead of "
+                              "stdout")
+    metrics.set_defaults(func=cmd_metrics)
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a distributed workload and export its trace spans")
+    trace.add_argument(
+        "--workload", default="case-study", metavar="SPEC",
+        help="case-study[:SEED] or federation[:DOMAINS[:SEED]] "
+             "(same specs as discover)")
+    trace.add_argument(
+        "--format", default="chrome", choices=["chrome", "jsonl"],
+        help="Chrome trace_event JSON (default; load in Perfetto or "
+             "chrome://tracing) or one span per JSONL line")
+    trace.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="authorize N times (pass 2+ shows the warm fast path)")
+    trace.add_argument("-o", "--out", default=None,
+                       help="write the trace to a file instead of "
+                            "stdout")
+    trace.set_defaults(func=cmd_trace)
+
     revoke = commands.add_parser("revoke", help="revoke a delegation")
     revoke.add_argument("delegation_id", help="id prefix")
     revoke.set_defaults(func=cmd_revoke)
@@ -673,6 +818,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except DRBACError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if args.metrics_out:
+            from repro import obs
+            from repro.obs.export import to_prometheus
+            with open(args.metrics_out, "w") as handle:
+                handle.write(to_prometheus(obs.registry()))
 
 
 if __name__ == "__main__":

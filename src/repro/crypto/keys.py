@@ -17,6 +17,7 @@ import secrets
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.crypto import rsa, schnorr, verify_cache
 from repro.crypto.hashing import sha256, sha256_hex
 
@@ -99,11 +100,15 @@ class PublicKey:
             key = self._memo_key(message, signature)
             if memo.lookup(key):
                 return True
-            if self._decode().verify(message, signature):
+            # Memo miss: the only arm that pays group arithmetic, and
+            # the only one worth a trace span.
+            with obs.span("crypto.verify", algorithm=self.algorithm):
+                ok = self._decode().verify(message, signature)
+            if ok:
                 memo.record(key)
-                return True
-            return False
-        return self._decode().verify(message, signature)
+            return ok
+        with obs.span("crypto.verify", algorithm=self.algorithm):
+            return self._decode().verify(message, signature)
 
     def to_dict(self) -> dict:
         """Serializable representation (used in wire messages)."""
@@ -185,10 +190,11 @@ def verify_batch(items: Sequence[BatchItem]) -> List[bool]:
             results[index] = public_key._decode().verify(message,
                                                          signature)
     if schnorr_items:
-        if schnorr.verify_batch(schnorr_items):
-            verdicts = [True] * len(schnorr_items)
-        else:
-            verdicts = schnorr.verify_batch_bisect(schnorr_items)
+        with obs.span("crypto.verify_batch", items=len(schnorr_items)):
+            if schnorr.verify_batch(schnorr_items):
+                verdicts = [True] * len(schnorr_items)
+            else:
+                verdicts = schnorr.verify_batch_bisect(schnorr_items)
         for index, verdict in zip(schnorr_indices, verdicts):
             results[index] = verdict
     if use_memo:

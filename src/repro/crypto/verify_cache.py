@@ -32,6 +32,8 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Optional, Tuple
 
+from repro import obs
+
 DEFAULT_MAXSIZE = 8192
 
 # A memo key: (algorithm, key bytes, sha256(signing bytes), signature).
@@ -39,32 +41,60 @@ MemoKey = Tuple[str, bytes, bytes, bytes]
 
 
 class VerificationMemo:
-    """Bounded LRU of signatures that have verified successfully."""
+    """Bounded LRU of signatures that have verified successfully.
 
-    __slots__ = ("maxsize", "_entries", "hits", "misses", "evictions",
-                 "object_hits", "enabled")
+    The hit/miss/eviction tallies live in the process-wide
+    :mod:`repro.obs` registry (``drbac_crypto_memo_*_total``); the
+    ``hits``/``misses``/``evictions``/``object_hits`` attributes remain
+    readable exactly as before, as views over those counters.
+    """
+
+    __slots__ = ("maxsize", "_entries", "enabled",
+                 "_c_hits", "_c_misses", "_c_evictions", "_c_object_hits")
 
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE,
                  enabled: bool = True) -> None:
         self.maxsize = maxsize
         self._entries: "OrderedDict[MemoKey, bool]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        instance = obs.next_instance()
+        reg = obs.registry()
+        self._c_hits = reg.counter(
+            "drbac_crypto_memo_hits_total", instance=instance)
+        self._c_misses = reg.counter(
+            "drbac_crypto_memo_misses_total", instance=instance)
+        self._c_evictions = reg.counter(
+            "drbac_crypto_memo_evictions_total", instance=instance)
         # Verifications short-circuited by a per-object flag on an
         # immutable Delegation/Revocation (set after its first success);
         # those never reach the key computation below.
-        self.object_hits = 0
+        self._c_object_hits = reg.counter(
+            "drbac_crypto_memo_object_hits_total", instance=instance)
         self.enabled = enabled
+
+    @property
+    def hits(self) -> int:
+        return self._c_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._c_misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._c_evictions.value
+
+    @property
+    def object_hits(self) -> int:
+        return self._c_object_hits.value
 
     def lookup(self, key: MemoKey) -> bool:
         """True iff ``key`` is known-good; updates hit/miss counters."""
         entries = self._entries
         if key in entries:
             entries.move_to_end(key)
-            self.hits += 1
+            self._c_hits.inc()
             return True
-        self.misses += 1
+        self._c_misses.inc()
         return False
 
     def record(self, key: MemoKey) -> None:
@@ -75,7 +105,7 @@ class VerificationMemo:
             return
         if len(entries) >= self.maxsize:
             entries.popitem(last=False)
-            self.evictions += 1
+            self._c_evictions.inc()
         entries[key] = True
 
     def clear(self) -> None:
@@ -118,7 +148,7 @@ def set_enabled(value: bool) -> None:
 
 def note_object_hit() -> None:
     """Count a verification short-circuited by a per-object flag."""
-    _MEMO.object_hits += 1
+    _MEMO._c_object_hits.inc()
 
 
 def cache_clear() -> None:
@@ -137,7 +167,7 @@ def configure(maxsize: Optional[int] = None) -> None:
         _MEMO.maxsize = maxsize
         while len(_MEMO._entries) > maxsize:
             _MEMO._entries.popitem(last=False)
-            _MEMO.evictions += 1
+            _MEMO._c_evictions.inc()
 
 
 @contextmanager

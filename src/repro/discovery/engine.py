@@ -29,11 +29,14 @@ home and lets the fetched tags direct the rest, exactly as the paper
 prescribes for mixed-flag searches.
 """
 
+import itertools
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
+from time import perf_counter
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+from repro import obs
 from repro.core.attributes import AttributeRef, Constraint
 from repro.core.delegation import Delegation
 from repro.core.errors import DiscoveryError, DRBACError
@@ -60,6 +63,10 @@ def _bases_key(bases: Optional[Mapping[AttributeRef, float]]) -> tuple:
         return ()
     return tuple(sorted((attribute.entity.id, attribute.name, value)
                         for attribute, value in bases.items()))
+
+
+# Tokens for idempotent DiscoveryStats.merge (see below).
+_STATS_TOKENS = itertools.count(1)
 
 
 @dataclass
@@ -97,8 +104,28 @@ class DiscoveryStats:
     wire_messages: int = 0
     wire_bytes: int = 0
 
+    def __post_init__(self) -> None:
+        # Idempotency bookkeeping (not dataclass fields: excluded from
+        # ``fields()`` accumulation, ``to_dict()``, and ``==``).  Every
+        # record gets a process-unique token; a target remembers the
+        # tokens of the records already folded into it.
+        self._token = next(_STATS_TOKENS)
+        self._merged: Set[int] = set()
+
     def merge(self, other: "DiscoveryStats") -> None:
-        """Accumulate another run's counters into this record."""
+        """Accumulate another run's counters into this record.
+
+        Idempotent: merging the same record twice -- directly, or
+        indirectly via an aggregate that already contains it -- is a
+        no-op, so a run's counters are counted at most once per target
+        no matter how call sites compose their aggregation.
+        """
+        token = getattr(other, "_token", None)
+        if token is not None:
+            if token == self._token or token in self._merged:
+                return
+            self._merged.add(token)
+            self._merged |= other._merged
         self.local_hit = self.local_hit or other.local_hit
         for spec in fields(self):
             value = getattr(self, spec.name)
@@ -169,6 +196,30 @@ class DiscoveryEngine:
         self._cache_subscription = server.wallet.hub.subscribe_all(
             self._on_hub_event)
         server.wallet.discovery_info = self.discovery_info
+        # Distributed discovery falls back through this hook from
+        # Wallet.authorize when the local graph has no proof, so one
+        # authorization yields one connected span tree.
+        server.wallet.discover = self.discover
+        # Engine-level aggregates (per-run DiscoveryStats records stay
+        # plain dataclasses; these registry series accumulate across
+        # runs for `drbac metrics`).
+        instance = obs.next_instance()
+        address = server.address
+        self._c_runs = obs.counter(
+            "drbac_discovery_runs_total",
+            address=address, instance=instance)
+        self._c_local_hits = obs.counter(
+            "drbac_discovery_local_hits_total",
+            address=address, instance=instance)
+        self._c_remote_queries = obs.counter(
+            "drbac_discovery_remote_queries_total",
+            address=address, instance=instance)
+        self._c_batch_rpcs = obs.counter(
+            "drbac_discovery_batch_rpcs_total",
+            address=address, instance=instance)
+        self._h_seconds = obs.histogram(
+            "drbac_discovery_seconds",
+            address=address, instance=instance)
 
     # ------------------------------------------------------------------
 
@@ -251,25 +302,42 @@ class DiscoveryEngine:
             if switchboard is not None else 0
         if fast and switchboard is not None and self.session_idle_ttl > 0:
             switchboard.evict_idle(self.session_idle_ttl)
-        try:
-            if fast:
-                with self.coalesced():
-                    return self._discover_fast(
-                        subject, obj, tuple(constraints), bases, hints,
-                        max_remote_queries, run)
-            return self._discover_seed(
-                subject, obj, tuple(constraints), bases, hints,
-                max_remote_queries, run)
-        finally:
-            run.wire_messages = network.totals.messages - messages_before
-            run.wire_bytes = network.totals.bytes - bytes_before
-            if switchboard is not None:
-                run.handshakes = \
-                    switchboard.handshakes_completed - handshakes_before
-                run.sessions_reused = \
-                    switchboard.sessions_reused - reused_before
-            stats.merge(run)
-            self.stats.merge(run)
+        started = perf_counter()
+        with obs.span("discovery.discover", engine=self.server.address,
+                      subject=subject, object=obj) as span:
+            try:
+                if fast:
+                    with self.coalesced():
+                        return self._discover_fast(
+                            subject, obj, tuple(constraints), bases, hints,
+                            max_remote_queries, run)
+                return self._discover_seed(
+                    subject, obj, tuple(constraints), bases, hints,
+                    max_remote_queries, run)
+            finally:
+                run.wire_messages = \
+                    network.totals.messages - messages_before
+                run.wire_bytes = network.totals.bytes - bytes_before
+                if switchboard is not None:
+                    run.handshakes = \
+                        switchboard.handshakes_completed - handshakes_before
+                    run.sessions_reused = \
+                        switchboard.sessions_reused - reused_before
+                stats.merge(run)
+                self.stats.merge(run)
+                remote_queries = (run.remote_direct_queries
+                                  + run.remote_subject_queries
+                                  + run.remote_object_queries)
+                self._c_runs.inc()
+                if run.local_hit:
+                    self._c_local_hits.inc()
+                self._c_remote_queries.inc(remote_queries)
+                self._c_batch_rpcs.inc(run.batch_rpcs)
+                self._h_seconds.observe(perf_counter() - started)
+                span.set(local_hit=run.local_hit,
+                         remote_queries=remote_queries,
+                         wire_messages=run.wire_messages,
+                         wallets=len(run.wallets_contacted))
 
     def _discover_seed(self, subject: Subject, obj: Role,
                        constraints: Tuple[Constraint, ...],
@@ -543,8 +611,10 @@ class DiscoveryEngine:
             else:
                 stats.remote_object_queries += 1
         try:
-            results, meta = self.server.remote_discover_batch(
-                home, [query for _n, _k, _key, query in batch])
+            with obs.span("discovery.batch", home=home,
+                          queries=len(batch)):
+                results, meta = self.server.remote_discover_batch(
+                    home, [query for _n, _k, _key, query in batch])
         except (RpcError, NetworkError, DiscoveryError):
             # Unreachable or misbehaving home: a clean miss, negative-
             # cached so the next ``negative_ttl`` seconds don't retry

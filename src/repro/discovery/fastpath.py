@@ -49,6 +49,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
+from repro import obs
+
 # A cache key: (home, kind, skey, okey, constraints_key, bases_key).
 DiscoveryKey = Tuple[str, str, Optional[tuple], Optional[tuple],
                      tuple, tuple]
@@ -95,18 +97,71 @@ def disabled():
 # ---------------------------------------------------------------------------
 
 
-@dataclass
 class DiscoveryCacheStats:
-    """Hit/miss/invalidation accounting, surfaced by ``cache_info()``."""
+    """Hit/miss/invalidation accounting, surfaced by ``cache_info()``.
 
-    hits: int = 0
-    negative_hits: int = 0
-    misses: int = 0
-    stores: int = 0
-    invalidations: int = 0
-    publish_invalidations: int = 0
-    expirations: int = 0
-    evictions: int = 0
+    Registry-backed (``drbac_discovery_cache_*_total{instance=...}``)
+    with the same readable attributes as the old dataclass; the ``c_*``
+    counters are what the cache increments (see
+    ``graph.proof_cache.ProofCacheStats`` for the pattern).
+    """
+
+    __slots__ = ("c_hits", "c_negative_hits", "c_misses", "c_stores",
+                 "c_invalidations", "c_publish_invalidations",
+                 "c_expirations", "c_evictions")
+
+    def __init__(self) -> None:
+        instance = obs.next_instance()
+        reg = obs.registry()
+        self.c_hits = reg.counter(
+            "drbac_discovery_cache_hits_total", instance=instance)
+        self.c_negative_hits = reg.counter(
+            "drbac_discovery_cache_negative_hits_total", instance=instance)
+        self.c_misses = reg.counter(
+            "drbac_discovery_cache_misses_total", instance=instance)
+        self.c_stores = reg.counter(
+            "drbac_discovery_cache_stores_total", instance=instance)
+        self.c_invalidations = reg.counter(
+            "drbac_discovery_cache_invalidations_total", instance=instance)
+        self.c_publish_invalidations = reg.counter(
+            "drbac_discovery_cache_publish_invalidations_total",
+            instance=instance)
+        self.c_expirations = reg.counter(
+            "drbac_discovery_cache_expirations_total", instance=instance)
+        self.c_evictions = reg.counter(
+            "drbac_discovery_cache_evictions_total", instance=instance)
+
+    @property
+    def hits(self) -> int:
+        return self.c_hits.value
+
+    @property
+    def negative_hits(self) -> int:
+        return self.c_negative_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self.c_misses.value
+
+    @property
+    def stores(self) -> int:
+        return self.c_stores.value
+
+    @property
+    def invalidations(self) -> int:
+        return self.c_invalidations.value
+
+    @property
+    def publish_invalidations(self) -> int:
+        return self.c_publish_invalidations.value
+
+    @property
+    def expirations(self) -> int:
+        return self.c_expirations.value
+
+    @property
+    def evictions(self) -> int:
+        return self.c_evictions.value
 
     def to_dict(self) -> dict:
         total = self.hits + self.misses
@@ -164,17 +219,17 @@ class DiscoveryCache:
         """Return ``(hit, value)``; a miss returns ``(False, None)``."""
         entry = self._entries.get(key)
         if entry is None:
-            self.stats.misses += 1
+            self.stats.c_misses.inc()
             return False, None
         if now < entry.created_at or now >= entry.valid_until:
             self._drop(key)
-            self.stats.expirations += 1
-            self.stats.misses += 1
+            self.stats.c_expirations.inc()
+            self.stats.c_misses.inc()
             return False, None
         self._entries.move_to_end(key)
-        self.stats.hits += 1
+        self.stats.c_hits.inc()
         if entry.negative:
-            self.stats.negative_hits += 1
+            self.stats.c_negative_hits.inc()
         return True, entry.value
 
     def store(self, key: DiscoveryKey, value: object, now: float,
@@ -191,7 +246,7 @@ class DiscoveryCache:
         while len(self._entries) >= self.maxsize:
             evicted_key, evicted = self._entries.popitem(last=False)
             self._unlink(evicted_key, evicted)
-            self.stats.evictions += 1
+            self.stats.c_evictions.inc()
         self._entries[key] = _Entry(
             value=value, delegation_ids=ids, created_at=now,
             valid_until=now + ttl, negative=negative,
@@ -200,7 +255,7 @@ class DiscoveryCache:
             self._by_delegation.setdefault(delegation_id, set()).add(key)
         if negative:
             self._negatives.add(key)
-        self.stats.stores += 1
+        self.stats.c_stores.inc()
 
     # -- event-driven invalidation ----------------------------------------
 
@@ -223,13 +278,13 @@ class DiscoveryCache:
                 for key in list(keys):
                     if self._drop(key):
                         dropped += 1
-                self.stats.invalidations += dropped
+                self.stats.c_invalidations.inc(dropped)
         if kind_grows:
             grown = 0
             for key in list(self._negatives):
                 if self._drop(key):
                     grown += 1
-            self.stats.publish_invalidations += grown
+            self.stats.c_publish_invalidations.inc(grown)
             dropped += grown
         return dropped
 

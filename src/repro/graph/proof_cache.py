@@ -45,6 +45,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
 
+from repro import obs
 from repro.core.attributes import (
     AttributeRef,
     Constraint,
@@ -62,17 +63,67 @@ KIND_OBJECT = "object"
 CacheKey = Tuple[str, Optional[tuple], Optional[tuple], tuple, tuple]
 
 
-@dataclass
 class ProofCacheStats:
-    """Hit/miss/invalidation accounting, surfaced by the benchmark."""
+    """Hit/miss/invalidation accounting, surfaced by the benchmark.
 
-    hits: int = 0
-    misses: int = 0
-    negative_hits: int = 0
-    stores: int = 0
-    invalidations: int = 0
-    publish_invalidations: int = 0
-    evictions: int = 0
+    Backed by per-instance counters in the :mod:`repro.obs` registry
+    (``drbac_proof_cache_*_total{instance=...}``): the attribute surface
+    (``stats.hits`` ...) is unchanged, while ``drbac metrics`` sees the
+    same numbers without a second bookkeeping path.  The ``c_*``
+    attributes are the live :class:`~repro.obs.Counter` objects the hot
+    path increments directly.
+    """
+
+    __slots__ = ("c_hits", "c_misses", "c_negative_hits", "c_stores",
+                 "c_invalidations", "c_publish_invalidations",
+                 "c_evictions")
+
+    def __init__(self) -> None:
+        instance = obs.next_instance()
+        reg = obs.registry()
+        self.c_hits = reg.counter(
+            "drbac_proof_cache_hits_total", instance=instance)
+        self.c_misses = reg.counter(
+            "drbac_proof_cache_misses_total", instance=instance)
+        self.c_negative_hits = reg.counter(
+            "drbac_proof_cache_negative_hits_total", instance=instance)
+        self.c_stores = reg.counter(
+            "drbac_proof_cache_stores_total", instance=instance)
+        self.c_invalidations = reg.counter(
+            "drbac_proof_cache_invalidations_total", instance=instance)
+        self.c_publish_invalidations = reg.counter(
+            "drbac_proof_cache_publish_invalidations_total",
+            instance=instance)
+        self.c_evictions = reg.counter(
+            "drbac_proof_cache_evictions_total", instance=instance)
+
+    @property
+    def hits(self) -> int:
+        return self.c_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self.c_misses.value
+
+    @property
+    def negative_hits(self) -> int:
+        return self.c_negative_hits.value
+
+    @property
+    def stores(self) -> int:
+        return self.c_stores.value
+
+    @property
+    def invalidations(self) -> int:
+        return self.c_invalidations.value
+
+    @property
+    def publish_invalidations(self) -> int:
+        return self.c_publish_invalidations.value
+
+    @property
+    def evictions(self) -> int:
+        return self.c_evictions.value
 
     @property
     def hit_rate(self) -> float:
@@ -80,13 +131,13 @@ class ProofCacheStats:
         return self.hits / total if total else 0.0
 
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.negative_hits = 0
-        self.stores = 0
-        self.invalidations = 0
-        self.publish_invalidations = 0
-        self.evictions = 0
+        self.c_hits.reset()
+        self.c_misses.reset()
+        self.c_negative_hits.reset()
+        self.c_stores.reset()
+        self.c_invalidations.reset()
+        self.c_publish_invalidations.reset()
+        self.c_evictions.reset()
 
     def to_dict(self) -> dict:
         return {
@@ -155,16 +206,16 @@ class ProofCache:
         """
         entry = self._entries.get(key)
         if entry is None:
-            self.stats.misses += 1
+            self.stats.c_misses.inc()
             return False, None
         if now < entry.created_at or now >= entry.valid_until:
-            self.stats.misses += 1
+            self.stats.c_misses.inc()
             self._drop(key)
             return False, None
         self._entries.move_to_end(key)
-        self.stats.hits += 1
+        self.stats.c_hits.inc()
         if entry.negative:
-            self.stats.negative_hits += 1
+            self.stats.c_negative_hits.inc()
         return True, entry.value
 
     def store(self, key: CacheKey, value: object, now: float,
@@ -197,13 +248,13 @@ class ProofCache:
         while len(self._entries) >= self.maxsize:
             evicted_key, evicted_entry = self._entries.popitem(last=False)
             self._unlink_entry(evicted_key, evicted_entry)
-            self.stats.evictions += 1
+            self.stats.c_evictions.inc()
         self._entries[key] = entry
         for delegation_id in delegation_ids:
             self._by_delegation.setdefault(delegation_id, set()).add(key)
         if negative or kind != KIND_DIRECT or fragile:
             self._growable.add(key)
-        self.stats.stores += 1
+        self.stats.c_stores.inc()
 
     # -- event-driven invalidation ----------------------------------------
 
@@ -221,7 +272,7 @@ class ProofCache:
         for key in list(keys):
             if self._drop(key):
                 dropped += 1
-        self.stats.invalidations += dropped
+        self.stats.c_invalidations.inc(dropped)
         return dropped
 
     def on_publish(self, subject_node: tuple, object_node: tuple) -> int:
@@ -237,7 +288,7 @@ class ProofCache:
                     if self._affected_by_edge(k, subject_node, object_node)]:
             if self._drop(key):
                 dropped += 1
-        self.stats.publish_invalidations += dropped
+        self.stats.c_publish_invalidations.inc(dropped)
         return dropped
 
     def clear_growable(self) -> int:
@@ -246,7 +297,7 @@ class ProofCache:
         for key in list(self._growable):
             if self._drop(key):
                 dropped += 1
-        self.stats.publish_invalidations += dropped
+        self.stats.c_publish_invalidations.inc(dropped)
         return dropped
 
     def clear(self) -> None:

@@ -6,8 +6,10 @@ remote wallet rejecting a publication behaves exactly like a local one.
 """
 
 import traceback
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import obs
 from repro.net.transport import Network, NetworkError
 
 Method = Callable[[str, Any], Any]
@@ -20,6 +22,13 @@ class RpcError(Exception):
         super().__init__(f"remote error in {method!r}: {remote_error}")
         self.method = method
         self.remote_error = remote_error
+
+
+def _rpc_record(method: str, started: float) -> None:
+    """Per-method call count + round-trip latency (host time)."""
+    obs.counter("drbac_rpc_calls_total", method=method).inc()
+    obs.histogram("drbac_rpc_seconds",
+                  method=method).observe(perf_counter() - started)
 
 
 class RpcNode:
@@ -40,12 +49,17 @@ class RpcNode:
 
         Request and reply each count as one message on the network.
         """
-        reply = self.network.send(self.address, dst, f"rpc:{method}", {
-            "method": method,
-            "params": params,
-        })
-        # The reply crosses the wire too; account for it explicitly.
-        self.network.send(dst, self.address, f"rpc-reply:{method}", reply)
+        started = perf_counter()
+        with obs.span("rpc.call", method=method, dst=dst):
+            reply = self.network.send(self.address, dst,
+                                      f"rpc:{method}", {
+                                          "method": method,
+                                          "params": params,
+                                      })
+            # The reply crosses the wire too; account for it explicitly.
+            self.network.send(dst, self.address,
+                              f"rpc-reply:{method}", reply)
+        _rpc_record(method, started)
         if reply.get("error") is not None:
             raise RpcError(method, reply["error"])
         return reply.get("result")
@@ -63,11 +77,18 @@ class RpcNode:
         concretely, this method raises on the FIRST failed item after
         returning nothing, mirroring sequential ``call`` semantics.
         """
-        reply = self.network.send(self.address, dst, f"rpc:{method}", {
-            "method": method,
-            "batch": list(params_list),
-        })
-        self.network.send(dst, self.address, f"rpc-reply:{method}", reply)
+        params_list = list(params_list)
+        started = perf_counter()
+        with obs.span("rpc.call_batch", method=method, dst=dst,
+                      items=len(params_list)):
+            reply = self.network.send(self.address, dst,
+                                      f"rpc:{method}", {
+                                          "method": method,
+                                          "batch": params_list,
+                                      })
+            self.network.send(dst, self.address,
+                              f"rpc-reply:{method}", reply)
+        _rpc_record(method, started)
         if reply.get("error") is not None:
             raise RpcError(method, reply["error"])
         results = []
@@ -79,6 +100,7 @@ class RpcNode:
 
     def notify(self, dst: str, method: str, params: Any = None) -> None:
         """One-way message: no reply traffic, errors swallowed remotely."""
+        obs.counter("drbac_rpc_notifies_total", method=method).inc()
         self.network.send(self.address, dst, f"notify:{method}", {
             "method": method,
             "params": params,

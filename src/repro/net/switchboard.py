@@ -24,6 +24,7 @@ import secrets
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set
 
+from repro import obs
 from repro.core.identity import Entity, Principal
 from repro.core.proof import Proof
 from repro.crypto.encoding import canonical_encode
@@ -115,9 +116,32 @@ class Switchboard:
         self._by_peer: Dict[str, str] = {}
         self._ids = itertools.count()
         network.register(self._net_address(address), self._handle)
-        self.handshakes_completed = 0
-        self.handshakes_rejected = 0
-        self.sessions_reused = 0
+        # Registry-backed session counters (labelled by address plus a
+        # process-unique instance id -- coalitions reuse addresses across
+        # simulated networks, and two hosts' tallies must never merge).
+        instance = obs.next_instance()
+        reg = obs.registry()
+        self._c_handshakes_completed = reg.counter(
+            "drbac_switchboard_handshakes_completed_total",
+            address=address, instance=instance)
+        self._c_handshakes_rejected = reg.counter(
+            "drbac_switchboard_handshakes_rejected_total",
+            address=address, instance=instance)
+        self._c_sessions_reused = reg.counter(
+            "drbac_switchboard_sessions_reused_total",
+            address=address, instance=instance)
+
+    @property
+    def handshakes_completed(self) -> int:
+        return self._c_handshakes_completed.value
+
+    @property
+    def handshakes_rejected(self) -> int:
+        return self._c_handshakes_rejected.value
+
+    @property
+    def sessions_reused(self) -> int:
+        return self._c_sessions_reused.value
 
     @staticmethod
     def _net_address(address: str) -> str:
@@ -135,6 +159,14 @@ class Switchboard:
         if a different entity answers). ``role_proof`` is presented if the
         acceptor demands credentialed access.
         """
+        with obs.span("net.handshake", local=self.address,
+                      remote=remote_address):
+            return self._connect_impl(remote_address, expected_peer,
+                                      role_proof)
+
+    def _connect_impl(self, remote_address: str,
+                      expected_peer: Optional[Entity],
+                      role_proof: Optional[Proof]) -> Channel:
         nonce_i = self._rng.getrandbits(128).to_bytes(16, "big")
         hello = {
             "entity": self.principal.entity.to_dict(),
@@ -189,7 +221,7 @@ class Switchboard:
         channel.last_used = self.network.clock.now()
         self._channels[channel.channel_id] = channel
         self._by_peer[remote_address] = channel.channel_id
-        self.handshakes_completed += 1
+        self._c_handshakes_completed.inc()
         return channel
 
     # -- session reuse -----------------------------------------------------
@@ -207,7 +239,7 @@ class Switchboard:
             if channel is not None and channel.open:
                 if expected_peer is None or channel.peer == expected_peer:
                     channel.last_used = self.network.clock.now()
-                    self.sessions_reused += 1
+                    self._c_sessions_reused.inc()
                     return channel
             self._by_peer.pop(remote_address, None)
         return self.connect(remote_address, expected_peer=expected_peer,
@@ -265,12 +297,12 @@ class Switchboard:
     def _on_finish(self, payload: dict) -> dict:
         pending = self._pending.pop(payload.get("channel"), None)
         if pending is None:
-            self.handshakes_rejected += 1
+            self._c_handshakes_rejected.inc()
             return {"ok": False, "error": "no pending handshake"}
         initiator: Entity = pending["initiator"]
         if not initiator.verify(pending["transcript"],
                                 bytes(payload["signature"])):
-            self.handshakes_rejected += 1
+            self._c_handshakes_rejected.inc()
             return {"ok": False, "error": "initiator signature invalid"}
         if self.required_role_validator is not None:
             proof = None
@@ -291,7 +323,7 @@ class Switchboard:
             try:
                 self.required_role_validator(initiator, proof)
             except Exception as exc:  # noqa: BLE001 - policy boundary
-                self.handshakes_rejected += 1
+                self._c_handshakes_rejected.inc()
                 return {"ok": False, "error": f"credential check: {exc}"}
         session_key = _session_key(pending["nonce_i"], pending["nonce_r"],
                                    initiator, self.principal.entity)
@@ -304,7 +336,7 @@ class Switchboard:
         channel.last_used = self.network.clock.now()
         self._channels[channel.channel_id] = channel
         self._by_peer[pending["from"]] = channel.channel_id
-        self.handshakes_completed += 1
+        self._c_handshakes_completed.inc()
         return {"ok": True}
 
     # -- frames --------------------------------------------------------------

@@ -1,0 +1,141 @@
+"""Unified observability layer: metrics registry + trace spans + exporters.
+
+One process-wide :class:`~repro.obs.metrics.MetricsRegistry` and one
+:class:`~repro.obs.trace.Tracer`, shared by every instrumented module
+(wallet, proof cache, discovery engine + fast path, Switchboard, RPC,
+pubsub hub, signature memo).  See docs/OBSERVABILITY.md for the metric
+catalog and span-name inventory.
+
+The switch
+----------
+
+``DRBAC_OBS=off`` (or ``0``/``false``/``no``), :func:`set_enabled`, and
+the :func:`disabled` context manager -- the same three knobs as
+``crypto.verify_cache`` and ``discovery.fastpath`` -- turn *tracing*
+off.  With tracing off, :func:`span` returns a shared no-op context
+manager: the instrumented hot paths pay one global load and one truth
+test, which is what keeps the ``DRBAC_OBS=on`` vs. ``off`` delta under
+the 3% budget enforced by ``benchmarks/bench_observability.py``.
+
+Metric counters are *not* gated: they are the same per-instance tallies
+the repo always kept (``ProofCacheStats.hits`` and friends now live in
+the registry but cost the same one addition), and the legacy surfaces
+(``Wallet.cache_info()``, ``DiscoveryStats``, Switchboard counters)
+must keep returning live numbers regardless of the switch.
+
+Clocks
+------
+
+Call :func:`use_clock` with the run's :class:`~repro.core.clock.Clock`
+and both the registry snapshot and every span pick up virtual
+timestamps (``vstart``/``vend``) alongside wall durations.
+"""
+
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+from .metrics import (  # noqa: F401  (re-exported)
+    Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_BUCKETS,
+    next_instance,
+)
+from .trace import Span, Tracer, NOOP_SPAN  # noqa: F401
+
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer()
+
+_ENABLED = os.environ.get("DRBAC_OBS", "on").strip().lower() not in (
+    "off", "0", "false", "no")
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+# -- instrument conveniences -------------------------------------------------
+
+
+def counter(name: str, **labels: str) -> Counter:
+    return _REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: str) -> Gauge:
+    return _REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: str) -> Histogram:
+    return _REGISTRY.histogram(name, **labels)
+
+
+# -- tracing -----------------------------------------------------------------
+
+
+def span(name: str, **attrs):
+    """Open a trace span (context manager); no-op when tracing is off."""
+    if not _ENABLED:
+        return NOOP_SPAN
+    return _TRACER.span(name, attrs or None)
+
+
+def enabled() -> bool:
+    """Is tracing globally enabled?"""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    """Globally enable/disable tracing (``DRBAC_OBS`` at import time)."""
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+@contextmanager
+def disabled():
+    """Temporarily run with tracing off (baselines, overhead tests)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+@contextmanager
+def enabled_ctx():
+    """Temporarily force tracing on (CLI exporters, smoke tests)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = True
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+# -- clock + lifecycle -------------------------------------------------------
+
+
+def use_clock(clock) -> None:
+    """Adopt one run's clock for virtual timestamps everywhere."""
+    _REGISTRY.set_clock(clock)
+    _TRACER.set_clock(clock)
+
+
+def virtual_time() -> Optional[float]:
+    return _REGISTRY.virtual_time()
+
+
+def reset() -> None:
+    """Zero all metrics in place and drop buffered spans.
+
+    Live stats objects keep their instrument references, so resetting
+    between benchmark phases keeps every legacy surface coherent.
+    """
+    _REGISTRY.reset()
+    _TRACER.clear()

@@ -1,0 +1,228 @@
+"""Hierarchical trace spans for per-query provenance.
+
+A span covers one timed operation (``wallet.authorize``,
+``discovery.discover``, ``rpc.call``, ``crypto.verify`` ...).  Spans
+nest: entering a span while another is open makes it a child, so one
+distributed authorization produces a single tree linking proof
+construction to the discovery hops, RPC round-trips, and signature
+verifications it triggered -- the per-query provenance GEM and SAFE
+argue distributed credential systems need to be debuggable.
+
+Timebases:
+
+* ``start``/``end`` -- wall durations from :func:`time.perf_counter`
+  (the repo's sanctioned duration source; see ``tools/reprolint.py``
+  clock-discipline).
+* ``vstart``/``vend`` -- virtual instants from the run's
+  :class:`~repro.core.clock.Clock`, when one has been adopted via
+  :meth:`Tracer.set_clock`.  Discrete-event runs thereby report the
+  simulated timeline alongside host time.
+
+The tracer keeps a bounded ring of finished spans (default 16384);
+older spans fall off rather than growing memory without bound, with the
+drop count surfaced honestly in :meth:`Tracer.info`.
+
+Determinism: span/trace ids come from :func:`itertools.count`, never
+from randomness, so exports are stable across identical runs.
+"""
+
+import itertools
+from collections import deque
+from time import perf_counter
+from typing import Dict, List, Optional
+
+DEFAULT_CAPACITY = 16384
+
+
+class Span:
+    """One timed operation.  Also the context manager entered by
+    :meth:`Tracer.span`; attributes set via keyword arguments or
+    :meth:`set` are stringified only at export time, so attaching rich
+    objects costs one dict store on the hot path."""
+
+    __slots__ = ("name", "span_id", "parent_id", "trace_id",
+                 "start", "end", "vstart", "vend", "attrs", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], trace_id: int,
+                 attrs: Optional[dict]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.attrs = attrs
+        self.vstart = tracer.virtual_now()
+        self.vend = None
+        self.start = perf_counter()
+        self.end = None
+
+    def set(self, **attrs) -> None:
+        """Attach attributes mid-span (result counts, hit/miss...)."""
+        if self.attrs is None:
+            self.attrs = attrs
+        else:
+            self.attrs.update(attrs)
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.set(error=repr(exc))
+        self._tracer.finish(self)
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "vstart": self.vstart,
+            "vend": self.vend,
+            "attrs": {k: str(v) for k, v in (self.attrs or {}).items()},
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the ``DRBAC_OBS=off`` fast path.
+
+    Entering it, exiting it, and setting attributes are all constant
+    no-ops, so an instrumented hot path with tracing disabled pays one
+    global load and one truth test per ``span()`` call.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Span factory + bounded store of finished spans.
+
+    Not thread-safe, matching the rest of the repo (the simulated
+    network is single-threaded by construction).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 clock=None) -> None:
+        self.capacity = capacity
+        self._clock = clock
+        self._stack: List[Span] = []
+        self._finished: "deque[Span]" = deque(maxlen=capacity)
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self.spans_started = 0
+        self.spans_finished = 0
+
+    # -- clock --------------------------------------------------------------
+
+    def set_clock(self, clock) -> None:
+        self._clock = clock
+
+    def virtual_now(self) -> Optional[float]:
+        return self._clock.now() if self._clock is not None else None
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(self, name: str, attrs: Optional[dict] = None) -> Span:
+        """Open a span as a child of the innermost open span (or as a
+        new trace root).  Use as a context manager."""
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            trace_id = next(self._trace_ids)
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(self, name, next(self._span_ids), parent_id,
+                    trace_id, attrs)
+        self._stack.append(span)
+        self.spans_started += 1
+        return span
+
+    def finish(self, span: Span) -> None:
+        span.end = perf_counter()
+        span.vend = self.virtual_now()
+        # Strict LIFO in the common case; tolerate (and close) any
+        # children a misbehaving caller left open above us.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            top.end = span.end
+            top.vend = span.vend
+            top.set(error="span left open by caller")
+            self._finished.append(top)
+            self.spans_finished += 1
+        self._finished.append(span)
+        self.spans_finished += 1
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- introspection -------------------------------------------------------
+
+    def finished(self) -> List[Span]:
+        return list(self._finished)
+
+    def clear(self) -> None:
+        self._stack.clear()
+        self._finished.clear()
+
+    def info(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "buffered": len(self._finished),
+            "open": len(self._stack),
+            "started": self.spans_started,
+            "finished": self.spans_finished,
+            "dropped": self.spans_finished - len(self._finished),
+        }
+
+    # -- tree building -------------------------------------------------------
+
+    def trees(self) -> List[dict]:
+        """Nest the finished spans into per-trace trees.
+
+        Each node is the span's :meth:`~Span.to_dict` plus a
+        ``children`` list ordered by start time.  A span whose parent
+        fell off the ring (or is still open) becomes a root -- exports
+        never silently drop spans.
+        """
+        nodes: Dict[int, dict] = {}
+        for span in self._finished:
+            node = span.to_dict()
+            node["children"] = []
+            nodes[span.span_id] = node
+        roots: List[dict] = []
+        for span in self._finished:
+            node = nodes[span.span_id]
+            parent = (nodes.get(span.parent_id)
+                      if span.parent_id is not None else None)
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        for node in nodes.values():
+            node["children"].sort(key=lambda child: child["start"])
+        roots.sort(key=lambda root: root["start"])
+        return roots

@@ -11,6 +11,7 @@ E2 benchmark counts deliveries through this hub against OCSP/CRL baselines.
 import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.pubsub.events import DelegationEvent, EventKind
 
 EventCallback = Callable[[DelegationEvent], None]
@@ -58,8 +59,23 @@ class SubscriptionHub:
     def __init__(self) -> None:
         self._channels: Dict[object, Dict[int, EventCallback]] = {}
         self._tokens = itertools.count()
-        self.events_published = 0
-        self.callbacks_delivered = 0
+        # Registry-backed tallies; ``events_published`` /
+        # ``callbacks_delivered`` stay readable as before (E2 counts on
+        # them) while ``drbac metrics`` exports the same series.
+        instance = obs.next_instance()
+        reg = obs.registry()
+        self._c_events_published = reg.counter(
+            "drbac_hub_events_published_total", instance=instance)
+        self._c_callbacks_delivered = reg.counter(
+            "drbac_hub_callbacks_delivered_total", instance=instance)
+
+    @property
+    def events_published(self) -> int:
+        return self._c_events_published.value
+
+    @property
+    def callbacks_delivered(self) -> int:
+        return self._c_callbacks_delivered.value
 
     # -- registration ---------------------------------------------------
 
@@ -108,12 +124,12 @@ class SubscriptionHub:
         may re-query during delivery -- they must observe post-event
         state, never a stale cached answer.
         """
-        self.events_published += 1
+        self._c_events_published.inc()
         errors: List[Exception] = []
         delivered = self._deliver_channel(("wildcard",), event, errors)
         delivered += self._deliver_channel(
             ("delegation", event.delegation_id), event, errors)
-        self.callbacks_delivered += delivered
+        self._c_callbacks_delivered.inc(delivered)
         if errors:
             raise errors[0]
         return delivered
@@ -121,11 +137,11 @@ class SubscriptionHub:
     def publish_proof_available(self, relationship_key,
                                 event: DelegationEvent) -> int:
         """Announce that a previously missing proof now exists."""
-        self.events_published += 1
+        self._c_events_published.inc()
         errors: List[Exception] = []
         delivered = self._deliver_channel(
             ("awaiting", relationship_key), event, errors)
-        self.callbacks_delivered += delivered
+        self._c_callbacks_delivered.inc(delivered)
         if errors:
             raise errors[0]
         return delivered

@@ -24,6 +24,7 @@ inserted into the local wallet, which is trusted to verify signatures"
 from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro import obs
 from repro.core.attributes import AttributeRef, Constraint
 from repro.core.clock import Clock, SimClock
 from repro.core.delegation import Delegation, Revocation
@@ -85,6 +86,29 @@ class Wallet:
         # zero-arg callable returning the discovery fast-path breakdown
         # (surfaced under cache_info()["discovery"]).
         self.discovery_info: Optional[Callable[[], dict]] = None
+        # Also set by an attached DiscoveryEngine: authorize() falls back
+        # to this hook when the local graph yields no proof, so one call
+        # covers the paper's full local-then-distributed query contract.
+        self.discover: Optional[Callable] = None
+        # Wallet-level observability. Counters sit off the warm query
+        # path (the proof cache's own hits/misses already count those);
+        # the histogram times cold graph searches only.
+        _instance = obs.next_instance()
+        self._c_publishes = obs.counter(
+            "drbac_wallet_publishes_total",
+            address=address, instance=_instance)
+        self._c_revocations = obs.counter(
+            "drbac_wallet_revocations_total",
+            address=address, instance=_instance)
+        self._c_authorizations = obs.counter(
+            "drbac_wallet_authorizations_total",
+            address=address, instance=_instance)
+        self._c_searches = obs.counter(
+            "drbac_wallet_searches_total",
+            address=address, instance=_instance)
+        self._h_search = obs.histogram(
+            "drbac_wallet_search_seconds",
+            address=address, instance=_instance)
         # Keys already announced as expired, to avoid duplicate events.
         self._expired_announced: set = set()
         # Awaited relationships: key -> (subject, obj, constraints)
@@ -130,6 +154,18 @@ class Wallet:
         or above that severity; ``"off"`` disables an instance-level
         gate for this call.
         """
+        with obs.span("wallet.publish", wallet=self.address,
+                      delegation=delegation) as span:
+            inserted = self._publish_impl(delegation, supports, at, lint)
+            if inserted:
+                self._c_publishes.inc()
+            span.set(inserted=inserted)
+            return inserted
+
+    def _publish_impl(self, delegation: Delegation,
+                      supports: Iterable[Proof],
+                      at: Optional[float],
+                      lint: Optional[str]) -> bool:
         now = self.clock.now() if at is None else at
         if not delegation.verify_signature():
             raise PublicationError(
@@ -296,6 +332,7 @@ class Wallet:
             raise PublicationError("revocation signature does not verify")
         if not self.store.add_revocation(revocation):
             return False
+        self._c_revocations.inc()
         self.hub.publish(DelegationEvent(
             kind=EventKind.REVOKED,
             delegation_id=revocation.delegation_id,
@@ -550,13 +587,17 @@ class Wallet:
                 return value
         search_stats = stats if stats is not None else SearchStats()
         before_no_support = search_stats.pruned_no_support
-        proof = direct_query(
-            self.store.graph, subject, obj,
-            at=now, revoked=self.store.is_revoked,
-            constraints=constraints, bases=merged,
-            strategy=strategy, support_provider=self.support_provider(),
-            stats=search_stats, reach_index=index,
-        )
+        search_started = perf_counter()
+        with obs.span("wallet.search", wallet=self.address, kind="direct"):
+            proof = direct_query(
+                self.store.graph, subject, obj,
+                at=now, revoked=self.store.is_revoked,
+                constraints=constraints, bases=merged,
+                strategy=strategy, support_provider=self.support_provider(),
+                stats=search_stats, reach_index=index,
+            )
+        self._c_searches.inc()
+        self._h_search.observe(perf_counter() - search_started)
         if cached:
             # A negative computed while support chains were missing is
             # fragile: any publish could complete a support off the
@@ -606,12 +647,17 @@ class Wallet:
         search_stats = stats if stats is not None else SearchStats()
         before_no_support = search_stats.pruned_no_support
         search = subject_query if kind == KIND_SUBJECT else object_query
-        proofs = search(
-            self.store.graph, endpoint,
-            at=now, revoked=self.store.is_revoked,
-            constraints=constraints, bases=merged,
-            support_provider=self.support_provider(), stats=search_stats,
-        )
+        search_started = perf_counter()
+        with obs.span("wallet.search", wallet=self.address, kind=kind):
+            proofs = search(
+                self.store.graph, endpoint,
+                at=now, revoked=self.store.is_revoked,
+                constraints=constraints, bases=merged,
+                support_provider=self.support_provider(),
+                stats=search_stats,
+            )
+        self._c_searches.inc()
+        self._h_search.observe(perf_counter() - search_started)
         if cached:
             fragile = search_stats.pruned_no_support > before_no_support
             self.proof_cache.store(key, tuple(proofs), now, fragile=fragile)
@@ -648,18 +694,39 @@ class Wallet:
     def authorize(self, subject: Subject, obj: Role,
                   constraints: Iterable[Constraint] = (),
                   callback: Optional[Callable] = None,
-                  strategy: Strategy = Strategy.BIDIRECTIONAL):
+                  strategy: Strategy = Strategy.BIDIRECTIONAL,
+                  discover: Optional[Callable] = None):
         """Direct query + monitor wrap: the paper's full query contract
         ("what it returns is a proof wrapped in a proof monitor object").
 
+        When the local graph yields no proof and a discovery hook is
+        available -- ``discover=`` here, or the :attr:`discover`
+        attribute an attached :class:`DiscoveryEngine` installs -- the
+        search continues across the coalition's wallets, so one call
+        spans the whole local-then-distributed contract (and one trace
+        tree links the proof search, discovery RPCs, and signature
+        verifications it triggered).
+
         Returns a ProofMonitor, or None when no proof exists.
         """
-        proof = self.query_direct(subject, obj, constraints=constraints,
-                                  strategy=strategy)
-        if proof is None:
-            return None
-        return self.monitor(proof, callback=callback,
-                            constraints=constraints)
+        with obs.span("wallet.authorize", wallet=self.address,
+                      subject=subject, object=obj) as span:
+            self._c_authorizations.inc()
+            proof = self.query_direct(subject, obj,
+                                      constraints=constraints,
+                                      strategy=strategy)
+            source = "local"
+            if proof is None:
+                hook = discover if discover is not None else self.discover
+                if hook is not None:
+                    source = "discovery"
+                    proof = hook(subject, obj, constraints=constraints)
+            if proof is None:
+                span.set(result="denied", source=source)
+                return None
+            span.set(result="granted", source=source)
+            return self.monitor(proof, callback=callback,
+                                constraints=constraints)
 
     def authorize_many(self, requests: Iterable[Tuple[Subject, Role]],
                        constraints: Iterable[Constraint] = (),

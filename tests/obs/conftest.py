@@ -1,0 +1,22 @@
+"""Isolation for tests that poke the process-wide observability state."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Restore the tracing switch and clocks; drop buffered spans.
+
+    The metrics registry is intentionally NOT reset here: counters are
+    shared with live stats objects across the suite, and every test
+    that cares about counts reads deltas or calls ``obs.reset()``
+    itself.
+    """
+    previous = obs.enabled()
+    obs.tracer().clear()  # spans leaked by earlier test modules
+    yield
+    obs.set_enabled(previous)
+    obs.use_clock(None)
+    obs.tracer().clear()

@@ -1,0 +1,177 @@
+"""Versioned JSON contracts for the public stats surfaces.
+
+The observability migration moved these tallies into the metrics
+registry but promised the legacy dict shapes would not move.  These
+tests pin the contracts (key sets AND value types), assert the
+surfaces are read-only (repeated reads identical), and pin the
+idempotent-merge semantics of ``DiscoveryStats``.
+
+Bumping a contract here is an API change: update the docs
+(docs/OBSERVABILITY.md) in the same commit.
+"""
+
+import pytest
+
+from repro.core import SimClock
+from repro.crypto import verify_cache
+from repro.discovery.engine import DiscoveryStats
+from repro.discovery.fastpath import DiscoveryCache
+from repro.wallet.wallet import Wallet
+from repro.workloads import build_case_study
+
+# Contract v1 -- Wallet.cache_info() (decision cache + nested blocks).
+CACHE_INFO_KEYS = {
+    "hits": int, "misses": int, "negative_hits": int, "stores": int,
+    "invalidations": int, "publish_invalidations": int,
+    "evictions": int, "hit_rate": float, "entries": int,
+}
+CRYPTO_MEMO_KEYS = {
+    "enabled": bool, "entries": int, "maxsize": int, "hits": int,
+    "misses": int, "evictions": int, "object_hits": int,
+}
+REACH_INDEX_KEYS = {
+    "nodes": int, "dirty": bool, "rebuilds": int,
+    "incremental_updates": int,
+}
+
+# Contract v1 -- DiscoveryStats.to_dict().
+DISCOVERY_STATS_KEYS = {
+    "local_hit": bool,
+    "remote_direct_queries": int, "remote_subject_queries": int,
+    "remote_object_queries": int,
+    "wallets_contacted": list, "wallets_rejected": list,
+    "delegations_cached": int, "delegations_rejected": int,
+    "subscriptions_established": int, "rounds": int,
+    "batch_rpcs": int, "coalesced_queries": int, "deduped_queries": int,
+    "cache_hits": int, "cache_negative_hits": int, "cache_misses": int,
+    "dedup_refs": int, "pulls": int,
+    "handshakes": int, "sessions_reused": int,
+    "wire_messages": int, "wire_bytes": int,
+}
+
+# Contract v1 -- DiscoveryCache.info().
+DISCOVERY_CACHE_KEYS = {
+    "hits": int, "misses": int, "negative_hits": int, "stores": int,
+    "invalidations": int, "publish_invalidations": int,
+    "evictions": int, "expirations": int, "hit_rate": float,
+    "entries": int, "maxsize": int,
+}
+
+
+def _assert_contract(payload: dict, contract: dict, surface: str):
+    assert set(payload) == set(contract), (
+        f"{surface} keys drifted: extra={set(payload) - set(contract)} "
+        f"missing={set(contract) - set(payload)}")
+    for key, expected in contract.items():
+        assert isinstance(payload[key], expected), (
+            f"{surface}[{key!r}] is {type(payload[key]).__name__}, "
+            f"contract says {expected.__name__}")
+
+
+@pytest.fixture()
+def warm_wallet():
+    case = build_case_study()
+    wallet = Wallet(owner=None, address="contract", clock=SimClock())
+    for delegation, supports in case.all_delegations():
+        wallet.publish(delegation, supports)
+    wallet.query_direct(case.maria.entity, case.airnet_access)
+    wallet.query_direct(case.maria.entity, case.airnet_access)
+    return wallet
+
+
+class TestCacheInfoContract:
+    def test_shape(self, warm_wallet):
+        info = warm_wallet.cache_info()
+        nested = {k: info.pop(k) for k in ("crypto_memo", "reach_index")}
+        _assert_contract(info, CACHE_INFO_KEYS, "cache_info()")
+        _assert_contract(nested["crypto_memo"], CRYPTO_MEMO_KEYS,
+                         "cache_info()['crypto_memo']")
+        _assert_contract(nested["reach_index"], REACH_INDEX_KEYS,
+                         "cache_info()['reach_index']")
+
+    def test_repeated_reads_are_identical(self, warm_wallet):
+        """cache_info() is a pure read: it must never perturb the
+        counters it reports (the aggregation-side regression the
+        idempotent-merge work guards against)."""
+        first = warm_wallet.cache_info()
+        for _ in range(5):
+            assert warm_wallet.cache_info() == first
+
+    def test_uncached_wallet_reports_none(self):
+        wallet = Wallet(owner=None, address="nc", clock=SimClock(),
+                        cache=False)
+        assert wallet.cache_info() is None
+
+    def test_verify_cache_info_matches_module_surface(self, warm_wallet):
+        info = warm_wallet.cache_info()["crypto_memo"]
+        assert info == verify_cache.cache_info()
+
+
+class TestDiscoveryStatsContract:
+    def test_shape(self):
+        stats = DiscoveryStats()
+        stats.wallets_contacted.add("b")
+        stats.wallets_contacted.add("a")
+        payload = stats.to_dict()
+        _assert_contract(payload, DISCOVERY_STATS_KEYS,
+                         "DiscoveryStats.to_dict()")
+        assert payload["wallets_contacted"] == ["a", "b"]  # sorted
+
+    def test_bookkeeping_stays_out_of_the_contract(self):
+        stats = DiscoveryStats()
+        payload = stats.to_dict()
+        assert "_token" not in payload and "_merged" not in payload
+        assert DiscoveryStats() == DiscoveryStats()  # tokens not in ==
+
+    def test_merge_accumulates(self):
+        a, b = DiscoveryStats(), DiscoveryStats()
+        a.rounds, b.rounds = 2, 3
+        b.local_hit = True
+        b.wallets_contacted.add("w")
+        a.merge(b)
+        assert a.rounds == 5
+        assert a.local_hit is True
+        assert a.wallets_contacted == {"w"}
+
+    def test_merge_is_idempotent(self):
+        a, b = DiscoveryStats(), DiscoveryStats()
+        b.rounds = 3
+        a.merge(b)
+        a.merge(b)
+        a.merge(b)
+        assert a.rounds == 3
+
+    def test_merge_dedups_through_aggregates(self):
+        """A run folded into an aggregate, then merged again directly,
+        must count once -- however call sites compose aggregation."""
+        run = DiscoveryStats()
+        run.rounds = 3
+        aggregate = DiscoveryStats()
+        aggregate.merge(run)
+        total = DiscoveryStats()
+        total.merge(aggregate)
+        total.merge(run)  # already inside `aggregate`
+        assert total.rounds == 3
+
+    def test_merge_self_is_a_noop(self):
+        stats = DiscoveryStats()
+        stats.rounds = 2
+        stats.merge(stats)
+        assert stats.rounds == 2
+
+
+class TestDiscoveryCacheContract:
+    def test_shape(self):
+        cache = DiscoveryCache()
+        cache.lookup(("direct", "s", "o"), now=0.0)  # one miss
+        info = cache.info()
+        _assert_contract(info, DISCOVERY_CACHE_KEYS,
+                         "DiscoveryCache.info()")
+        assert info["misses"] == 1
+
+    def test_info_is_a_pure_read(self):
+        cache = DiscoveryCache()
+        cache.lookup(("direct", "s", "o"), now=0.0)
+        first = cache.info()
+        for _ in range(5):
+            assert cache.info() == first

@@ -1,0 +1,155 @@
+"""Metrics registry semantics: instruments, identity, exports."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import SimClock
+from repro.obs.export import (
+    parse_prometheus_text,
+    sample_total,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    next_instance,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self, registry):
+        c = registry.counter("x_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_get_or_create_identity(self, registry):
+        a = registry.counter("x_total", role="a")
+        again = registry.counter("x_total", role="a")
+        other = registry.counter("x_total", role="b")
+        assert a is again
+        assert a is not other
+
+    def test_label_order_is_irrelevant(self, registry):
+        a = registry.counter("x_total", a="1", b="2")
+        b = registry.counter("x_total", b="2", a="1")
+        assert a is b
+
+    def test_total_sums_across_label_sets(self, registry):
+        registry.counter("x_total", k="a").inc(2)
+        registry.counter("x_total", k="b").inc(3)
+        registry.counter("y_total").inc(10)
+        assert registry.total("x_total") == 5
+
+    def test_instance_labels_keep_series_distinct(self, registry):
+        a = registry.counter("x_total", address="w", instance=next_instance())
+        b = registry.counter("x_total", address="w", instance=next_instance())
+        a.inc()
+        assert b.value == 0
+        assert registry.total("x_total") == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(5.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_le_bounds_are_inclusive(self):
+        h = Histogram("h", (), buckets=(0.1, 1.0))
+        h.observe(0.1)  # exactly on a bound: belongs to le=0.1
+        assert h.cumulative() == [(0.1, 1), (1.0, 1), (math.inf, 1)]
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", (), buckets=(0.1, 1.0))
+        h.observe(50.0)
+        assert h.cumulative() == [(0.1, 0), (1.0, 0), (math.inf, 1)]
+
+    def test_cumulative_is_monotone(self, registry):
+        h = registry.histogram("h_seconds")
+        for value in (1e-6, 1e-4, 0.003, 0.2, 7.0):
+            h.observe(value)
+        cumulative = [n for _, n in h.cumulative()]
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == h.count == 5
+        assert h.sum == pytest.approx(sum((1e-6, 1e-4, 0.003, 0.2, 7.0)))
+        assert h.bounds == tuple(DEFAULT_BUCKETS)
+
+
+class TestReset:
+    def test_reset_zeroes_in_place(self, registry):
+        c = registry.counter("x_total")
+        h = registry.histogram("h_seconds")
+        c.inc(3)
+        h.observe(0.5)
+        registry.reset()
+        # Same objects, zeroed: live stats views stay coherent.
+        assert registry.counter("x_total") is c
+        assert c.value == 0
+        assert h.count == 0 and h.sum == 0.0
+
+
+class TestClock:
+    def test_virtual_time_tracks_sim_clock(self, registry):
+        assert registry.virtual_time() is None
+        clock = SimClock()
+        registry.set_clock(clock)
+        clock.advance(42.0)
+        assert registry.virtual_time() == 42.0
+        assert registry.snapshot()["virtual_time"] == 42.0
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_ready(self, registry):
+        registry.counter("x_total", k="a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h_seconds").observe(0.01)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        assert snap["counters"] == [
+            {"name": "x_total", "labels": {"k": "a"}, "value": 2}]
+        assert snap["gauges"][0]["value"] == 1.5
+        hist = snap["histograms"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1][1] == 1
+
+
+class TestPrometheusRoundTrip:
+    def test_counters_and_gauges_round_trip(self, registry):
+        registry.counter("x_total", k="a", i="1").inc(2)
+        registry.counter("x_total", k="b", i="2").inc(3)
+        registry.gauge("g").set(1.5)
+        samples = parse_prometheus_text(to_prometheus(registry))
+        assert ("x_total", {"k": "a", "i": "1"}, 2.0) in samples
+        assert sample_total(samples, "x_total") == 5.0
+        assert sample_total(samples, "g") == 1.5
+
+    def test_histogram_exposition(self, registry):
+        registry.histogram("h_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        samples = parse_prometheus_text(to_prometheus(registry))
+        buckets = {labels["le"]: value for name, labels, value in samples
+                   if name == "h_seconds_bucket"}
+        assert buckets == {"0.1": 1.0, "1": 1.0, "+Inf": 1.0}
+        assert sample_total(samples, "h_seconds_count") == 1.0
+
+    def test_label_values_are_escaped(self, registry):
+        registry.counter("x_total", path='a"b\\c').inc()
+        samples = parse_prometheus_text(to_prometheus(registry))
+        assert samples[0][1]["path"] == 'a"b\\c'
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("x_total{unclosed 1\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("not a metric line at all\n")

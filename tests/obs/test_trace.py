@@ -1,0 +1,181 @@
+"""Tracer semantics: nesting, the off switch, capacity, exports."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core import SimClock
+from repro.obs.export import spans_to_chrome, spans_to_jsonl
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+
+def _well_formed(tracer):
+    """Assert the span forest is well-formed; returns the roots.
+
+    Every referenced parent exists, children nest strictly inside
+    their parent's interval, and no finished span is orphaned out of
+    the tree view.
+    """
+    spans = tracer.finished()
+    by_id = {s.span_id: s for s in spans}
+    for span in spans:
+        assert span.end is not None
+        if span.parent_id is not None:
+            parent = by_id[span.parent_id]
+            assert parent.trace_id == span.trace_id
+            assert parent.start <= span.start
+            assert span.end <= parent.end
+            if span.vstart is not None:
+                assert parent.vstart <= span.vstart
+                assert span.vend <= parent.vend
+
+    def count(node):
+        return 1 + sum(count(child) for child in node["children"])
+
+    roots = tracer.trees()
+    assert sum(count(root) for root in roots) == len(spans)
+    return roots
+
+
+class TestNesting:
+    def test_children_nest_under_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grand:
+                    pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert child.parent_id == root.span_id
+        assert grand.parent_id == child.span_id
+        assert sibling.parent_id == root.span_id
+        assert {s.trace_id for s in tracer.finished()} == {root.trace_id}
+        roots = _well_formed(tracer)
+        assert [c["name"] for c in roots[0]["children"]] \
+            == ["child", "sibling"]
+
+    def test_separate_roots_get_separate_traces(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        a, b = tracer.finished()
+        assert a.trace_id != b.trace_id
+        assert len(_well_formed(tracer)) == 2
+
+    def test_ids_are_deterministic(self):
+        a, b = Tracer(), Tracer()
+        for tracer in (a, b):
+            with tracer.span("x"):
+                with tracer.span("y"):
+                    pass
+        assert [s.span_id for s in a.finished()] \
+            == [s.span_id for s in b.finished()]
+
+    def test_exception_records_error_attr(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+        (span,) = tracer.finished()
+        assert "kaput" in span.attrs["error"]
+
+    def test_abandoned_children_are_closed_with_parent(self):
+        tracer = Tracer()
+        root = tracer.span("root")
+        tracer.span("leaked")  # never exited
+        root.__exit__(None, None, None)
+        leaked = [s for s in tracer.finished() if s.name == "leaked"][0]
+        assert leaked.end is not None
+        assert "left open" in leaked.attrs["error"]
+        assert tracer.current() is None
+
+
+class TestSimClock:
+    def test_virtual_timestamps_ride_the_run_clock(self):
+        tracer = Tracer()
+        clock = SimClock()
+        tracer.set_clock(clock)
+        with tracer.span("outer"):
+            clock.advance(5.0)
+            with tracer.span("inner"):
+                clock.advance(2.0)
+        inner, outer = tracer.finished()
+        assert (outer.vstart, outer.vend) == (0.0, 7.0)
+        assert (inner.vstart, inner.vend) == (5.0, 7.0)
+        _well_formed(tracer)
+
+    def test_real_clock_spans_have_no_virtual_times(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        (span,) = tracer.finished()
+        assert span.vstart is None and span.vend is None
+        _well_formed(tracer)
+
+
+class TestCapacity:
+    def test_ring_drops_oldest_and_reports_honestly(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [s.name for s in tracer.finished()] \
+            == ["s6", "s7", "s8", "s9"]
+        info = tracer.info()
+        assert info["dropped"] == 6
+        assert info["buffered"] == 4
+        assert info["started"] == info["finished"] == 10
+
+
+class TestSwitch:
+    def test_disabled_span_is_shared_noop(self):
+        with obs.disabled():
+            span = obs.span("anything", key="value")
+            assert span is NOOP_SPAN
+            with span as entered:
+                entered.set(more="attrs")  # must be inert
+        assert not [s for s in obs.tracer().finished()
+                    if s.name == "anything"]
+
+    def test_enabled_ctx_restores_previous_state(self):
+        obs.set_enabled(False)
+        with obs.enabled_ctx():
+            assert obs.enabled()
+            with obs.span("visible"):
+                pass
+        assert not obs.enabled()
+        assert [s.name for s in obs.tracer().finished()] == ["visible"]
+
+
+class TestExports:
+    def _sample_tracer(self):
+        tracer = Tracer()
+        with tracer.span("root", {"who": "me"}):
+            with tracer.span("child"):
+                pass
+        return tracer
+
+    def test_jsonl_one_object_per_line(self):
+        tracer = self._sample_tracer()
+        lines = spans_to_jsonl(tracer.finished()).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["child", "root"]
+        assert records[1]["attrs"] == {"who": "me"}
+        assert records[0]["parent"] == records[1]["span"]
+
+    def test_chrome_trace_events(self):
+        tracer = self._sample_tracer()
+        doc = spans_to_chrome(tracer.finished())
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+        child = [e for e in events if e["name"] == "child"][0]
+        root = [e for e in events if e["name"] == "root"][0]
+        assert child["args"]["parent_id"] == root["args"]["span_id"]
+        assert child["tid"] == root["tid"]

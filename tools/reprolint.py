@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repo invariant linter: AST checks the test suite can't express.
 
-Four invariants the codebase relies on but Python won't enforce:
+Five invariants the codebase relies on but Python won't enforce:
 
 * **clock-discipline** -- all wall-clock reads go through the
   ``repro.core.clock`` abstraction. Direct ``time.time()`` /
@@ -21,6 +21,12 @@ Four invariants the codebase relies on but Python won't enforce:
 * **frozen-setattr** -- ``object.__setattr__`` escapes frozen
   dataclasses' immutability; only the modules that own a frozen type's
   construction-time caches may use it.
+* **obs-discipline** -- the instrumented hot-path modules keep their
+  tallies in the observability registry (``repro.obs``). A bare
+  ``self.<counter> += n`` there is a hand-rolled counter the exporters
+  (``drbac metrics``, ``--metrics-out``) can't see; increment a
+  registry-backed ``Counter`` instead. Sequence numbers and per-run
+  result dataclasses (receiver other than plain ``self``) are fine.
 
 Usage::
 
@@ -65,6 +71,22 @@ EVENT_EXEMPT_SUFFIXES = ("wallet/storage.py",)
 # Modules that own frozen-dataclass construction-time caches.
 SETATTR_ALLOWED_SUFFIXES = ("core/delegation.py", "core/attributes.py",
                             "core/proof.py", "crypto/keys.py")
+
+# Modules whose counters moved into the observability registry; a bare
+# `self.<counter> += n` here has escaped the exporters.
+OBS_INSTRUMENTED_SUFFIXES = (
+    "wallet/wallet.py", "graph/proof_cache.py",
+    "crypto/verify_cache.py", "discovery/engine.py",
+    "discovery/fastpath.py", "net/switchboard.py", "net/rpc.py",
+    "pubsub/subscriptions.py",
+)
+# Attribute-name endings that mark a tally (vs. a sequence number or
+# an accumulator that is not a metric).
+OBS_COUNTER_SUFFIXES = (
+    "hits", "misses", "evictions", "stores", "invalidations",
+    "expirations", "handshakes", "completed", "rejected", "reused",
+    "published", "delivered", "runs", "pulls",
+)
 
 
 def _norm(path: str) -> str:
@@ -199,8 +221,33 @@ def _check_frozen_setattr(path: str, tree: ast.AST) -> List[Violation]:
     return violations
 
 
+def _check_obs_counters(path: str, tree: ast.AST) -> List[Violation]:
+    norm = _norm(path)
+    if not norm.endswith(OBS_INSTRUMENTED_SUFFIXES):
+        return []
+    violations: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.AugAssign) \
+                or not isinstance(node.op, (ast.Add, ast.Sub)):
+            continue
+        target = node.target
+        # Only a plain `self.X` receiver: `self.stats.c_hits.inc()` and
+        # per-run result objects (`stats.cache_hits += 1`) stay legal.
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            continue
+        if target.attr.lstrip("_").endswith(OBS_COUNTER_SUFFIXES):
+            violations.append(Violation(
+                path, node.lineno, "obs-discipline",
+                f"self.{target.attr} += ... is a hand-rolled counter "
+                f"in an instrumented module; use a registry-backed "
+                f"obs.Counter so exporters see it"))
+    return violations
+
+
 CHECKS = (_check_clock, _check_graph_events, _check_mutable_defaults,
-          _check_frozen_setattr)
+          _check_frozen_setattr, _check_obs_counters)
 
 
 def lint_file(path: str) -> List[Violation]:
