@@ -58,8 +58,10 @@ def git_rev() -> Optional[str]:
 
 def add_common_args(parser, default_output: str):
     """The argument surface every standalone benchmark shares."""
-    parser.add_argument("--quick", action="store_true",
-                        help="small sizes, few repeats (CI smoke)")
+    parser.add_argument("--quick", "--smoke", dest="quick",
+                        action="store_true",
+                        help="small sizes, few repeats (CI smoke; "
+                             "--smoke is an alias)")
     parser.add_argument("-o", "--output", default=default_output,
                         help=f"trajectory file "
                              f"(default: {default_output})")

@@ -177,6 +177,17 @@ def cmd_issue(workspace: Workspace, args) -> int:
                 f"{registry.total('drbac_hub_events_published_total'):g}",
                 file=sys.stderr,
             )
+            from repro.crypto import encoding
+            codec = encoding.codec_info()
+            print(
+                "# codec: "
+                f"encodes={codec['encodes']:g} "
+                f"({codec['encoded_bytes']:g}B) "
+                f"decodes={codec['decodes']:g} "
+                f"({codec['decoded_bytes']:g}B) "
+                f"intern_hit_rate={codec['intern_hit_rate']:.2f}",
+                file=sys.stderr,
+            )
     workspace.save()
     print(f"issued {delegation.short_id}: "
           f"{format_delegation(delegation)}")

@@ -5,27 +5,43 @@ Provides the group operations needed by the Schnorr signature scheme in
 multiplication using Jacobian projective coordinates. Pure Python,
 stdlib only.
 
-Three layers of scalar-multiplication machinery, fastest applicable one
+Four layers of scalar-multiplication machinery, fastest applicable one
 wins:
 
-* **window tables** (:class:`_WindowTable`) for hot fixed base points --
-  affine-normalized 4-bit windows, so one multiplication is ~64 *mixed*
-  additions and zero doublings;
+* **comb tables** (:class:`_CombTable`) for the hottest fixed base
+  points (the generator always; entity keys after sustained reuse) --
+  affine-normalized 8-bit windows, so one multiplication is at most 32
+  *mixed* additions and zero doublings;
+* **window tables** (:class:`_WindowTable`) for warm fixed base points --
+  the same idea with 4-bit windows (~64 mixed additions), an order of
+  magnitude cheaper to build;
 * **Strauss/Shamir joint ladders** (:func:`double_scalar_mult`,
   :func:`multi_scalar_mult`) for the verification equation's
   ``s*G - e*P`` and for batch verification -- all scalars share one run
-  of doublings, and the secp256k1 GLV endomorphism
+  of doublings, the secp256k1 GLV endomorphism
   (``lambda*(x, y) = (beta*x, y)``) halves each scalar to ~128 bits so
-  the shared ladder is half as tall;
+  the shared ladder is half as tall, and (fast path) width-5 wNAF
+  recoding drops the addition density from 15/16 per 4 bits to ~1/6 per
+  bit while all precomputed odd-multiple rows for one call share a
+  single Montgomery-batched inversion;
 * **plain double-and-add** (:func:`scalar_mult_plain`) as the
   independent reference implementation the optimized paths are tested
   against.
 
+The wNAF ladder, the comb cache, and the :meth:`Point.decode` intern
+pool are gated by :mod:`repro.crypto.fastcore`; with the switch off,
+the seed code paths run unchanged. Either way the results are
+identical group elements (asserted by ``tests/crypto/test_fastcore.py``
+against :func:`scalar_mult_plain`).
+
 Curve: y^2 = x^3 + 7 over F_p with the standard secp256k1 parameters.
 """
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
+
+from repro.crypto import fastcore
 
 # secp256k1 domain parameters.
 P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
@@ -69,11 +85,34 @@ class Point:
 
     @staticmethod
     def decode(data: bytes) -> "Point":
-        """Decode a compressed SEC1 point, validating curve membership."""
-        if data == b"\x00":
+        """Decode a compressed SEC1 point, validating curve membership.
+
+        Strict: exactly one byte for infinity, exactly 33 bytes for a
+        finite point -- trailing bytes are rejected explicitly so a
+        framing bug upstream cannot smuggle data past a signature.
+
+        Decompression costs a modular square root (~150us), and wire
+        payloads repeat the same handful of issuer keys and signature
+        nonce points, so successfully decoded points are interned in a
+        bounded pool keyed by the exact input bytes (fast path only).
+        """
+        if not isinstance(data, bytes):
+            if not isinstance(data, (bytearray, memoryview)):
+                raise ECError(
+                    f"expected bytes, got {type(data).__name__}")
+            data = bytes(data)
+        if data[:1] == b"\x00":
+            if len(data) != 1:
+                raise ECError("trailing bytes after infinity encoding")
             return INFINITY
         if len(data) != 33 or data[0] not in (2, 3):
+            if len(data) > 33 and data[0] in (2, 3):
+                raise ECError("trailing bytes after compressed point")
             raise ECError("invalid compressed point encoding")
+        if fastcore.enabled():
+            cached = _point_intern.get(data)
+            if cached is not None:
+                return cached
         x = int.from_bytes(data[1:], "big")
         if x >= P:
             raise ECError("x coordinate out of range")
@@ -83,7 +122,12 @@ class Point:
             raise ECError("x is not on the curve")
         if (y & 1) != (data[0] & 1):
             y = P - y
-        return Point(x, y)
+        point = Point(x, y)
+        if fastcore.enabled():
+            if len(_point_intern) >= _POINT_INTERN_LIMIT:
+                _point_intern.pop(next(iter(_point_intern)))
+            _point_intern[data] = point
+        return point
 
 
 INFINITY = Point(None, None)
@@ -278,6 +322,23 @@ _use_counts: dict = {}
 _ROW_CACHE_LIMIT = 1024
 _row_cache: dict = {}
 
+# Decoded-point intern pool (fast path): wire payloads repeat the same
+# issuer keys and nonce points; interning skips the ~150us square root
+# on every repeat. Keyed by the exact 33 encoded bytes, so two inputs
+# share an entry only when they are literally the same encoding.
+_POINT_INTERN_LIMIT = 4096
+_point_intern: dict = {}
+
+# Comb tables (8-bit windows) for the hottest points. Building one
+# costs ~8k point additions, so promotion needs sustained reuse; the
+# build runs under a lock so concurrent verifiers cannot duplicate it.
+# Eviction is FIFO, exactly like the window-table cache above.
+_COMB_CACHE_LIMIT = 16
+_COMB_BUILD_THRESHOLD = 24
+_comb_cache: dict = {}
+_comb_use_counts: dict = {}
+_FAST_LOCK = threading.Lock()
+
 
 def _table_for(point: Point):
     """The point's window table, or None while it is still 'cold'."""
@@ -321,12 +382,107 @@ def _affine_row(point: Point) -> List[_Affine]:
     return row
 
 
+class _CombTable:
+    """Precomputed 8-bit-window multiples of a *very* hot base point.
+
+    ``windows[w][d] = d * 256**w * P`` in affine coordinates, for
+    windows w in 0..31 and digits d in 1..255: one multiplication is at
+    most 32 mixed additions, half the work of a :class:`_WindowTable`
+    multiplication. The build walks each window with mixed additions
+    off the window's affine base (one inversion per window to carry the
+    base across, one batch inversion for the ~8k entries), which is
+    ~25x the cost of a 4-bit table -- so combs sit behind a much higher
+    promotion threshold and a much smaller cache.
+    """
+
+    __slots__ = ("windows",)
+
+    WINDOW_BITS = 8
+    WINDOW_COUNT = 32  # ceil(256 / 8)
+
+    def __init__(self, point: Point) -> None:
+        flat: List[_Jacobian] = []
+        add_affine = _jacobian_add_affine
+        base_x, base_y = point.x, point.y
+        for _w in range(self.WINDOW_COUNT):
+            accum: _Jacobian = (base_x, base_y, 1)
+            flat.append(accum)
+            for _digit in range(2, 256):
+                accum = add_affine(accum, base_x, base_y)
+                flat.append(accum)
+            # accum == 255 * base; one more step gives the next window's
+            # base, normalized on its own so the mixed adds above stay
+            # mixed. (32 single inversions ~= 5% of the total build.)
+            accum = add_affine(accum, base_x, base_y)
+            base_x, base_y = _batch_to_affine([accum])[0]
+        affine = _batch_to_affine(flat)
+        self.windows = [
+            [None] + affine[w * 255:(w + 1) * 255]
+            for w in range(self.WINDOW_COUNT)
+        ]
+
+    def mult_jac(self, scalar: int) -> _Jacobian:
+        result: _Jacobian = _J_INFINITY
+        add_affine = _jacobian_add_affine
+        for row in self.windows:
+            digit = scalar & 0xFF
+            if digit:
+                entry = row[digit]
+                result = add_affine(result, entry[0], entry[1])
+            scalar >>= 8
+            if not scalar:
+                break
+        return result
+
+    def mult(self, scalar: int) -> Point:
+        return _from_jacobian(self.mult_jac(scalar))
+
+
+def _comb_for(point: Point):
+    """The point's comb table, or None while it is not hot enough.
+
+    Counted promotion like :func:`_table_for`, but promotion FREEZES
+    once the cache is full instead of evicting: a comb build is ~1000x
+    a window-table build, so evicting the generator's comb for a
+    merely-recurring point (a signature's R seen a few dozen times)
+    would thrash the cache with rebuilds. The truly hot points -- the
+    generator and the issuer keys, used once per verification across
+    *all* certificates -- cross the threshold first and keep their
+    slots; everything else still gets the window-table path. The
+    expensive build itself runs under ``_FAST_LOCK`` so two threads
+    racing on the same point build it once.
+    """
+    key = (point.x, point.y)
+    comb = _comb_cache.get(key)
+    if comb is not None:
+        return comb
+    if len(_comb_cache) >= _COMB_CACHE_LIMIT:
+        return None
+    count = _comb_use_counts.get(key, 0) + 1
+    if count < _COMB_BUILD_THRESHOLD:
+        if len(_comb_use_counts) >= 4 * _COMB_CACHE_LIMIT:
+            _comb_use_counts.pop(next(iter(_comb_use_counts)))
+        _comb_use_counts[key] = count
+        return None
+    with _FAST_LOCK:
+        comb = _comb_cache.get(key)
+        if comb is None and len(_comb_cache) < _COMB_CACHE_LIMIT:
+            comb = _CombTable(point)
+            _comb_cache[key] = comb
+        _comb_use_counts.pop(key, None)
+    return comb
+
+
 def scalar_mult(scalar: int, point: Point = GENERATOR) -> Point:
-    """Return ``scalar * point``; hot points use a precomputed window
-    table, cold points plain double-and-add."""
+    """Return ``scalar * point``; hot points use a precomputed comb or
+    window table, cold points plain double-and-add."""
     scalar %= N
     if scalar == 0 or point.is_infinity:
         return INFINITY
+    if fastcore.enabled():
+        comb = _comb_for(point)
+        if comb is not None:
+            return comb.mult(scalar)
     table = _table_for(point)
     if table is None:
         return scalar_mult_plain(scalar, point)
@@ -439,13 +595,152 @@ def _joint_ladder(pairs: List[Tuple[int, List[_Affine]]]) -> _Jacobian:
     return result
 
 
+# -- wNAF fast path ----------------------------------------------------------
+#
+# Width-5 non-adjacent form: every scalar is recoded into signed odd
+# digits in {+-1, +-3, ..., +-15} with at least 4 zeros between nonzero
+# digits, so a 128-bit GLV half costs ~21 additions instead of the
+# 4-bit ladder's ~30, reusing the same [1..15]*P affine rows (negative
+# digits negate the entry inline -- a field subtraction, not a new
+# row). All rows a call needs are normalized together with ONE
+# Montgomery-batched inversion (:func:`_rows_for_batch`), so an entire
+# batch-verification equation shares a single ``pow(x, -1, P)``.
+
+
+def _wnaf_digits(scalar: int, width: int = 5) -> List[int]:
+    """Signed-digit recoding of ``scalar > 0``, least significant first."""
+    digits: List[int] = []
+    append = digits.append
+    mask = (1 << width) - 1
+    sign_bound = 1 << (width - 1)
+    modulus = 1 << width
+    while scalar:
+        if scalar & 1:
+            digit = scalar & mask
+            if digit > sign_bound:
+                digit -= modulus
+            scalar -= digit
+            append(digit)
+        else:
+            append(0)
+        scalar >>= 1
+    return digits
+
+
+def _rows_for_batch(points: Sequence[Point]) -> List[List[_Affine]]:
+    """Affine ``[1..15]*P`` rows for many points, one shared inversion.
+
+    Cached rows (and window-table rows, which subsume them) are reused;
+    the remaining points' 14 chain additions each are normalized in a
+    single :func:`_batch_to_affine` call, then cached under the same
+    bound/eviction as :func:`_affine_row`.
+    """
+    rows: List[Optional[List[_Affine]]] = [None] * len(points)
+    missing: List[int] = []
+    jacobians: List[_Jacobian] = []
+    for index, point in enumerate(points):
+        key = (point.x, point.y)
+        table = _table_cache.get(key)
+        if table is not None:
+            rows[index] = table.windows[0]
+            continue
+        row = _row_cache.get(key)
+        if row is not None:
+            rows[index] = row
+            continue
+        missing.append(index)
+        base = _to_jacobian(point)
+        accum = base
+        for _digit in range(1, 16):
+            jacobians.append(accum)
+            accum = _jacobian_add(accum, base)
+    if missing:
+        affine = _batch_to_affine(jacobians)
+        for slot, index in enumerate(missing):
+            row = [None] + affine[slot * 15:(slot + 1) * 15]
+            rows[index] = row
+            point = points[index]
+            if len(_row_cache) >= _ROW_CACHE_LIMIT:
+                _row_cache.pop(next(iter(_row_cache)))
+            _row_cache[(point.x, point.y)] = row
+    return rows  # type: ignore[return-value]
+
+
+def _wnaf_pairs(scalar: int, row: List[_Affine]
+                ) -> List[Tuple[int, List[_Affine]]]:
+    """GLV-decomposed (positive scalar, row) pairs for the wNAF ladder."""
+    if scalar.bit_length() <= 130:
+        return [(scalar, row)]
+    k1, k2 = _glv_split(scalar)
+    pairs = []
+    first = _signed_pair(k1, row)
+    if first is not None:
+        pairs.append(first)
+    second = _signed_pair(k2, _beta_row(row))
+    if second is not None:
+        pairs.append(second)
+    return pairs
+
+
+def _joint_wnaf(pairs: List[Tuple[int, List[_Affine]]]) -> _Jacobian:
+    """Strauss/Shamir interleaving over width-5 wNAF digits: one shared
+    run of doublings, mixed additions from the shared affine rows."""
+    if not pairs:
+        return _J_INFINITY
+    recoded = [(_wnaf_digits(scalar), row) for scalar, row in pairs]
+    height = max(len(digits) for digits, _row in recoded)
+    result: _Jacobian = _J_INFINITY
+    double = _jacobian_double
+    add_affine = _jacobian_add_affine
+    for index in range(height - 1, -1, -1):
+        if result[2] != 0:
+            result = double(result)
+        for digits, row in recoded:
+            if index < len(digits):
+                digit = digits[index]
+                if digit:
+                    if digit > 0:
+                        entry = row[digit]
+                        result = add_affine(result, entry[0], entry[1])
+                    else:
+                        entry = row[-digit]
+                        result = add_affine(result, entry[0],
+                                            P - entry[1])
+    return result
+
+
+def _multi_scalar_mult_fast(scaled: List[Tuple[int, Point]]) -> _Jacobian:
+    """Fast-path core of :func:`multi_scalar_mult`: comb and window
+    tables where available, one shared wNAF ladder (and one shared row
+    inversion) for everything still cold."""
+    result: _Jacobian = _J_INFINITY
+    cold: List[Tuple[int, Point]] = []
+    for scalar, point in scaled:
+        comb = _comb_for(point)
+        if comb is not None:
+            result = _jacobian_add(result, comb.mult_jac(scalar))
+            continue
+        table = _table_for(point)
+        if table is not None:
+            result = _jacobian_add(result, table.mult_jac(scalar))
+            continue
+        cold.append((scalar, point))
+    if cold:
+        rows = _rows_for_batch([point for _scalar, point in cold])
+        pairs: List[Tuple[int, List[_Affine]]] = []
+        for (scalar, _point), row in zip(cold, rows):
+            pairs.extend(_wnaf_pairs(scalar, row))
+        result = _jacobian_add(result, _joint_wnaf(pairs))
+    return result
+
+
 def double_scalar_mult(a: int, p: Point, b: int, q: Point) -> Point:
     """Return ``a*p + b*q`` via one Strauss/Shamir joint ladder.
 
     This is the verification-equation workhorse (``s*G + (N-e)*P``):
     both scalar multiplications share a single run of doublings, and the
     GLV decomposition halves the ladder height, for ~1.6-2x over two
-    independent multiplications. Points that already have full window
+    independent multiplications. Points that already have comb or window
     tables (the generator always; any entity key after a few uses) skip
     the ladder entirely -- two table multiplications and one addition,
     with no doublings at all.
@@ -456,6 +751,8 @@ def double_scalar_mult(a: int, p: Point, b: int, q: Point) -> Point:
         return scalar_mult(b, q)
     if b == 0 or q.is_infinity:
         return scalar_mult(a, p)
+    if fastcore.enabled():
+        return _from_jacobian(_multi_scalar_mult_fast([(a, p), (b, q)]))
     table_p = _table_for(p)
     table_q = _table_for(q)
     if table_p is not None and table_q is not None:
@@ -465,15 +762,48 @@ def double_scalar_mult(a: int, p: Point, b: int, q: Point) -> Point:
     return _from_jacobian(_joint_ladder(pairs))
 
 
-def multi_scalar_mult(terms: Sequence[Tuple[int, Point]]) -> Point:
-    """Return ``sum(scalar_i * point_i)`` with one shared joint ladder.
+def _jacobian_equals_affine(point: _Jacobian, expected: Point) -> bool:
+    """Compare a Jacobian point to an affine one WITHOUT an inversion:
+    ``(X, Y, Z)`` equals ``(x, y)`` iff ``X == x*Z^2`` and
+    ``Y == y*Z^3`` (mod P). Two multiplications replace the ~20us
+    modular inversion of a full affine conversion."""
+    x, y, z = point
+    if z == 0:
+        return expected.is_infinity
+    if expected.is_infinity:
+        return False
+    zz = (z * z) % P
+    return (x - expected.x * zz) % P == 0 \
+        and (y - expected.y * zz * z) % P == 0
 
-    Used by batch signature verification: coefficients for repeated
-    points are merged first (one wallet-load batch typically re-uses a
-    handful of issuer keys), points with full window tables are handled
-    by table multiplication, and everything else shares a single
-    GLV-halved ladder.
+
+def double_scalar_mult_equals(a: int, p: Point, b: int, q: Point,
+                              expected: Point) -> bool:
+    """Return ``a*p + b*q == expected`` without materializing the sum.
+
+    The Schnorr verification equation only needs equality against the
+    signature's R point, so on the fast path the comparison happens in
+    Jacobian coordinates and the final modular inversion of
+    :func:`_from_jacobian` is skipped entirely. The seed path computes
+    the affine sum and compares, bit-for-bit the historical behavior.
     """
+    a %= N
+    b %= N
+    if a == 0 or p.is_infinity:
+        return scalar_mult(b, q) == expected
+    if b == 0 or q.is_infinity:
+        return scalar_mult(a, p) == expected
+    if fastcore.enabled():
+        return _jacobian_equals_affine(
+            _multi_scalar_mult_fast([(a, p), (b, q)]), expected)
+    return double_scalar_mult(a, p, b, q) == expected
+
+
+def _merged_terms(terms: Sequence[Tuple[int, Point]]
+                  ) -> List[Tuple[int, Point]]:
+    """Reduce scalars mod N and merge coefficients of repeated points
+    (one wallet-load batch typically re-uses a handful of issuer keys),
+    dropping zero scalars and points at infinity."""
     merged: dict = {}
     order: List[Point] = []
     for scalar, point in terms:
@@ -486,12 +816,41 @@ def multi_scalar_mult(terms: Sequence[Tuple[int, Point]]) -> Point:
             continue
         merged[key] = scalar
         order.append(point)
+    return [(merged[(point.x, point.y)], point) for point in order
+            if merged[(point.x, point.y)] != 0]
+
+
+def multi_scalar_mult_is_infinity(
+        terms: Sequence[Tuple[int, Point]]) -> bool:
+    """Return ``sum(scalar_i * point_i) == O`` without an inversion.
+
+    Batch verification only needs to know whether the combined check
+    sums to the identity; in Jacobian coordinates that is ``Z == 0``,
+    so the fast path skips :func:`_from_jacobian` for the whole batch.
+    The seed path materializes the affine sum, as it always did.
+    """
+    if fastcore.enabled():
+        scaled = _merged_terms(terms)
+        return _multi_scalar_mult_fast(scaled)[2] == 0
+    return multi_scalar_mult(terms) == INFINITY
+
+
+def multi_scalar_mult(terms: Sequence[Tuple[int, Point]]) -> Point:
+    """Return ``sum(scalar_i * point_i)`` with one shared joint ladder.
+
+    Used by batch signature verification: coefficients for repeated
+    points are merged first (one wallet-load batch typically re-uses a
+    handful of issuer keys), points with comb or window tables are
+    handled by table multiplication, and everything else shares a
+    single GLV-halved ladder -- width-5 wNAF with one batched row
+    inversion on the fast path, 4-bit windows otherwise.
+    """
+    scaled = _merged_terms(terms)
+    if fastcore.enabled():
+        return _from_jacobian(_multi_scalar_mult_fast(scaled))
     pairs: List[Tuple[int, List[_Affine]]] = []
     result: _Jacobian = _J_INFINITY
-    for point in order:
-        scalar = merged[(point.x, point.y)]
-        if scalar == 0:
-            continue
+    for scalar, point in scaled:
         table = _table_for(point)
         if table is not None:
             result = _jacobian_add(result, table.mult_jac(scalar))

@@ -1,0 +1,59 @@
+"""Global switch for the hardware-speed crypto/codec fast paths.
+
+The profile-driven rewrite (fixed-base combs, wNAF ladders, batched
+affine inversions, the zero-copy canonical codec, point/key interning)
+is pure optimization: every fast path produces byte-identical outputs
+to the seed implementation it replaces. This module is the single
+switch that selects between them, so
+
+* benchmarks can honestly time seed-vs-fast arms in one process and
+  gate on byte-identity (``benchmarks/bench_crypto_fastpath.py``);
+* property tests can cross-check both arms against each other
+  (``tests/crypto/test_fastcore.py``);
+* a suspected fast-path bug can be ruled out in the field by setting
+  ``DRBAC_NO_FASTCORE=1`` without touching code.
+
+Mirrors the :mod:`repro.crypto.verify_cache` enable/disable surface:
+:func:`enabled`, :func:`set_enabled`, and the :func:`disabled` context
+manager. Outcomes are identical either way; only latency changes.
+"""
+
+import os
+from contextlib import contextmanager
+
+_ENABLED = not os.environ.get("DRBAC_NO_FASTCORE")
+
+
+def enabled() -> bool:
+    """True iff the optimized crypto/codec paths are active."""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    """Globally enable/disable the fast paths."""
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+@contextmanager
+def disabled():
+    """Temporarily run on the seed paths (tests, honest benchmarks)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+@contextmanager
+def forced():
+    """Temporarily force the fast paths on (benchmark fast arms)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = True
+    try:
+        yield
+    finally:
+        _ENABLED = previous

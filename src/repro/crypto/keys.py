@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.crypto import rsa, schnorr, verify_cache
+from repro.crypto import fastcore, rsa, schnorr, verify_cache
 from repro.crypto.hashing import sha256, sha256_hex
 
 DEFAULT_ALGORITHM = "schnorr-secp256k1"
@@ -30,6 +30,16 @@ RSA_DEFAULT_BITS = 512
 
 class SignatureError(ValueError):
     """Raised on malformed keys, unknown algorithms, or bad signatures."""
+
+
+# Interned PublicKey instances (fast path): wire payloads and wallet
+# snapshots repeat the same issuer/subject keys in every record, and
+# each construction re-validates (the Schnorr arm pays a modular square
+# root). The intern key is the COMPLETE content -- (algorithm, key
+# bytes) -- so sharing an instance can never conflate distinct keys.
+# Bounded FIFO, mirroring the ec.py cache pattern.
+_PK_INTERN_LIMIT = 4096
+_pk_intern: dict = {}
 
 
 @dataclass(frozen=True)
@@ -73,8 +83,18 @@ class PublicKey:
 
     @property
     def fingerprint(self) -> str:
-        """Stable 64-hex-char identifier for this key (entity identity)."""
-        return sha256_hex(self.algorithm.encode("utf-8") + self.key_bytes)
+        """Stable 64-hex-char identifier for this key (entity identity).
+
+        Entity equality/hashing bottoms out here, so the digest is
+        computed once per instance and cached the same way as the
+        verifier object above.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = sha256_hex(
+                self.algorithm.encode("utf-8") + self.key_bytes)
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     @property
     def short_fingerprint(self) -> str:
@@ -117,10 +137,21 @@ class PublicKey:
     @staticmethod
     def from_dict(data: dict) -> "PublicKey":
         try:
-            return PublicKey(algorithm=data["algorithm"],
-                             key_bytes=bytes(data["key"]))
+            algorithm = data["algorithm"]
+            key_bytes = bytes(data["key"])
         except (KeyError, TypeError) as exc:
             raise SignatureError(f"malformed public key record: {exc}") from exc
+        if isinstance(algorithm, str) and fastcore.enabled():
+            intern_key = (algorithm, key_bytes)
+            cached = _pk_intern.get(intern_key)
+            if cached is not None:
+                return cached
+            key = PublicKey(algorithm=algorithm, key_bytes=key_bytes)
+            if len(_pk_intern) >= _PK_INTERN_LIMIT:
+                _pk_intern.pop(next(iter(_pk_intern)))
+            _pk_intern[intern_key] = key
+            return key
+        return PublicKey(algorithm=algorithm, key_bytes=key_bytes)
 
 
 @dataclass(frozen=True)

@@ -439,9 +439,12 @@ class WalletServer:
         meta["dedup_refs"] = len(refs)
         # Certificates arriving in full within this same batch resolve
         # refs in its other payloads; record them before deciding what
-        # to pull.
+        # to pull. The memo carries each materialized Delegation over
+        # to the final decode below, so no wire entry is built twice.
+        decode_memo: Dict[int, Delegation] = {}
         for payload in payloads:
-            for delegation in wire.proof_full_delegations(payload):
+            for delegation in wire.proof_full_delegations(
+                    payload, memo=decode_memo):
                 channel.received[delegation.id] = delegation
         missing = []
         for delegation_id in dict.fromkeys(refs):
@@ -481,7 +484,7 @@ class WalletServer:
             channel.received[delegation.id] = delegation
 
         return lambda payload: wire.proof_from_wire_session(
-            payload, resolve, record)
+            payload, resolve, record, memo=decode_memo)
 
     def remote_subscribe_batch(self, remote: str,
                                delegation_ids: List[str]

@@ -179,17 +179,35 @@ def proof_refs(data: Mapping) -> Iterator[str]:
             stack.extend(proofs)
 
 
-def proof_full_delegations(data: Mapping) -> Iterator[Delegation]:
+def proof_full_delegations(data: Mapping,
+                           memo: Optional[dict] = None
+                           ) -> Iterator[Delegation]:
     """Yield every delegation that appears *in full* in a session-encoded
     proof. Used to pre-seed the receiver's per-channel store before
     computing which refs need a ``get_delegation`` pull -- a certificate
-    shipped in one payload of a batch resolves refs in the others."""
+    shipped in one payload of a batch resolves refs in the others.
+
+    ``memo`` (entry-identity keyed) shares the materialized
+    :class:`Delegation` objects with a later
+    :func:`proof_from_wire_session` pass over the *same* payload
+    objects, so each wire entry is decoded once, not once per pass.
+    The caller owns the memo's lifetime: keys are ``id(entry)``, valid
+    only while it keeps the payloads alive.
+    """
     stack = [data]
     while stack:
         node = stack.pop()
         for entry in node["chain"]:
             if "ref" not in entry:
-                yield Delegation.from_dict(entry)
+                if memo is None:
+                    yield Delegation.from_dict(entry)
+                    continue
+                key = id(entry)
+                delegation = memo.get(key)
+                if delegation is None:
+                    delegation = Delegation.from_dict(entry)
+                    memo[key] = delegation
+                yield delegation
         for proofs in node.get("supports", {}).values():
             stack.extend(proofs)
 
@@ -197,14 +215,17 @@ def proof_full_delegations(data: Mapping) -> Iterator[Delegation]:
 def proof_from_wire_session(data: Mapping,
                             resolve: Callable[[str], Delegation],
                             record: Optional[Callable[[Delegation], None]]
-                            = None) -> Proof:
+                            = None,
+                            memo: Optional[dict] = None) -> Proof:
     """Decode a session-encoded proof.
 
     ``resolve`` maps a ref id to the full :class:`Delegation` (the
     channel's received-store, the wallet, or a ``get_delegation`` pull
     -- raising :class:`KeyError` on an unknown id). ``record`` is called
     with every delegation that arrived *in full*, letting the caller
-    populate the received-store for future refs.
+    populate the received-store for future refs. ``memo`` reuses
+    delegations already materialized from these exact entry dicts by
+    :func:`proof_full_delegations` (see there for the contract).
     """
 
     def decode(node: Mapping) -> Proof:
@@ -213,7 +234,12 @@ def proof_from_wire_session(data: Mapping,
             if "ref" in entry:
                 chain.append(resolve(entry["ref"]))
             else:
-                delegation = Delegation.from_dict(entry)
+                delegation = memo.get(id(entry)) if memo is not None \
+                    else None
+                if delegation is None:
+                    delegation = Delegation.from_dict(entry)
+                    if memo is not None:
+                        memo[id(entry)] = delegation
                 if record is not None:
                     record(delegation)
                 chain.append(delegation)

@@ -144,6 +144,13 @@ class WalletStore:
         offending certificates are re-checked individually, so error
         messages and ordering (delegations before revocations, input
         order within each) match the sequential path exactly.
+
+        Decoding rides the hardware-speed core when enabled: the
+        zero-copy canonical decoder interns the recurring role and
+        namespace atoms, and repeated key/point material resolves to
+        pooled objects (``Point.decode``/``PublicKey.from_dict``), so
+        a store holding many certificates from a few issuers pays the
+        expensive decode work once per distinct value, not per record.
         """
         from repro.core.delegation import verify_signatures
         payload = canonical_decode(data)

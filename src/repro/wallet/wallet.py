@@ -481,10 +481,11 @@ class Wallet:
         """Decision-cache counters, or None when caching is off.
 
         Includes the process-wide signature-verification memo's counters
-        under ``crypto_memo`` (that cache is per process, not per
-        wallet, so the numbers aggregate across all wallets).
+        under ``crypto_memo`` and the canonical codec's counters under
+        ``codec`` (both caches are per process, not per wallet, so the
+        numbers aggregate across all wallets).
         """
-        from repro.crypto import verify_cache
+        from repro.crypto import encoding, verify_cache
         if self.proof_cache is None:
             return None
         info = self.proof_cache.stats.to_dict()
@@ -498,6 +499,7 @@ class Wallet:
                     self.reach_index.stats.incremental_updates,
             }
         info["crypto_memo"] = verify_cache.cache_info()
+        info["codec"] = encoding.codec_info()
         if self.lint_gate or self._lint_stats["checks"]:
             info["lint_gate"] = self.lint_gate_info()
         if self.discovery_info is not None:

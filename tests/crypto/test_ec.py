@@ -107,3 +107,27 @@ class TestEncoding:
         bad = b"\x02" + ec.P.to_bytes(32, "big")
         with pytest.raises(ec.ECError):
             ec.Point.decode(bad)
+
+    def test_trailing_bytes_after_point_rejected(self):
+        encoded = ec.GENERATOR.encode()
+        with pytest.raises(ec.ECError, match="trailing"):
+            ec.Point.decode(encoded + b"\x00")
+        with pytest.raises(ec.ECError, match="trailing"):
+            ec.Point.decode(encoded + encoded)
+
+    def test_trailing_bytes_after_infinity_rejected(self):
+        with pytest.raises(ec.ECError, match="trailing"):
+            ec.Point.decode(b"\x00\x00")
+        with pytest.raises(ec.ECError, match="trailing"):
+            ec.Point.decode(b"\x00" + ec.GENERATOR.encode())
+
+    def test_truncated_point_rejected(self):
+        with pytest.raises(ec.ECError):
+            ec.Point.decode(ec.GENERATOR.encode()[:-1])
+        with pytest.raises(ec.ECError):
+            ec.Point.decode(b"")
+
+    def test_memoryview_and_bytearray_inputs_decode(self):
+        encoded = ec.GENERATOR.encode()
+        assert ec.Point.decode(bytearray(encoded)) == ec.GENERATOR
+        assert ec.Point.decode(memoryview(encoded)) == ec.GENERATOR

@@ -148,3 +148,21 @@ class TestProperties:
             # Encodings are equal only for equal values (up to the
             # list/tuple identification, which the strategy never emits).
             assert left == right
+
+    @given(_values)
+    @settings(max_examples=150, deadline=None)
+    def test_fast_arm_matches_seed_arm(self, value):
+        """The zero-copy fast codec is byte-identical to the seed
+        codec (the canonical bytes feed signatures), and the fast
+        decoder accepts memoryviews without changing the result."""
+        from repro.crypto import fastcore
+        with fastcore.disabled():
+            seed_encoded = canonical_encode(value)
+        with fastcore.forced():
+            fast_encoded = canonical_encode(value)
+            assert fast_encoded == seed_encoded
+            fast_decoded = canonical_decode(seed_encoded)
+            view_decoded = canonical_decode(memoryview(seed_encoded))
+        with fastcore.disabled():
+            seed_decoded = canonical_decode(seed_encoded)
+        assert fast_decoded == seed_decoded == view_decoded == value

@@ -33,6 +33,12 @@ REACH_INDEX_KEYS = {
     "nodes": int, "dirty": bool, "rebuilds": int,
     "incremental_updates": int,
 }
+CODEC_KEYS = {
+    "fast": bool, "encodes": int, "encoded_bytes": int,
+    "decodes": int, "decoded_bytes": int,
+    "intern_hits": int, "intern_misses": int,
+    "intern_hit_rate": float, "atoms": int,
+}
 
 # Contract v1 -- DiscoveryStats.to_dict().
 DISCOVERY_STATS_KEYS = {
@@ -82,12 +88,15 @@ def warm_wallet():
 class TestCacheInfoContract:
     def test_shape(self, warm_wallet):
         info = warm_wallet.cache_info()
-        nested = {k: info.pop(k) for k in ("crypto_memo", "reach_index")}
+        nested = {k: info.pop(k)
+                  for k in ("crypto_memo", "reach_index", "codec")}
         _assert_contract(info, CACHE_INFO_KEYS, "cache_info()")
         _assert_contract(nested["crypto_memo"], CRYPTO_MEMO_KEYS,
                          "cache_info()['crypto_memo']")
         _assert_contract(nested["reach_index"], REACH_INDEX_KEYS,
                          "cache_info()['reach_index']")
+        _assert_contract(nested["codec"], CODEC_KEYS,
+                         "cache_info()['codec']")
 
     def test_repeated_reads_are_identical(self, warm_wallet):
         """cache_info() is a pure read: it must never perturb the
@@ -105,6 +114,11 @@ class TestCacheInfoContract:
     def test_verify_cache_info_matches_module_surface(self, warm_wallet):
         info = warm_wallet.cache_info()["crypto_memo"]
         assert info == verify_cache.cache_info()
+
+    def test_codec_info_matches_module_surface(self, warm_wallet):
+        from repro.crypto import encoding
+        info = warm_wallet.cache_info()["codec"]
+        assert info == encoding.codec_info()
 
 
 class TestDiscoveryStatsContract:

@@ -76,7 +76,8 @@ SETATTR_ALLOWED_SUFFIXES = ("core/delegation.py", "core/attributes.py",
 # `self.<counter> += n` here has escaped the exporters.
 OBS_INSTRUMENTED_SUFFIXES = (
     "wallet/wallet.py", "graph/proof_cache.py",
-    "crypto/verify_cache.py", "discovery/engine.py",
+    "crypto/verify_cache.py", "crypto/encoding.py",
+    "discovery/engine.py",
     "discovery/fastpath.py", "net/switchboard.py", "net/rpc.py",
     "pubsub/subscriptions.py",
 )
