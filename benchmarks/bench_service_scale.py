@@ -1,0 +1,446 @@
+"""Benchmark the sharded wallet service: scaling, overload, transport.
+
+Four sections (see docs/PERFORMANCE.md, "Service layer"):
+
+* **shard scaling**: prebuild ONE deterministic request stream from the
+  million-principal hotspot workload (``workloads.ServicePopulation``),
+  then replay the identical stream -- warmup slice, then measured
+  slice -- against a fresh inline router at 1, 2, and 4 shards.  On a
+  single-core host the scaling mechanism is partitioned verify-memo
+  capacity: the hot credential set thrashes one shard's memo but fits
+  in two, so the aggregate memo miss rate (and with it the per-request
+  signature cost) collapses as shards are added.  Required: sustained
+  authorize QPS at 2 shards >= 1.7x the 1-shard figure (full runs;
+  smoke records the ratio without gating -- tiny populations don't
+  reproduce the knee).
+* **overload shedding**: a thread-backed shard behind its bounded
+  queue is flooded via ``submit_nowait``; admission control past the
+  high-watermark must shed with typed ``RETRY_LATER`` responses
+  (carrying ``retry_after_ms``) rather than queueing without bound.
+  Required: sheds occur and every response is typed.
+* **socket transport**: the same requests through the asyncio frame
+  server and blocking client; reports round-trip latency.
+* **byte identity**: proofs returned by the service -- both through
+  the in-process router and across the socket -- must canonically
+  encode byte-identical to what a single-process ``wallet.authorize``
+  produces for the same credential.  Required: always.
+
+Emits ``BENCH_service_scale.json`` (schema v1) and exits nonzero if a
+required gate is missed.  Run standalone
+(``python benchmarks/bench_service_scale.py [--quick]``) or under
+pytest (``pytest benchmarks/bench_service_scale.py``).
+"""
+
+import argparse
+import asyncio
+import gc
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import _emit                                             # noqa: E402
+
+from repro.core import SimClock                          # noqa: E402
+from repro.crypto.encoding import canonical_encode       # noqa: E402
+from repro.obs import MetricsRegistry                    # noqa: E402
+from repro.service import (                              # noqa: E402
+    BlockingClient,
+    LoadGenerator,
+    LoadgenConfig,
+    Router,
+    RouterConfig,
+    STATUS_RETRY_LATER,
+    ServiceServer,
+)
+from repro.wallet.wallet import Wallet                   # noqa: E402
+from repro.workloads.scenarios import (                  # noqa: E402
+    SERVICE_EPOCH,
+    ServicePopulation,
+)
+
+OUTPUT = "BENCH_service_scale.json"
+POPULATION_SEED = 7
+LOADGEN_SEED = 1
+REQUIRED_QPS_RATIO = 1.7
+
+
+def _build_population(quick: bool) -> ServicePopulation:
+    if quick:
+        return ServicePopulation(seed=POPULATION_SEED, population=20_000,
+                                 domains=16, hot_size=1_200)
+    return ServicePopulation(seed=POPULATION_SEED, population=1_000_000,
+                             domains=64, hot_size=12_000)
+
+
+def _sizes(quick: bool) -> dict:
+    if quick:
+        return {"warmup": 800, "measured": 1_500, "shard_counts": (1, 2),
+                "memo_maxsize": 768, "overload_burst": 400,
+                "transport_requests": 60, "identity_samples": 6}
+    return {"warmup": 25_000, "measured": 40_000, "shard_counts": (1, 2, 4),
+            "memo_maxsize": 8_192, "overload_burst": 1_500,
+            "transport_requests": 300, "identity_samples": 24}
+
+
+# ---------------------------------------------------------------------------
+# Shard scaling
+# ---------------------------------------------------------------------------
+
+
+def _memo_totals(stats: dict, baseline: dict = None) -> dict:
+    """Aggregate per-shard verify-memo tallies out of ``Router.stats()``.
+
+    With ``baseline`` (a stats snapshot taken after warmup), tallies
+    cover the measured window only -- the warmup's compulsory misses
+    would otherwise drown the steady-state miss rate the scaling
+    mechanism is about.
+    """
+    hits = misses = 0
+    per_shard = {}
+    for shard_id, shard in sorted(stats["shards"].items()):
+        memo = shard["memo"]
+        shard_hits, shard_misses = memo["hits"], memo["misses"]
+        if baseline is not None:
+            base = baseline["shards"][shard_id]["memo"]
+            shard_hits -= base["hits"]
+            shard_misses -= base["misses"]
+        hits += shard_hits
+        misses += shard_misses
+        lookups = shard_hits + shard_misses
+        per_shard[shard_id] = {
+            "hits": shard_hits, "misses": shard_misses,
+            "entries": memo["entries"],
+            "miss_rate": (shard_misses / lookups) if lookups else 0.0,
+        }
+    lookups = hits + misses
+    return {"hits": hits, "misses": misses,
+            "miss_rate": (misses / lookups) if lookups else 0.0,
+            "per_shard": per_shard}
+
+
+def bench_scaling(population: ServicePopulation, sizes: dict,
+                  stream: list) -> dict:
+    warmup = stream[:sizes["warmup"]]
+    measured = stream[sizes["warmup"]:]
+    configs = []
+    for shards in sizes["shard_counts"]:
+        gc.collect()   # keep one config's garbage out of the next's clock
+        router = Router(
+            population,
+            RouterConfig(shards=shards, mode="inline",
+                         memo_maxsize=sizes["memo_maxsize"]),
+            registry=MetricsRegistry())
+        generator = LoadGenerator(
+            population, router.submit,
+            LoadgenConfig(requests=len(stream), seed=LOADGEN_SEED))
+        generator.replay(warmup)          # reach memo/LRU steady state
+        warmed = router.stats()
+        report = generator.replay(measured)
+        memo = _memo_totals(router.stats(), baseline=warmed)
+        router.close()
+        configs.append({
+            "shards": shards,
+            "qps": report.qps,
+            "wall_seconds": report.wall_seconds,
+            "latency_ms": report.latency_ms,
+            "granted": report.granted,
+            "denied": report.denied,
+            "shed": report.shed,
+            "ops": report.ops,
+            "memo": memo,
+        })
+        print(f"  {shards} shard(s): {report.qps:8.0f} req/s   "
+              f"p50 {report.latency_ms['p50']:.3f} ms  "
+              f"p99 {report.latency_ms['p99']:.3f} ms  "
+              f"memo miss {memo['miss_rate']:.3f}")
+    by_shards = {c["shards"]: c for c in configs}
+    section = {"configs": configs,
+               "required_qps_ratio_1_to_2": REQUIRED_QPS_RATIO}
+    if 1 in by_shards and 2 in by_shards:
+        section["qps_ratio_1_to_2"] = (
+            by_shards[2]["qps"] / by_shards[1]["qps"])
+    if 1 in by_shards and 4 in by_shards:
+        section["qps_ratio_1_to_4"] = (
+            by_shards[4]["qps"] / by_shards[1]["qps"])
+    return section
+
+
+# ---------------------------------------------------------------------------
+# Overload shedding
+# ---------------------------------------------------------------------------
+
+
+def bench_overload(population: ServicePopulation, sizes: dict,
+                   stream: list) -> dict:
+    config = RouterConfig(shards=1, mode="thread", queue_depth=64,
+                          high_watermark=48,
+                          memo_maxsize=sizes["memo_maxsize"])
+    router = Router(population, config, registry=MetricsRegistry())
+    burst = stream[:sizes["overload_burst"]]
+    futures = [router.submit_nowait(request) for request in burst]
+    responses = [future.result() for future in futures]
+    router.close()
+    statuses = {}
+    malformed_sheds = 0
+    for response in responses:
+        status = response.get("status", "missing")
+        statuses[status] = statuses.get(status, 0) + 1
+        if status == STATUS_RETRY_LATER and \
+                "retry_after_ms" not in response:
+            malformed_sheds += 1
+    shed = statuses.get(STATUS_RETRY_LATER, 0)
+    section = {
+        "requests": len(burst),
+        "queue_depth": config.queue_depth,
+        "high_watermark": config.high_watermark,
+        "statuses": statuses,
+        "shed": shed,
+        "shed_rate": shed / len(burst),
+        "malformed_sheds": malformed_sheds,
+    }
+    print(f"  overload: {shed}/{len(burst)} shed "
+          f"({section['shed_rate']:.2f}) with RETRY_LATER")
+    return section
+
+
+# ---------------------------------------------------------------------------
+# Byte identity + socket transport
+# ---------------------------------------------------------------------------
+
+
+def _reference_proof_bytes(population: ServicePopulation,
+                           index: int) -> bytes:
+    """Single-process ``wallet.authorize`` for principal ``index``,
+    mirroring the shard's home-wallet construction exactly."""
+    domain = population.domain(population.domain_of(index))
+    namespace = population.namespace(population.domain_of(index))
+    credential = population.credential(index)
+    home = Wallet(owner=domain.authority, address=f"wallet.{namespace}",
+                  clock=SimClock(SERVICE_EPOCH), cache_size=4096)
+    home.publish(domain.grant)
+    home.publish(credential)
+    monitor = home.authorize(credential.subject, domain.access)
+    if monitor is None:
+        raise AssertionError(f"reference authorize denied for {index}")
+    proof = monitor.proof
+    monitor.cancel()
+    return canonical_encode(proof.to_dict())
+
+
+def _authorize_request(population: ServicePopulation, index: int) -> dict:
+    return {"op": "authorize",
+            "ns": population.namespace(population.domain_of(index)),
+            "credential": population.credential(index).to_dict()}
+
+
+def _identity_indices(population: ServicePopulation, count: int) -> list:
+    # Spread across hot set, Zipf tail, and the far cold end.
+    step = max(1, population.hot_size // max(1, count - 2))
+    indices = list(range(0, population.hot_size, step))[:count - 2]
+    indices.append(population.hot_size + 17)
+    indices.append(population.population // 2)
+    return indices
+
+
+class _ServerThread:
+    """Run a :class:`ServiceServer` on its own event loop thread."""
+
+    def __init__(self, router: Router) -> None:
+        self.server = ServiceServer(router)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        try:
+            self.loop.run_until_complete(self.server.serve_forever())
+        except asyncio.CancelledError:
+            pass
+
+    def start(self) -> int:
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("service server failed to start")
+        return self.server.port
+
+    def stop(self) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop)
+        try:
+            future.result(timeout=5)
+        except (asyncio.CancelledError, TimeoutError, OSError):
+            pass
+        self._thread.join(timeout=5)
+
+
+def bench_transport_and_identity(population: ServicePopulation,
+                                 sizes: dict, stream: list) -> dict:
+    indices = _identity_indices(population, sizes["identity_samples"])
+    references = {index: _reference_proof_bytes(population, index)
+                  for index in indices}
+
+    router = Router(
+        population,
+        RouterConfig(shards=2, mode="inline",
+                     memo_maxsize=sizes["memo_maxsize"]),
+        registry=MetricsRegistry())
+
+    direct_mismatches = 0
+    for index in indices:
+        response = router.submit(_authorize_request(population, index))
+        if response.get("status") != "ok" or canonical_encode(
+                response["proof"]) != references[index]:
+            direct_mismatches += 1
+
+    server = _ServerThread(router)
+    port = server.start()
+    socket_mismatches = 0
+    latencies = []
+    try:
+        with BlockingClient("127.0.0.1", port) as client:
+            for index in indices:
+                response = client.request(
+                    _authorize_request(population, index))
+                if response.get("status") != "ok" or canonical_encode(
+                        response["proof"]) != references[index]:
+                    socket_mismatches += 1
+            for request in stream[:sizes["transport_requests"]]:
+                t0 = time.perf_counter()
+                client.request(request)
+                latencies.append(time.perf_counter() - t0)
+    finally:
+        server.stop()
+        router.close()
+
+    latencies.sort()
+
+    def _pct(q):
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1,
+                             round(q * (len(latencies) - 1)))] * 1000.0
+
+    section = {
+        "identity_samples": len(indices),
+        "direct_mismatches": direct_mismatches,
+        "socket_mismatches": socket_mismatches,
+        "socket_requests": len(latencies),
+        "socket_latency_ms": {"p50": _pct(0.50), "p99": _pct(0.99),
+                              "max": latencies[-1] * 1000.0
+                              if latencies else 0.0},
+    }
+    print(f"  identity: {len(indices)} samples, "
+          f"{direct_mismatches} direct / {socket_mismatches} socket "
+          f"mismatches; socket p50 {section['socket_latency_ms']['p50']:.3f} "
+          f"ms")
+    return section
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run(quick: bool, output: str, metrics_out=None) -> int:
+    started = time.perf_counter()
+    population = _build_population(quick)
+    sizes = _sizes(quick)
+
+    print(f"service scale bench ({'quick' if quick else 'full'}): "
+          f"population={population.population:,} "
+          f"domains={population.domains} hot={population.hot_size:,}")
+
+    build_started = time.perf_counter()
+    builder = LoadGenerator(
+        population, submit=None,
+        config=LoadgenConfig(requests=sizes["warmup"] + sizes["measured"],
+                             seed=LOADGEN_SEED))
+    stream = builder.build_requests()
+    build_seconds = time.perf_counter() - build_started
+    print(f"  stream: {len(stream):,} requests prebuilt in "
+          f"{build_seconds:.1f}s (shared across all shard configs)")
+
+    scaling = bench_scaling(population, sizes, stream)
+    overload = bench_overload(population, sizes, stream)
+    transport = bench_transport_and_identity(population, sizes, stream)
+
+    failures = []
+    ratio = scaling.get("qps_ratio_1_to_2", 0.0)
+    if not quick and ratio < REQUIRED_QPS_RATIO:
+        failures.append(
+            f"1->2 shard QPS ratio {ratio:.2f} < "
+            f"required {REQUIRED_QPS_RATIO}")
+    for config in scaling["configs"]:
+        if config["denied"]:
+            failures.append(
+                f"{config['denied']} authorize requests denied at "
+                f"{config['shards']} shard(s); members must always "
+                f"prove access")
+    if overload["shed"] == 0:
+        failures.append("overload burst shed nothing; admission "
+                        "control is not engaging")
+    if overload["malformed_sheds"]:
+        failures.append(f"{overload['malformed_sheds']} shed responses "
+                        f"missing retry_after_ms")
+    if transport["direct_mismatches"] or transport["socket_mismatches"]:
+        failures.append(
+            f"proof bytes diverged from single-process wallet.authorize "
+            f"({transport['direct_mismatches']} direct, "
+            f"{transport['socket_mismatches']} socket)")
+
+    payload = {
+        "population": population.spec(),
+        "workload": {
+            "loadgen_seed": LOADGEN_SEED,
+            "warmup_requests": sizes["warmup"],
+            "measured_requests": sizes["measured"],
+            "memo_maxsize": sizes["memo_maxsize"],
+            "stream_build_seconds": build_seconds,
+        },
+        "scaling": scaling,
+        "overload": overload,
+        "transport": transport,
+        "gates_enforced": {"qps_ratio": not quick, "byte_identity": True,
+                           "overload_shed": True, "no_denials": True},
+        "failures": failures,
+    }
+    _emit.emit(output, "service_scale", payload, quick=quick,
+               seed=POPULATION_SEED, started=started,
+               metrics_out=metrics_out)
+
+    if ratio:
+        print(f"  QPS ratio 1->2 shards: {ratio:.2f}x "
+              f"(required {REQUIRED_QPS_RATIO}x"
+              f"{', gated' if not quick else ', recorded only'})")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"ok: wrote {output}")
+    return 0
+
+
+def test_service_scale(tmp_path):
+    """Pytest entry: quick sizes, gates that apply to smoke must pass."""
+    assert run(quick=True,
+               output=str(tmp_path / "BENCH_service_scale.json")) == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    _emit.add_common_args(parser, OUTPUT)
+    args = parser.parse_args(argv)
+    return run(args.quick, args.output, metrics_out=args.metrics_out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -632,7 +632,104 @@ def cmd_renew(workspace: Workspace, args) -> int:
     return 0
 
 
+def _service_population(args):
+    from repro.workloads.scenarios import build_service_population
+    return build_service_population(
+        seed=args.seed, population=args.population, domains=args.domains,
+        skew=args.skew, hot_size=args.hot_size,
+        hot_fraction=args.hot_fraction)
+
+
+def cmd_serve(_workspace: Workspace, args) -> int:
+    """Run the sharded wallet service behind the socket transport."""
+    import asyncio
+
+    from repro import obs
+    from repro.service import Router, RouterConfig, ServiceServer
+
+    population = _service_population(args)
+    config = RouterConfig(
+        shards=args.shards, mode=args.mode,
+        queue_depth=args.queue_depth,
+        high_watermark=args.high_watermark,
+        memo_maxsize=args.memo_maxsize)
+    # Injected handle: the CLI folds the router's drbac_service_*
+    # metrics into the process registry so --metrics-out sees them.
+    router = Router(population, config, registry=obs.get_registry())
+    server = ServiceServer(router, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"drbac service on {server.host}:{server.port} -- "
+              f"{config.shards} {config.mode} shard(s), "
+              f"{population.domains} namespaces, "
+              f"population {population.population}")
+        sys.stdout.flush()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        router.close()
+    return 0
+
+
+def cmd_loadgen(_workspace: Workspace, args) -> int:
+    """Drive deterministic load at a service (socket or in-process)."""
+    from repro import obs
+    from repro.service import (
+        BlockingClient, LoadGenerator, LoadgenConfig, Router, RouterConfig,
+    )
+
+    population = _service_population(args)
+    config = LoadgenConfig(
+        requests=args.requests, seed=args.run_seed,
+        authorize_weight=args.authorize_weight,
+        publish_weight=args.publish_weight,
+        revoke_weight=args.revoke_weight)
+    client = None
+    router = None
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        client = BlockingClient(host or "127.0.0.1", int(port))
+        submit = client.request
+    else:
+        router = Router(
+            population,
+            RouterConfig(shards=args.shards, mode=args.mode),
+            registry=obs.get_registry())
+        submit = router.submit
+    try:
+        report = LoadGenerator(population, submit, config).run()
+    finally:
+        if client is not None:
+            client.close()
+        if router is not None:
+            router.close()
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
 # ---------------------------------------------------------------------------
+
+def _add_service_population_args(parser) -> None:
+    parser.add_argument("--seed", type=int, default=7,
+                        help="population seed (default: 7)")
+    parser.add_argument("--population", type=int, default=1_000_000,
+                        help="principal count (default: 1000000)")
+    parser.add_argument("--domains", type=int, default=64,
+                        help="issuing namespaces (default: 64)")
+    parser.add_argument("--skew", type=float, default=1.0,
+                        help="Zipf tail exponent (default: 1.0)")
+    parser.add_argument("--hot-size", type=int, default=12_000,
+                        help="hot-set size in Zipf ranks "
+                             "(default: 12000)")
+    parser.add_argument("--hot-fraction", type=float, default=0.95,
+                        help="fraction of requests drawn from the hot "
+                             "set (default: 0.95)")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -814,6 +911,52 @@ def build_parser() -> argparse.ArgumentParser:
                            "workspace wallet: "
                            "defective[:SEED[:WIDTHxDEPTH]]")
     lint.set_defaults(func=cmd_lint)
+
+    serve = commands.add_parser(
+        "serve", help="run the sharded wallet service (socket "
+                      "transport, consistent-hash routing)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7979,
+                       help="listen port; 0 picks an ephemeral port "
+                            "(default: 7979)")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="worker shard count (default: 2)")
+    serve.add_argument("--mode", default="thread",
+                       choices=["inline", "thread", "process"],
+                       help="shard backend (default: thread)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="bounded per-shard queue (default: 64)")
+    serve.add_argument("--high-watermark", type=int, default=48,
+                       help="shed with RETRY_LATER above this depth "
+                            "(default: 48)")
+    serve.add_argument("--memo-maxsize", type=int, default=8192,
+                       help="per-shard verification memo entries "
+                            "(default: 8192)")
+    _add_service_population_args(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive deterministic Zipfian load at a "
+                        "service (local or over sockets)")
+    loadgen.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         help="target a running `drbac serve`; "
+                              "default runs an in-process service")
+    loadgen.add_argument("--shards", type=int, default=2,
+                         help="in-process service shard count "
+                              "(default: 2)")
+    loadgen.add_argument("--mode", default="inline",
+                         choices=["inline", "thread", "process"],
+                         help="in-process shard backend "
+                              "(default: inline)")
+    loadgen.add_argument("--requests", type=int, default=10_000,
+                         help="request count (default: 10000)")
+    loadgen.add_argument("--run-seed", type=int, default=1,
+                         help="request-stream seed (default: 1)")
+    loadgen.add_argument("--authorize-weight", type=float, default=0.96)
+    loadgen.add_argument("--publish-weight", type=float, default=0.03)
+    loadgen.add_argument("--revoke-weight", type=float, default=0.01)
+    _add_service_population_args(loadgen)
+    loadgen.set_defaults(func=cmd_loadgen)
     return parser
 
 

@@ -25,11 +25,24 @@ with :func:`set_enabled` (the CLI's ``--no-crypto-cache``), with the
 ``DRBAC_NO_CRYPTO_CACHE`` environment variable, or temporarily with the
 :func:`disabled` context manager; outcomes are identical either way,
 only latency changes (asserted by ``tests/crypto/test_verify_cache.py``).
+
+Scoping
+-------
+
+The sharded service layer hosts several wallet partitions in one
+process, and each shard must own its own memo (partitioned capacity is
+what makes the shards scale -- see docs/PERFORMANCE.md).  :func:`scoped`
+installs a per-context :class:`VerificationMemo` in a
+``contextvars.ContextVar``; every module-level function (and so every
+``PublicKey.verify`` call) inside the ``with`` block uses that instance.
+Outside any scope the process-wide ``_MEMO`` default applies, so
+existing callers and the ``cache_info()`` contract are unchanged.
 """
 
 import os
 from collections import OrderedDict
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Optional, Tuple
 
 from repro import obs
@@ -131,32 +144,56 @@ class VerificationMemo:
 _MEMO = VerificationMemo(
     enabled=not os.environ.get("DRBAC_NO_CRYPTO_CACHE"))
 
+_SCOPED: "ContextVar[Optional[VerificationMemo]]" = ContextVar(
+    "drbac_verify_memo", default=None)
+
 
 def memo() -> VerificationMemo:
-    """The process-wide memo instance."""
-    return _MEMO
+    """The current memo: the scoped instance, else the process-wide one."""
+    current = _SCOPED.get()
+    return _MEMO if current is None else current
+
+
+@contextmanager
+def scoped(instance: Optional[VerificationMemo] = None, *,
+           maxsize: int = DEFAULT_MAXSIZE):
+    """Install an isolated memo for this context (fresh unless injected).
+
+    A fresh memo inherits the global enable switch, and its counters
+    register in whatever :mod:`repro.obs` registry is current -- enter
+    ``obs.scoped()`` first to keep a shard's tallies private.  Rides
+    ``contextvars``: nests, propagates into tasks, and must be re-entered
+    by worker threads/processes (see ``repro.service.shard``).
+    """
+    current = instance if instance is not None else VerificationMemo(
+        maxsize=maxsize, enabled=_MEMO.enabled)
+    token = _SCOPED.set(current)
+    try:
+        yield current
+    finally:
+        _SCOPED.reset(token)
 
 
 def enabled() -> bool:
-    return _MEMO.enabled
+    return memo().enabled
 
 
 def set_enabled(value: bool) -> None:
-    """Globally enable/disable the memo (and the per-object fast flags)."""
-    _MEMO.enabled = bool(value)
+    """Enable/disable the current memo (and the per-object fast flags)."""
+    memo().enabled = bool(value)
 
 
 def note_object_hit() -> None:
     """Count a verification short-circuited by a per-object flag."""
-    _MEMO._c_object_hits.inc()
+    memo()._c_object_hits.inc()
 
 
 def cache_clear() -> None:
-    _MEMO.clear()
+    memo().clear()
 
 
 def cache_info() -> dict:
-    return _MEMO.info()
+    return memo().info()
 
 
 def configure(maxsize: Optional[int] = None) -> None:
@@ -164,18 +201,20 @@ def configure(maxsize: Optional[int] = None) -> None:
     if maxsize is not None:
         if maxsize < 1:
             raise ValueError("memo maxsize must be positive")
-        _MEMO.maxsize = maxsize
-        while len(_MEMO._entries) > maxsize:
-            _MEMO._entries.popitem(last=False)
-            _MEMO._c_evictions.inc()
+        current = memo()
+        current.maxsize = maxsize
+        while len(current._entries) > maxsize:
+            current._entries.popitem(last=False)
+            current._c_evictions.inc()
 
 
 @contextmanager
 def disabled():
     """Temporarily run with the memo off (tests, honest benchmarks)."""
-    previous = _MEMO.enabled
-    _MEMO.enabled = False
+    current = memo()
+    previous = current.enabled
+    current.enabled = False
     try:
         yield
     finally:
-        _MEMO.enabled = previous
+        current.enabled = previous

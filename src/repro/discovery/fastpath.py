@@ -46,6 +46,7 @@ seconds and heals by lapse, never by a stale positive.
 import os
 from collections import OrderedDict
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
@@ -64,10 +65,33 @@ DEFAULT_MAXSIZE = 2048
 
 _ENABLED = not os.environ.get("DRBAC_NO_DISCOVERY_CACHE")
 
+# Per-context override (None = defer to the global switch).  The
+# sharded service layer scopes the fast path per shard so tenants can
+# not flip each other's switch; see :func:`scoped`.
+_SCOPED: "ContextVar[Optional[bool]]" = ContextVar(
+    "drbac_discovery_fastpath", default=None)
+
 
 def enabled() -> bool:
-    """Is the discovery fast path globally enabled?"""
-    return _ENABLED
+    """Is the discovery fast path enabled in this context?"""
+    override = _SCOPED.get()
+    return _ENABLED if override is None else override
+
+
+@contextmanager
+def scoped(value: bool = True):
+    """Pin the fast-path switch for this context, ignoring the global.
+
+    Rides ``contextvars`` like ``obs.scoped()`` and
+    ``verify_cache.scoped()``; the global :func:`set_enabled` /
+    :func:`disabled` knobs keep working outside (and underneath) any
+    scope.
+    """
+    token = _SCOPED.set(bool(value))
+    try:
+        yield
+    finally:
+        _SCOPED.reset(token)
 
 
 def set_enabled(value: bool) -> None:

@@ -29,10 +29,25 @@ Clocks
 Call :func:`use_clock` with the run's :class:`~repro.core.clock.Clock`
 and both the registry snapshot and every span pick up virtual
 timestamps (``vstart``/``vend``) alongside wall durations.
+
+Scoping
+-------
+
+Multi-tenant hosts (the sharded service layer) need several registries
+to coexist in one process: each shard's wallets and memos must tally
+into that shard's registry, not a process-wide one.  :func:`scoped`
+installs a :class:`ObsScope` (registry + tracer pair) in a
+``contextvars.ContextVar``; everything constructed or instrumented
+inside the ``with`` block -- :func:`registry`, :func:`tracer`,
+:func:`counter`, :func:`span`, and transitively every
+``VerificationMemo``/``Wallet``/stats object built there -- lands in
+the scoped pair.  Outside any scope the process-wide defaults apply,
+so existing callers see no change.
 """
 
 import os
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Optional
 
 from .metrics import (  # noqa: F401  (re-exported)
@@ -48,29 +63,70 @@ _ENABLED = os.environ.get("DRBAC_OBS", "on").strip().lower() not in (
     "off", "0", "false", "no")
 
 
+class ObsScope:
+    """An injected (registry, tracer) pair; see :func:`scoped`."""
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+
+_SCOPE: "ContextVar[Optional[ObsScope]]" = ContextVar(
+    "drbac_obs_scope", default=None)
+
+
 def registry() -> MetricsRegistry:
-    """The process-wide metrics registry."""
-    return _REGISTRY
+    """The current metrics registry (scoped if inside :func:`scoped`)."""
+    scope = _SCOPE.get()
+    return _REGISTRY if scope is None else scope.registry
+
+
+def get_registry() -> MetricsRegistry:
+    """Alias of :func:`registry` (explicit-injection call sites)."""
+    return registry()
 
 
 def tracer() -> Tracer:
-    """The process-wide tracer."""
-    return _TRACER
+    """The current tracer (scoped if inside :func:`scoped`)."""
+    scope = _SCOPE.get()
+    return _TRACER if scope is None else scope.tracer
+
+
+@contextmanager
+def scoped(registry: Optional[MetricsRegistry] = None,
+           tracer: Optional[Tracer] = None):
+    """Install an isolated (registry, tracer) pair for this context.
+
+    Fresh instances are created when not supplied.  Yields the
+    :class:`ObsScope` so callers can keep handles to the pair.  Scopes
+    ride ``contextvars``, so they nest and propagate into tasks but not
+    into threads or forked workers started outside the block -- those
+    re-enter the scope themselves (see ``repro.service.shard``).
+    """
+    scope = ObsScope(registry=registry, tracer=tracer)
+    token = _SCOPE.set(scope)
+    try:
+        yield scope
+    finally:
+        _SCOPE.reset(token)
 
 
 # -- instrument conveniences -------------------------------------------------
 
 
 def counter(name: str, **labels: str) -> Counter:
-    return _REGISTRY.counter(name, **labels)
+    return registry().counter(name, **labels)
 
 
 def gauge(name: str, **labels: str) -> Gauge:
-    return _REGISTRY.gauge(name, **labels)
+    return registry().gauge(name, **labels)
 
 
 def histogram(name: str, **labels: str) -> Histogram:
-    return _REGISTRY.histogram(name, **labels)
+    return registry().histogram(name, **labels)
 
 
 # -- tracing -----------------------------------------------------------------
@@ -80,7 +136,7 @@ def span(name: str, **attrs):
     """Open a trace span (context manager); no-op when tracing is off."""
     if not _ENABLED:
         return NOOP_SPAN
-    return _TRACER.span(name, attrs or None)
+    return tracer().span(name, attrs or None)
 
 
 def enabled() -> bool:
@@ -123,12 +179,12 @@ def enabled_ctx():
 
 def use_clock(clock) -> None:
     """Adopt one run's clock for virtual timestamps everywhere."""
-    _REGISTRY.set_clock(clock)
-    _TRACER.set_clock(clock)
+    registry().set_clock(clock)
+    tracer().set_clock(clock)
 
 
 def virtual_time() -> Optional[float]:
-    return _REGISTRY.virtual_time()
+    return registry().virtual_time()
 
 
 def reset() -> None:
@@ -136,6 +192,7 @@ def reset() -> None:
 
     Live stats objects keep their instrument references, so resetting
     between benchmark phases keeps every legacy surface coherent.
+    Operates on the current scope (the process-wide pair by default).
     """
-    _REGISTRY.reset()
-    _TRACER.clear()
+    registry().reset()
+    tracer().clear()

@@ -1,0 +1,189 @@
+"""Front-door router: ring routing, admission control, backpressure.
+
+One router fronts N shards.  A request's ``ns`` (issuing namespace)
+hashes onto the consistent ring to pick the shard; the router then
+applies admission control against that shard's bounded queue: if
+``pending() >= high_watermark`` the request is *shed* with a typed
+``RETRY_LATER`` response (carrying ``retry_after_ms``) instead of
+queueing without bound -- overload degrades to fast, explicit refusals
+rather than collapse (asserted by the overload section of
+``benchmarks/bench_service_scale.py``).
+
+The router's own metrics (``drbac_service_*``, catalogued in
+docs/OBSERVABILITY.md) go to an *injected* registry -- pass
+``obs.get_registry()`` at construction to fold them into the process
+export, or a fresh one to keep a bench isolated.  Per-shard wallet and
+memo tallies stay inside each shard's scoped registry; ``stats()``
+gathers both sides.
+"""
+
+import queue
+from concurrent.futures import Future
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from repro.obs import MetricsRegistry
+from repro.workloads.scenarios import ServicePopulation
+
+from .ring import ConsistentHashRing, DEFAULT_VNODES
+from .shard import (
+    DEFAULT_MEMO_MAXSIZE, DEFAULT_QUEUE_DEPTH,
+    InlineShard, ProcessShard, ShardRuntime, ThreadShard,
+)
+
+STATUS_OK = "ok"
+STATUS_DENIED = "denied"
+STATUS_RETRY_LATER = "retry-later"
+STATUS_ERROR = "error"
+
+MODES = ("inline", "thread", "process")
+
+
+class ServiceError(Exception):
+    """Service-layer configuration or routing failure."""
+
+
+@dataclass
+class RouterConfig:
+    """Knobs for one router + shard fleet."""
+
+    shards: int = 1
+    mode: str = "inline"
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    high_watermark: int = 48
+    memo_maxsize: int = DEFAULT_MEMO_MAXSIZE
+    vnodes: int = DEFAULT_VNODES
+    retry_after_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ServiceError("need at least one shard")
+        if self.mode not in MODES:
+            raise ServiceError(f"mode must be one of {MODES}")
+        if not 0 < self.high_watermark <= self.queue_depth:
+            raise ServiceError(
+                "need 0 < high_watermark <= queue_depth")
+
+
+class Router:
+    """Route requests to shards; shed when a shard queue is past its
+    high-watermark."""
+
+    def __init__(self, population: ServicePopulation,
+                 config: Optional[RouterConfig] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.config = config if config is not None else RouterConfig()
+        self.population = population
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        shard_ids = [f"shard-{i}" for i in range(self.config.shards)]
+        self.ring = ConsistentHashRing(shard_ids,
+                                       vnodes=self.config.vnodes)
+        assignment: Dict[str, List[str]] = {s: [] for s in shard_ids}
+        for ns in population.namespaces():
+            assignment[self.ring.lookup(ns)].append(ns)
+        self._backends: Dict[str, object] = {}
+        for shard_id in shard_ids:
+            self._backends[shard_id] = self._build_backend(
+                shard_id, assignment[shard_id])
+        self._c_requests = {
+            shard_id: self.registry.counter(
+                "drbac_service_requests_total", shard=shard_id)
+            for shard_id in shard_ids}
+        self._c_shed = {
+            shard_id: self.registry.counter(
+                "drbac_service_shed_total", shard=shard_id)
+            for shard_id in shard_ids}
+        self._g_depth = {
+            shard_id: self.registry.gauge(
+                "drbac_service_queue_depth", shard=shard_id)
+            for shard_id in shard_ids}
+        self._h_latency = self.registry.histogram(
+            "drbac_service_request_seconds")
+
+    def _build_backend(self, shard_id: str, namespaces: List[str]):
+        config = self.config
+        if config.mode == "process":
+            return ProcessShard(shard_id, self.population.spec(),
+                                namespaces,
+                                memo_maxsize=config.memo_maxsize,
+                                queue_depth=config.queue_depth)
+        runtime = ShardRuntime(shard_id, self.population, namespaces,
+                               memo_maxsize=config.memo_maxsize)
+        if config.mode == "thread":
+            return ThreadShard(runtime, queue_depth=config.queue_depth)
+        return InlineShard(runtime)
+
+    # -- routing ------------------------------------------------------------
+
+    @property
+    def shard_ids(self) -> List[str]:
+        return list(self._backends)
+
+    def route(self, namespace: str) -> str:
+        return self.ring.lookup(namespace)
+
+    def _shed_response(self, request: dict, shard_id: str) -> dict:
+        self._c_shed[shard_id].inc()
+        response = {"status": STATUS_RETRY_LATER, "shard": shard_id,
+                    "retry_after_ms": self.config.retry_after_ms}
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    def submit_nowait(self, request: dict) -> "Future[dict]":
+        """Admit (or shed) a request; returns a future response.
+
+        Shed decisions resolve immediately with ``RETRY_LATER``; the
+        caller never blocks on a saturated shard.
+        """
+        ns = request.get("ns")
+        if not isinstance(ns, str):
+            future: "Future[dict]" = Future()
+            future.set_result({"status": STATUS_ERROR,
+                               "error": "request missing 'ns'"})
+            return future
+        shard_id = self.ring.lookup(ns)
+        backend = self._backends[shard_id]
+        self._c_requests[shard_id].inc()
+        depth = backend.pending()
+        self._g_depth[shard_id].set(depth)
+        if depth >= self.config.high_watermark:
+            future = Future()
+            future.set_result(self._shed_response(request, shard_id))
+            return future
+        try:
+            return backend.submit(request)
+        except queue.Full:
+            # Bounded queue filled between the check and the put.
+            future = Future()
+            future.set_result(self._shed_response(request, shard_id))
+            return future
+
+    def submit(self, request: dict) -> dict:
+        """Synchronous request/response through admission control."""
+        started = perf_counter()
+        response = self.submit_nowait(request).result()
+        self._h_latency.observe(perf_counter() - started)
+        return response
+
+    # -- inspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Router counters + per-shard runtime stats (via ``stats`` op).
+
+        The ``stats`` op is namespace-free, so it goes straight to each
+        backend rather than through ring routing and admission control.
+        """
+        shards = {}
+        for shard_id, backend in self._backends.items():
+            shards[shard_id] = backend.submit({"op": "stats"}).result()
+        return {
+            "shards": shards,
+            "router": self.registry.snapshot(),
+        }
+
+    def close(self) -> None:
+        for backend in self._backends.values():
+            backend.close()

@@ -1,0 +1,358 @@
+"""Shard runtime: a partition of home wallets inside its own scope.
+
+A shard owns the home wallets of every namespace the ring assigns to
+it, plus the scoped infrastructure those wallets share: a private
+:class:`~repro.obs.MetricsRegistry`/:class:`~repro.obs.Tracer` pair, a
+private :class:`~repro.crypto.verify_cache.VerificationMemo`, and a
+pinned discovery fast-path switch.  Nothing a shard does leaks into
+the process-global registries -- the ``service-injection`` reprolint
+rule keeps it that way -- so shards compose: one per process, N per
+process, or forked workers, all with identical behavior.
+
+Partitioned memos are the scaling mechanism on a CPU-bound host: each
+shard's 8192-entry memo covers only *its* namespaces' hot credentials,
+so N shards hold N memos' worth of hot set.  A working set that
+thrashes one memo fits in two -- docs/PERFORMANCE.md ("Service layer")
+quantifies the effect.
+
+Backends
+--------
+
+:class:`InlineShard`   runs requests on the caller's thread (lowest
+                       overhead; what the scaling benchmark measures).
+:class:`ThreadShard`   a worker thread behind a bounded queue (gives
+                       the router real queue depths to shed against).
+:class:`ProcessShard`  a forked ``multiprocessing`` worker; the child
+                       rebuilds the runtime from the population spec,
+                       so only plain request/response dicts cross the
+                       pipe.
+"""
+
+import queue
+import threading
+from concurrent.futures import Future
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.clock import SimClock
+from repro.core.delegation import Delegation, Revocation
+from repro.core.errors import ProofError, PublicationError
+from repro.crypto import verify_cache
+from repro.crypto.verify_cache import VerificationMemo
+from repro.discovery import fastpath
+from repro.obs import MetricsRegistry, Tracer
+from repro.wallet.wallet import Wallet
+from repro.workloads.scenarios import SERVICE_EPOCH, ServicePopulation
+
+DEFAULT_MEMO_MAXSIZE = verify_cache.DEFAULT_MAXSIZE
+DEFAULT_QUEUE_DEPTH = 64
+
+_STATUS_OK = "ok"
+_STATUS_DENIED = "denied"
+_STATUS_ERROR = "error"
+
+
+class ShardContext:
+    """The scoped singletons one shard injects around its work."""
+
+    def __init__(self, shard_id: str,
+                 memo_maxsize: int = DEFAULT_MEMO_MAXSIZE,
+                 fastpath_enabled: bool = True) -> None:
+        self.shard_id = shard_id
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self.fastpath_enabled = fastpath_enabled
+        # Construct the memo inside the obs scope so its counters land
+        # in this shard's registry, not the process-global one.
+        with obs.scoped(registry=self.registry, tracer=self.tracer):
+            self.memo = VerificationMemo(maxsize=memo_maxsize)
+
+    @contextmanager
+    def activate(self):
+        """Enter the shard's scopes (obs + verify memo + fast path)."""
+        with obs.scoped(registry=self.registry, tracer=self.tracer):
+            with verify_cache.scoped(self.memo):
+                with fastpath.scoped(self.fastpath_enabled):
+                    yield self
+
+
+class ShardRuntime:
+    """Home wallets for one shard's namespaces, plus request dispatch."""
+
+    def __init__(self, shard_id: str, population: ServicePopulation,
+                 namespaces: List[str],
+                 memo_maxsize: int = DEFAULT_MEMO_MAXSIZE,
+                 wallet_cache_size: int = 4096) -> None:
+        self.shard_id = shard_id
+        self.population = population
+        self.context = ShardContext(shard_id, memo_maxsize=memo_maxsize)
+        self.clock = SimClock(SERVICE_EPOCH)
+        self._homes: Dict[str, Tuple[Wallet, object]] = {}
+        index_of = {ns: d for d, ns in enumerate(population.namespaces())}
+        with self.context.activate():
+            for ns in namespaces:
+                domain = population.domain(index_of[ns])
+                home = Wallet(owner=domain.authority,
+                              address=f"wallet.{ns}", clock=self.clock,
+                              cache_size=wallet_cache_size)
+                home.publish(domain.grant)
+                self._homes[ns] = (home, domain)
+
+    @property
+    def namespaces(self) -> List[str]:
+        return sorted(self._homes)
+
+    def handle(self, request: dict) -> dict:
+        """Serve one request dict inside the shard's scopes."""
+        with self.context.activate():
+            try:
+                return self._dispatch(request)
+            except (PublicationError, ProofError) as exc:
+                return self._response(request, _STATUS_DENIED,
+                                      reason=str(exc))
+            except (KeyError, TypeError, ValueError) as exc:
+                return self._response(request, _STATUS_ERROR,
+                                      error=f"malformed request: {exc}")
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _response(self, request: dict, status: str, **fields) -> dict:
+        response = {"status": status, "shard": self.shard_id}
+        if "id" in request:
+            response["id"] = request["id"]
+        response.update(fields)
+        return response
+
+    def _home_for(self, request: dict) -> Tuple[Wallet, object]:
+        ns = request["ns"]
+        entry = self._homes.get(ns)
+        if entry is None:
+            raise ValueError(f"namespace {ns!r} is not homed on "
+                             f"{self.shard_id}")
+        return entry
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "authorize":
+            return self._op_authorize(request)
+        if op == "publish":
+            return self._op_publish(request)
+        if op == "revoke":
+            return self._op_revoke(request)
+        if op == "ping":
+            return self._response(request, _STATUS_OK, op="ping")
+        if op == "stats":
+            return self._op_stats(request)
+        raise ValueError(f"unknown op {op!r}")
+
+    def _op_authorize(self, request: dict) -> dict:
+        """Publish the presented credential (dedup at the store, but the
+        signature is verified at the door every time -- that is the
+        per-request CPU the memo absorbs), then run the full
+        ``authorize`` contract against the home wallet."""
+        home, domain = self._home_for(request)
+        credential = Delegation.from_dict(request["credential"])
+        home.publish(credential)
+        monitor = home.authorize(credential.subject, domain.access)
+        if monitor is None:
+            return self._response(request, _STATUS_DENIED,
+                                  granted=False, reason="no proof")
+        proof = monitor.proof
+        monitor.cancel()  # monitoring is the caller's side of the contract
+        return self._response(request, _STATUS_OK, granted=True,
+                              proof=proof.to_dict())
+
+    def _op_publish(self, request: dict) -> dict:
+        home, _ = self._home_for(request)
+        credential = Delegation.from_dict(request["credential"])
+        inserted = home.publish(credential)
+        return self._response(request, _STATUS_OK, inserted=inserted)
+
+    def _op_revoke(self, request: dict) -> dict:
+        home, _ = self._home_for(request)
+        revocation = Revocation.from_dict(request["revocation"])
+        inserted = home.publish_revocation(revocation)
+        return self._response(request, _STATUS_OK, inserted=inserted)
+
+    def _op_stats(self, request: dict) -> dict:
+        wallets = {ns: home.cache_info()
+                   for ns, (home, _) in self._homes.items()}
+        return self._response(
+            request, _STATUS_OK,
+            namespaces=self.namespaces,
+            memo=self.context.memo.info(),
+            wallets=wallets,
+            metrics=self.context.registry.snapshot(),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class InlineShard:
+    """Synchronous backend: the caller's thread runs the request."""
+
+    def __init__(self, runtime: ShardRuntime) -> None:
+        self.runtime = runtime
+        self.shard_id = runtime.shard_id
+
+    def pending(self) -> int:
+        return 0
+
+    def submit(self, request: dict) -> "Future[dict]":
+        future: "Future[dict]" = Future()
+        future.set_result(self.runtime.handle(request))
+        return future
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadShard:
+    """A worker thread draining a bounded queue.
+
+    ``pending()`` counts accepted-but-unfinished requests; the router
+    sheds against it.  ``submit`` raises ``queue.Full`` if the bounded
+    queue overflows between the router's admission check and the put --
+    the router converts that to RETRY_LATER too.
+    """
+
+    def __init__(self, runtime: ShardRuntime,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH) -> None:
+        self.runtime = runtime
+        self.shard_id = runtime.shard_id
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self._pending = 0
+        self._lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._run, name=f"{self.shard_id}-worker", daemon=True)
+        self._worker.start()
+
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def submit(self, request: dict) -> "Future[dict]":
+        future: "Future[dict]" = Future()
+        with self._lock:
+            self._pending += 1
+        try:
+            self._queue.put_nowait((request, future))
+        except queue.Full:
+            with self._lock:
+                self._pending -= 1
+            raise
+        return future
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            request, future = item
+            try:
+                future.set_result(self.runtime.handle(request))
+            except BaseException as exc:  # never kill the worker loop
+                future.set_exception(exc)
+            finally:
+                with self._lock:
+                    self._pending -= 1
+
+    def close(self) -> None:
+        self._queue.put(None)
+        self._worker.join(timeout=5.0)
+
+
+def _process_worker(shard_id: str, population_spec: dict,
+                    namespaces: List[str], memo_maxsize: int,
+                    requests, responses) -> None:
+    """Forked worker main loop: rebuild the runtime, serve until None."""
+    runtime = ShardRuntime(
+        shard_id, ServicePopulation(**population_spec), namespaces,
+        memo_maxsize=memo_maxsize)
+    while True:
+        item = requests.get()
+        if item is None:
+            return
+        request_id, request = item
+        try:
+            response = runtime.handle(request)
+        except BaseException as exc:  # keep serving; report the failure
+            response = {"status": _STATUS_ERROR, "shard": shard_id,
+                        "error": f"{type(exc).__name__}: {exc}"}
+        responses.put((request_id, response))
+
+
+class ProcessShard:
+    """A forked ``multiprocessing`` worker behind request/response pipes.
+
+    The child rebuilds its :class:`ShardRuntime` from the population
+    *spec* (seed + sizes), so parent and child agree on every key and
+    credential byte without shipping objects across the fork.
+    """
+
+    def __init__(self, shard_id: str, population_spec: dict,
+                 namespaces: List[str],
+                 memo_maxsize: int = DEFAULT_MEMO_MAXSIZE,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH) -> None:
+        import multiprocessing
+        context = multiprocessing.get_context("fork")
+        self.shard_id = shard_id
+        self._requests = context.Queue(maxsize=queue_depth)
+        self._responses = context.Queue()
+        self._futures: Dict[int, "Future[dict]"] = {}
+        self._next_id = 0
+        self._lock = threading.Lock()
+        self._process = context.Process(
+            target=_process_worker,
+            args=(shard_id, population_spec, namespaces, memo_maxsize,
+                  self._requests, self._responses),
+            daemon=True)
+        self._process.start()
+        self._reader = threading.Thread(
+            target=self._drain, name=f"{shard_id}-reader", daemon=True)
+        self._reader.start()
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._futures)
+
+    def submit(self, request: dict) -> "Future[dict]":
+        future: "Future[dict]" = Future()
+        with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+            self._futures[request_id] = future
+        try:
+            self._requests.put_nowait((request_id, request))
+        except queue.Full:
+            with self._lock:
+                self._futures.pop(request_id, None)
+            raise
+        return future
+
+    def _drain(self) -> None:
+        while True:
+            item = self._responses.get()
+            if item is None:
+                return
+            request_id, response = item
+            with self._lock:
+                future = self._futures.pop(request_id, None)
+            if future is not None:
+                future.set_result(response)
+
+    def close(self) -> None:
+        try:
+            self._requests.put(None, timeout=1.0)
+        except queue.Full:
+            pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._responses.put(None)
+        self._reader.join(timeout=5.0)

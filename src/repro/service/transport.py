@@ -1,0 +1,216 @@
+"""Asyncio socket transport: canonical-codec frames over TCP.
+
+Wire format: every message is one frame --
+
+    +----------------+----------------------------------+
+    | length (4B BE) | canonical_encode(dict) payload   |
+    +----------------+----------------------------------+
+
+The payload is the same canonical encoding every wallet already speaks
+(``crypto/encoding.py``; ``discovery/wire.py`` rides it too), so a
+service response's ``proof`` field is byte-identical to what a local
+``canonical_encode(proof.to_dict())`` produces -- the byte-identity
+guarantee the benchmark asserts end-to-end.
+
+Malformed input never crashes a shard: a zero, oversized, truncated,
+or garbage frame raises :class:`FrameError` inside the decoder, the
+server answers with one typed ``bad-frame`` error frame, closes that
+connection, and keeps serving others (property-tested in
+``tests/service/test_transport.py``).
+"""
+
+import asyncio
+import socket
+import struct
+from typing import List, Optional
+
+from repro.crypto.encoding import (
+    EncodingError, canonical_decode, canonical_encode,
+)
+
+HEADER = struct.Struct(">I")
+# Frames are request/response dicts, not bulk transfer: anything past
+# this is hostile or corrupt (well under the codec's 16MB ceiling).
+DEFAULT_MAX_FRAME = 1 << 20
+
+
+class FrameError(Exception):
+    """A frame violated the length-prefixed wire contract."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """One length-prefixed canonical frame for ``message``."""
+    payload = canonical_encode(message)
+    if len(payload) > DEFAULT_MAX_FRAME:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{DEFAULT_MAX_FRAME}-byte bound")
+    return HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder over a byte stream.
+
+    ``feed(data)`` buffers and returns every complete message; a
+    malformed stream raises :class:`FrameError` and poisons the
+    decoder (callers drop the connection -- resynchronizing inside a
+    corrupt length-prefixed stream is not possible).
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> List[dict]:
+        if self._poisoned:
+            raise FrameError("decoder already failed; drop the connection")
+        self._buffer.extend(data)
+        messages: List[dict] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return messages
+            try:
+                message = canonical_decode(frame)
+            except EncodingError as exc:
+                self._poisoned = True
+                raise FrameError(f"garbage frame payload: {exc}") from exc
+            if not isinstance(message, dict):
+                self._poisoned = True
+                raise FrameError(
+                    f"frame payload must be a dict, got "
+                    f"{type(message).__name__}")
+            messages.append(message)
+
+    def _next_frame(self) -> Optional[bytes]:
+        buffer = self._buffer
+        if len(buffer) < HEADER.size:
+            return None
+        (length,) = HEADER.unpack_from(buffer)
+        if length == 0:
+            self._poisoned = True
+            raise FrameError("zero-length frame")
+        if length > self.max_frame:
+            self._poisoned = True
+            raise FrameError(
+                f"declared frame length {length} exceeds the "
+                f"{self.max_frame}-byte bound")
+        if len(buffer) < HEADER.size + length:
+            return None
+        frame = bytes(buffer[HEADER.size:HEADER.size + length])
+        del buffer[:HEADER.size + length]
+        return frame
+
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+
+
+class ServiceServer:
+    """Asyncio TCP front end over a :class:`~repro.service.Router`.
+
+    Requests on one connection are served in order (responses carry the
+    request's ``id`` when present, so clients may still pipeline).
+    Router calls run in the default executor so a thread/process shard
+    blocking on its queue never stalls the event loop.
+    """
+
+    def __init__(self, router, host: str = "127.0.0.1", port: int = 0,
+                 max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.router = router
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        loop = asyncio.get_running_loop()
+        decoder = FrameDecoder(max_frame=self.max_frame)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                try:
+                    messages = decoder.feed(data)
+                except FrameError as exc:
+                    writer.write(encode_frame(
+                        {"status": "error", "error": "bad-frame",
+                         "detail": str(exc)}))
+                    await writer.drain()
+                    return
+                for request in messages:
+                    response = await loop.run_in_executor(
+                        None, self.router.submit, request)
+                    writer.write(encode_frame(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------------
+
+
+class BlockingClient:
+    """Minimal synchronous client (the loadgen CLI's socket mode)."""
+
+    def __init__(self, host: str, port: int,
+                 max_frame: int = DEFAULT_MAX_FRAME,
+                 timeout: Optional[float] = 30.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._decoder = FrameDecoder(max_frame=max_frame)
+        self._inbox: List[dict] = []
+
+    def request(self, message: dict) -> dict:
+        self._sock.sendall(encode_frame(message))
+        while not self._inbox:
+            data = self._sock.recv(65536)
+            if not data:
+                raise FrameError("connection closed mid-response")
+            self._inbox.extend(self._decoder.feed(data))
+        return self._inbox.pop(0)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "BlockingClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

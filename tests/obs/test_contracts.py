@@ -189,3 +189,74 @@ class TestDiscoveryCacheContract:
         first = cache.info()
         for _ in range(5):
             assert cache.info() == first
+
+
+class TestScopedSurfaces:
+    """The service-layer injection APIs: scoping must isolate, and the
+    process-global contracts above must hold unchanged inside a scope."""
+
+    def test_obs_scoped_isolates_counters(self):
+        from repro import obs
+        obs.counter("scoped_contract_global").inc()
+        before = obs.registry().snapshot()
+        with obs.scoped() as scope:
+            obs.counter("scoped_contract_inner").inc(5)
+            assert obs.registry() is scope.registry
+            inner = {m["name"]: m["value"]
+                     for m in obs.registry().snapshot()["counters"]}
+            assert inner.get("scoped_contract_inner") == 5
+            assert "scoped_contract_global" not in inner
+        assert obs.registry().snapshot() == before
+
+    def test_obs_scopes_nest(self):
+        from repro import obs
+        with obs.scoped() as outer:
+            with obs.scoped() as inner:
+                assert obs.registry() is inner.registry
+            assert obs.registry() is outer.registry
+
+    def test_get_registry_is_the_scope_aware_alias(self):
+        from repro import obs
+        assert obs.get_registry() is obs.registry()
+        with obs.scoped() as scope:
+            assert obs.get_registry() is scope.registry
+
+    def test_verify_cache_scoped_isolates_the_memo(self):
+        verify_cache.cache_clear()
+        before = verify_cache.cache_info()
+        with verify_cache.scoped(maxsize=64) as memo:
+            assert verify_cache.memo() is memo
+            # Contract shape holds for scoped memos too.
+            _assert_contract(verify_cache.cache_info(),
+                             CRYPTO_MEMO_KEYS, "scoped cache_info()")
+            assert verify_cache.cache_info()["maxsize"] == 64
+        assert verify_cache.cache_info() == before
+
+    def test_scoped_memo_absorbs_traffic_without_global_bleed(self):
+        from repro.core import Role, create_principal
+        from repro.core.delegation import issue
+        from repro.core.delegation import Delegation
+        issuer = create_principal("ScopedIssuer")
+        subject = create_principal("ScopedSubject")
+        delegation = issue(issuer, subject.entity,
+                           Role(issuer.entity, "member"))
+        # Round-trip through the wire form so the per-object fast flag
+        # is gone and the check must go through the memo.
+        fresh = Delegation.from_dict(delegation.to_dict())
+        verify_cache.cache_clear()
+        before = verify_cache.cache_info()
+        with verify_cache.scoped() as memo:
+            assert fresh.verify_signature()
+            assert memo.info()["entries"] > 0
+        after = verify_cache.cache_info()
+        assert after["entries"] == before["entries"]
+        assert after["misses"] == before["misses"]
+
+    def test_fastpath_scoped_overrides_the_switch(self):
+        from repro.discovery import fastpath
+        baseline = fastpath.enabled()
+        with fastpath.scoped(not baseline):
+            assert fastpath.enabled() is not baseline
+            with fastpath.scoped(baseline):
+                assert fastpath.enabled() is baseline
+        assert fastpath.enabled() is baseline

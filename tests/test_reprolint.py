@@ -173,6 +173,73 @@ class TestFrozenSetattr:
         assert reprolint.lint_file(str(path)) == []
 
 
+class TestServiceInjection:
+    def _lint_service_module(self, tmp_path, source):
+        service = tmp_path / "repro" / "service"
+        service.mkdir(parents=True)
+        path = service / "module.py"
+        path.write_text(textwrap.dedent(source))
+        return reprolint.lint_file(str(path))
+
+    def test_global_registry_access_flagged(self, tmp_path):
+        violations = self._lint_service_module(tmp_path, """
+            from repro import obs
+            def count():
+                obs.counter("drbac_service_x").inc()
+        """)
+        assert [v.rule for v in violations] == ["service-injection"]
+
+    def test_global_memo_access_flagged(self, tmp_path):
+        violations = self._lint_service_module(tmp_path, """
+            from repro.crypto import verify_cache
+            def peek():
+                return verify_cache.cache_info()
+        """)
+        assert [v.rule for v in violations] == ["service-injection"]
+
+    def test_from_imported_surface_flagged(self, tmp_path):
+        violations = self._lint_service_module(tmp_path, """
+            from repro.obs import get_registry
+            def peek():
+                return get_registry().snapshot()
+        """)
+        assert [v.rule for v in violations] == ["service-injection"]
+
+    def test_scoped_and_injected_handles_allowed(self, tmp_path):
+        assert self._lint_service_module(tmp_path, """
+            from repro import obs
+            from repro.crypto import verify_cache
+            from repro.discovery import fastpath
+            from repro.obs import MetricsRegistry
+
+            def shardwork(memo):
+                registry = MetricsRegistry()
+                with obs.scoped(registry=registry):
+                    with verify_cache.scoped(memo):
+                        with fastpath.scoped(True):
+                            registry.counter("ok").inc()
+        """) == []
+
+    def test_rule_is_scoped_to_the_service_package(self, tmp_path):
+        # The same access is legal elsewhere (e.g. the CLI wires the
+        # process-global registry into the router on purpose).
+        path = tmp_path / "cli.py"
+        path.write_text("from repro import obs\n"
+                        "def peek():\n"
+                        "    return obs.get_registry()\n")
+        assert reprolint.lint_file(str(path)) == []
+
+    def test_service_package_in_walk_scope(self):
+        walked = {p.replace(os.sep, "/") for p in
+                  reprolint.iter_python_files(
+                      [os.path.join(REPO_ROOT, "src")])}
+        for needed in ("src/repro/service/router.py",
+                       "src/repro/service/shard.py",
+                       "src/repro/service/transport.py",
+                       "src/repro/service/loadgen.py"):
+            assert any(path.endswith(needed) for path in walked), needed
+
+
 class TestCli:
     def test_exit_one_and_report_on_violations(self, tmp_path):
         bad = tmp_path / "bad.py"

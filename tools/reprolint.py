@@ -27,6 +27,15 @@ Five invariants the codebase relies on but Python won't enforce:
   (``drbac metrics``, ``--metrics-out``) can't see; increment a
   registry-backed ``Counter`` instead. Sequence numbers and per-run
   result dataclasses (receiver other than plain ``self``) are fine.
+* **service-injection** -- the sharded service (``repro/service/``)
+  never touches the process-global observability registry or verify
+  memo: every shard runs inside its own ``obs.scoped()`` /
+  ``verify_cache.scoped()`` context, and the router writes to an
+  *injected* ``MetricsRegistry``. A direct ``obs.counter(...)`` or
+  ``verify_cache.cache_info()`` there would silently couple shards to
+  each other (and to the host process) through shared state the
+  scoping design exists to eliminate. ``scoped()`` entry points and
+  direct class construction stay legal.
 
 Usage::
 
@@ -88,6 +97,21 @@ OBS_COUNTER_SUFFIXES = (
     "expirations", "handshakes", "completed", "rejected", "reused",
     "published", "delivered", "runs", "pulls",
 )
+
+# The service layer must go through injected handles; these module
+# surfaces read or mutate process-global state. (`scoped()` is the
+# sanctioned entry point and stays legal, as does constructing
+# MetricsRegistry / VerificationMemo / Tracer instances directly.)
+SERVICE_SEGMENT = "/repro/service/"
+SERVICE_GLOBAL_SURFACES = {
+    "obs": {"registry", "get_registry", "tracer", "counter", "gauge",
+            "histogram", "span", "reset", "use_clock", "virtual_time",
+            "set_enabled"},
+    "verify_cache": {"memo", "enabled", "set_enabled", "disabled",
+                     "cache_info", "cache_clear", "configure",
+                     "note_object_hit"},
+    "fastpath": {"enabled", "set_enabled", "disabled", "configure"},
+}
 
 
 def _norm(path: str) -> str:
@@ -247,8 +271,50 @@ def _check_obs_counters(path: str, tree: ast.AST) -> List[Violation]:
     return violations
 
 
+def _check_service_injection(path: str, tree: ast.AST) -> List[Violation]:
+    norm = _norm(path)
+    if SERVICE_SEGMENT not in f"/{norm}":
+        return []
+    violations: List[Violation] = []
+    # Names bound by `from repro.obs import counter [as c]` and the
+    # like, so from-imported global surfaces are caught too.
+    from_imported: dict = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom) or not node.module:
+            continue
+        tail = node.module.rsplit(".", 1)[-1]
+        banned = SERVICE_GLOBAL_SURFACES.get(tail)
+        if not banned:
+            continue
+        for alias in node.names:
+            if alias.name in banned:
+                from_imported[alias.asname or alias.name] = \
+                    f"{tail}.{alias.name}"
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        surface = None
+        if isinstance(func, ast.Attribute):
+            receiver = _dotted(func.value) or ""
+            banned = SERVICE_GLOBAL_SURFACES.get(receiver.split(".")[-1])
+            if banned and func.attr in banned:
+                surface = f"{receiver}.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in from_imported:
+            surface = from_imported[func.id]
+        if surface:
+            violations.append(Violation(
+                path, node.lineno, "service-injection",
+                f"{surface}() reaches process-global state from the "
+                f"service layer; inject a handle (MetricsRegistry, "
+                f"VerificationMemo, ShardContext) or enter a "
+                f"scoped() context instead"))
+    return violations
+
+
 CHECKS = (_check_clock, _check_graph_events, _check_mutable_defaults,
-          _check_frozen_setattr, _check_obs_counters)
+          _check_frozen_setattr, _check_obs_counters,
+          _check_service_injection)
 
 
 def lint_file(path: str) -> List[Violation]:
