@@ -1,0 +1,222 @@
+"""Benchmark the concurrency-safety analyzer and lockset sanitizer.
+
+Four arms, three of them gates:
+
+* **plants** -- the seeded code-defect workload at growing filler
+  sizes: the analyzer must recover every planted defect line-exact
+  with zero false positives (pass/fail gate);
+* **clean control** -- the same tree with every defect repaired must
+  produce zero findings (gate);
+* **repo tree** -- the analyzer over ``src/repro`` itself must produce
+  zero findings (gate; this is the latent-violation pin), with
+  KLoC/s throughput recorded;
+* **sanitizer** -- ``tests/service`` run twice via subprocess, plain
+  and under ``--sanitize``: the instrumented run must pass (gate) and
+  the wall-clock overhead is recorded.
+
+Emits ``BENCH_concurrency_analysis.json`` (schema v1).  Run standalone
+(``python benchmarks/bench_concurrency_analysis.py [--smoke]``) or
+under pytest (``pytest benchmarks/bench_concurrency_analysis.py``).
+"""
+
+import argparse
+import os
+import shutil
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import _emit                                          # noqa: E402
+
+from repro.analysis.concurrency import analyze_paths  # noqa: E402
+from repro.workloads.code_defects import (            # noqa: E402
+    make_code_defect_workload,
+)
+
+OUTPUT = "BENCH_concurrency_analysis.json"
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
+
+
+def _sizes(quick: bool):
+    """(name, filler_modules) rows, smallest to largest."""
+    if quick:
+        return [("defects-bare", 0), ("defects-1k", 24)]
+    return [("defects-bare", 0), ("defects-1k", 24),
+            ("defects-4k", 96), ("defects-10k", 240)]
+
+
+def _median(fn, repeat: int) -> float:
+    samples = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def bench_plants(name: str, filler: int, seed: int,
+                 repeat: int) -> dict:
+    """One defective tree + its clean control at the same scale."""
+    root = tempfile.mkdtemp(prefix="bench-conc-")
+    clean_root = tempfile.mkdtemp(prefix="bench-conc-clean-")
+    try:
+        workload = make_code_defect_workload(seed=seed,
+                                             filler_modules=filler)
+        workload.write_to(root)
+        report = workload.analyze()
+        mismatches = workload.verify(report)
+        elapsed = _median(workload.analyze, repeat)
+
+        control = make_code_defect_workload(seed=seed, clean=True,
+                                            filler_modules=filler)
+        control.write_to(clean_root)
+        control_findings = len(control.analyze().findings)
+
+        loc = report.extras["loc"]
+        return {
+            "size": name,
+            "files": report.extras["files"],
+            "loc": loc,
+            "planted": workload.n_plants(),
+            "rules_covered": len(workload.expected),
+            "findings": len(report),
+            "exact": not mismatches,
+            "mismatches": mismatches,
+            "clean_control_findings": control_findings,
+            "clean_control_ok": control_findings == 0,
+            "analyze_ms": elapsed * 1e3,
+            "kloc_per_second":
+                (loc / 1000.0) / elapsed if elapsed > 0 else None,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+        shutil.rmtree(clean_root, ignore_errors=True)
+
+
+def bench_repo_tree(repeat: int) -> dict:
+    """The analyzer over src/repro itself: the latent-violation pin."""
+    target = os.path.join(REPO_ROOT, "src", "repro")
+    report = analyze_paths([target], root=REPO_ROOT)
+    elapsed = _median(
+        lambda: analyze_paths([target], root=REPO_ROOT), repeat)
+    loc = report.extras["loc"]
+    return {
+        "files": report.extras["files"],
+        "loc": loc,
+        "call_edges": report.edges,
+        "findings": len(report),
+        "clean": len(report) == 0,
+        "details": [str(f) for f in report.findings],
+        "analyze_ms": elapsed * 1e3,
+        "kloc_per_second":
+            (loc / 1000.0) / elapsed if elapsed > 0 else None,
+    }
+
+
+def _run_service_suite(sanitize: bool) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    argv = [sys.executable, "-m", "pytest", "tests/service", "-q"]
+    if sanitize:
+        argv.append("--sanitize")
+    started = time.perf_counter()
+    proc = subprocess.run(argv, cwd=REPO_ROOT, env=env,
+                          capture_output=True, text=True)
+    elapsed = time.perf_counter() - started
+    tail = "\n".join((proc.stdout + proc.stderr).splitlines()[-12:])
+    return {"sanitize": sanitize, "returncode": proc.returncode,
+            "wall_seconds": elapsed, "tail": tail}
+
+
+def bench_sanitizer() -> dict:
+    plain = _run_service_suite(sanitize=False)
+    sanitized = _run_service_suite(sanitize=True)
+    stats_line = next(
+        (line for line in sanitized["tail"].splitlines()
+         if line.startswith("lock sanitizer:")), None)
+    overhead = (sanitized["wall_seconds"] / plain["wall_seconds"]
+                if plain["wall_seconds"] > 0 else None)
+    return {
+        "plain": plain,
+        "sanitized": sanitized,
+        "ok": plain["returncode"] == 0
+              and sanitized["returncode"] == 0,
+        "stats": stats_line,
+        "overhead_ratio": overhead,
+    }
+
+
+def run(quick: bool, output: str, seed: int = 7,
+        metrics_out=None) -> int:
+    started = time.perf_counter()
+    repeat = 3 if quick else 5
+    rows = []
+    for name, filler in _sizes(quick):
+        row = bench_plants(name, filler, seed, repeat)
+        rows.append(row)
+        print(f"{name:14s} files={row['files']:<4d} "
+              f"loc={row['loc']:<6d} "
+              f"planted={row['planted']}/{row['findings']} "
+              f"exact={row['exact']} "
+              f"clean_ctl={row['clean_control_findings']} "
+              f"analyze={row['analyze_ms']:.1f}ms "
+              f"({row['kloc_per_second']:.1f} KLoC/s)")
+
+    repo = bench_repo_tree(repeat)
+    print(f"repo-tree      files={repo['files']:<4d} "
+          f"loc={repo['loc']:<6d} edges={repo['call_edges']} "
+          f"findings={repo['findings']} "
+          f"analyze={repo['analyze_ms']:.1f}ms "
+          f"({repo['kloc_per_second']:.1f} KLoC/s)")
+
+    sanitizer = bench_sanitizer()
+    print(f"sanitizer      plain={sanitizer['plain']['wall_seconds']:.1f}s "
+          f"sanitized={sanitizer['sanitized']['wall_seconds']:.1f}s "
+          f"overhead={sanitizer['overhead_ratio']:.2f}x "
+          f"ok={sanitizer['ok']}")
+    if sanitizer["stats"]:
+        print(f"               {sanitizer['stats']}")
+
+    # Gates: exact plant recovery at every size, zero findings on both
+    # clean arms (synthetic control and the real tree), sanitized
+    # service suite passing.  Throughput is recorded, not gated.
+    ok = (all(row["exact"] and row["clean_control_ok"] for row in rows)
+          and repo["clean"] and sanitizer["ok"])
+    _emit.emit(output, "concurrency_analysis", {
+        "pass": ok,
+        "sizes": rows,
+        "repo_tree": repo,
+        "sanitizer": sanitizer,
+    }, quick=quick, seed=seed, started=started,
+        metrics_out=metrics_out)
+    print(f"wrote {output} -> {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+# -- pytest entry points -----------------------------------------------------
+
+def test_concurrency_analysis_gates(tmp_path):
+    """Shape claim: plants recovered line-exact, both clean arms at
+    zero findings, sanitized service suite green."""
+    assert run(quick=True, output=str(tmp_path / OUTPUT)) == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    _emit.add_common_args(parser, OUTPUT)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    return run(quick=args.quick, output=args.output, seed=args.seed,
+               metrics_out=args.metrics_out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Concurrency-safety analysis: static dataflow pass + runtime sanitizer.
+
+Static side (``analyze_paths``): a whole-repo call graph with
+async/scope propagation feeding seven rules -- blocking-in-async,
+lock-discipline, lock-order-cycle, scope-escape, unawaited-coroutine,
+fire-and-forget-task, contextvar-discipline.  Runtime side
+(``sanitizer``): an Eraser-style lockset + acquisition-order tracker
+installed under ``pytest --sanitize``.
+"""
+
+from repro.analysis.concurrency.analyzer import analyze_paths
+from repro.analysis.concurrency.model import RepoModel
+from repro.analysis.concurrency.rules import (
+    CONC_RULES,
+    ConcurrencyContext,
+    conc_rule_catalog,
+    select_conc_rules,
+)
+
+__all__ = [
+    "analyze_paths",
+    "RepoModel",
+    "CONC_RULES",
+    "ConcurrencyContext",
+    "conc_rule_catalog",
+    "select_conc_rules",
+]

@@ -61,3 +61,44 @@ def case_study():
 def distributed_case():
     """A fresh Figure 2 deployment per test (wallets are mutable)."""
     return build_distributed_case_study()
+
+
+# -- runtime lockset sanitizer (pytest --sanitize) --------------------------
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="instrument threading.Lock/RLock with the Eraser-style "
+             "lockset sanitizer for the whole session; reports "
+             "acquisition-order stats and fails (exit 3) on observed "
+             "violations")
+
+
+def pytest_configure(config):
+    if not config.getoption("--sanitize"):
+        return
+    from repro.analysis.concurrency.sanitizer import LockSanitizer
+    sanitizer = LockSanitizer()
+    sanitizer.install()
+    config._lock_sanitizer = sanitizer
+
+
+def pytest_sessionfinish(session, exitstatus):
+    sanitizer = getattr(session.config, "_lock_sanitizer", None)
+    if sanitizer is None:
+        return
+    session.config._lock_sanitizer = None
+    report = sanitizer.report()
+    sanitizer.uninstall()
+    reporter = session.config.pluginmanager.getplugin("terminalreporter")
+    write = reporter.write_line if reporter is not None else print
+    write(f"lock sanitizer: {report.locks_created} lock(s), "
+          f"{report.acquires} acquire(s), {report.order_edges} order "
+          f"edge(s), max held depth {report.max_held_depth}, "
+          f"{len(report.violations)} violation(s)")
+    for violation in report.violations:
+        write(f"lock sanitizer VIOLATION [{violation.kind}] "
+              f"{violation.message}")
+    if report.violations:
+        session.exitstatus = 3

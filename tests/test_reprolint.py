@@ -1,5 +1,6 @@
 """The repo invariant linter: clean on src, sharp on planted breaches."""
 
+import json
 import os
 import subprocess
 import sys
@@ -255,3 +256,119 @@ class TestCli:
         result = run_reprolint(str(tmp_path))
         assert result.returncode == 1
         assert "syntax" in result.stdout
+
+
+class TestSharedPass:
+    """One parse + one walk per file feeds every rule."""
+
+    def test_index_buckets_every_rule_input(self, tmp_path):
+        path = tmp_path / "mixed.py"
+        path.write_text(textwrap.dedent("""
+            import ast
+            from time import perf_counter
+
+            def work(items, extra=None):
+                total = 0
+                total += len(items)
+                return total
+        """))
+        import ast as ast_module
+        tree = ast_module.parse(path.read_text())
+        index = reprolint._index_tree(tree)
+        assert len(index.calls) == 1
+        assert len(index.import_froms) == 1
+        assert len(index.func_defs) == 1
+        assert len(index.aug_assigns) == 1
+
+    def test_multi_rule_file_single_parse(self, tmp_path):
+        violations = lint_source(tmp_path, """
+            import time
+
+            def stamp(seen=[]):
+                seen.append(time.time())
+                return seen
+        """)
+        assert sorted(v.rule for v in violations) == [
+            "clock-discipline", "mutable-default"]
+
+
+class TestJobs:
+    def _plant_tree(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            "import time\n\ndef t():\n    return time.time()\n")
+        (tmp_path / "b.py").write_text(
+            "def t(x=[]):\n    return x\n")
+        (tmp_path / "clean.py").write_text("def ok():\n    return 1\n")
+        (tmp_path / "broken.py").write_text("def (:\n")
+
+    def test_parallel_output_identical_to_serial(self, tmp_path):
+        self._plant_tree(tmp_path)
+        files = list(reprolint.iter_python_files([str(tmp_path)]))
+        serial = sorted(reprolint.lint_files(files, jobs=1))
+        parallel = sorted(reprolint.lint_files(files, jobs=4))
+        assert serial == parallel
+        assert sorted(v.rule for v in serial) == [
+            "clock-discipline", "mutable-default", "syntax"]
+
+    def test_parallel_src_matches_serial_src(self):
+        files = list(reprolint.iter_python_files(
+            [os.path.join(REPO_ROOT, "src")]))
+        assert sorted(reprolint.lint_files(files, jobs=2)) == \
+            sorted(reprolint.lint_files(files, jobs=1))
+
+    def test_jobs_flag_on_cli(self, tmp_path):
+        self._plant_tree(tmp_path)
+        serial = run_reprolint(str(tmp_path))
+        parallel = run_reprolint(str(tmp_path), "--jobs", "4")
+        assert parallel.returncode == serial.returncode == 1
+        assert parallel.stdout == serial.stdout
+
+
+class TestJsonMode:
+    """--json mirrors the drbac lint --json report shape."""
+
+    LINT_REPORT_KEYS = {"at", "edges", "source", "rules_run",
+                        "elapsed_seconds", "counts", "findings"}
+    FINDING_KEYS = {"rule", "severity", "message", "delegations",
+                    "fix_hint"}
+
+    def test_clean_tree_payload(self, tmp_path):
+        (tmp_path / "ok.py").write_text("def ok():\n    return 1\n")
+        result = run_reprolint(str(tmp_path), "--json")
+        assert result.returncode == 0
+        payload = json.loads(result.stdout)
+        assert set(payload) == self.LINT_REPORT_KEYS
+        assert payload["edges"] == 1
+        assert payload["counts"] == {"error": 0, "warn": 0, "info": 0}
+        assert payload["findings"] == []
+        assert payload["rules_run"] == list(reprolint.RULE_IDS)
+
+    def test_violations_become_locator_findings(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import time\n\ndef t():\n    return time.time()\n")
+        result = run_reprolint(str(tmp_path), "--json")
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["counts"]["error"] == 1
+        (finding,) = payload["findings"]
+        assert set(finding) == self.FINDING_KEYS
+        assert finding["rule"] == "clock-discipline"
+        assert finding["severity"] == "error"
+        (locator,) = finding["delegations"]
+        assert locator.endswith("bad.py:4")
+
+    def test_same_shape_as_drbac_lint_json(self, tmp_path):
+        """Byte-for-byte key parity with the CLI analyzer report."""
+        (tmp_path / "ok.py").write_text("def ok():\n    return 1\n")
+        lint_result = run_reprolint(str(tmp_path), "--json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        drbac = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", "--concurrency",
+             "--path", str(tmp_path), "--json"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+        assert drbac.returncode == 0, drbac.stdout + drbac.stderr
+        ours = json.loads(lint_result.stdout)
+        theirs = json.loads(drbac.stdout)
+        assert set(ours) == set(theirs)
+        assert set(ours["counts"]) == set(theirs["counts"])

@@ -50,12 +50,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--workload", default="defective",
                         help="workload spec the report was generated "
                              "from (default: defective)")
+    parser.add_argument("--concurrency", action="store_true",
+                        help="the report came from `drbac lint "
+                             "--concurrency`; rebuild the code-defect "
+                             "workload (locators) instead of the "
+                             "policy workload (delegation ids)")
     args = parser.parse_args(argv)
 
     sys.path.insert(0, os.path.join(
         os.path.dirname(os.path.abspath(__file__)), "..", "src"))
-    from repro.cli import _lint_workload
-    workload = _lint_workload(args.workload)
+    if args.concurrency:
+        from repro.cli import _lint_code_workload
+        workload = _lint_code_workload(args.workload)
+    else:
+        from repro.cli import _lint_workload
+        workload = _lint_workload(args.workload)
 
     with open(args.report, "r", encoding="utf-8") as handle:
         payload = json.load(handle)

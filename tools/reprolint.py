@@ -37,18 +37,33 @@ Five invariants the codebase relies on but Python won't enforce:
   scoping design exists to eliminate. ``scoped()`` entry points and
   direct class construction stay legal.
 
+Each file is parsed and walked exactly once: a shared node index
+(calls, imports, defs, augmented assigns) feeds every rule, so adding
+a rule costs a list scan, not another full AST traversal.
+
 Usage::
 
     python tools/reprolint.py src [more dirs or files ...]
+    python tools/reprolint.py src --jobs 4 --json
+
+``--jobs N`` fans the per-file work out over N worker processes
+(identical output to the serial walk; per-file results are
+independent). ``--json`` emits the same report shape as ``drbac lint
+--json`` (documented in docs/LINT_RULES.md): violations become
+findings whose ``delegations`` carry ``path:line`` locators and
+``edges`` counts the files checked.
 
 Exits 1 if any violation is found. Run as a tier-1 test via
 ``tests/test_reprolint.py`` and as a CI step.
 """
 
+import argparse
 import ast
+import json
 import os
 import sys
-from typing import List, NamedTuple, Optional, Sequence, Set
+import time
+from typing import List, NamedTuple, Optional, Sequence, Set, Tuple
 
 
 class Violation(NamedTuple):
@@ -60,6 +75,10 @@ class Violation(NamedTuple):
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: {self.rule}: {self.message}"
 
+
+RULE_IDS = ("clock-discipline", "graph-event-coupling",
+            "mutable-default", "frozen-setattr", "obs-discipline",
+            "service-injection")
 
 # Files (by normalized path suffix) allowed to read the wall clock.
 CLOCK_ALLOWED_SUFFIXES = ("core/clock.py",)
@@ -130,7 +149,34 @@ def _dotted(node: ast.AST) -> Optional[str]:
     return ".".join(reversed(parts))
 
 
-def _check_clock(path: str, tree: ast.AST) -> List[Violation]:
+class ModuleIndex(NamedTuple):
+    """Node buckets from one shared walk; every rule reads these."""
+
+    calls: Tuple[ast.Call, ...]
+    import_froms: Tuple[ast.ImportFrom, ...]
+    func_defs: Tuple[ast.AST, ...]
+    aug_assigns: Tuple[ast.AugAssign, ...]
+
+
+def _index_tree(tree: ast.AST) -> ModuleIndex:
+    calls: List[ast.Call] = []
+    import_froms: List[ast.ImportFrom] = []
+    func_defs: List[ast.AST] = []
+    aug_assigns: List[ast.AugAssign] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        elif isinstance(node, ast.ImportFrom):
+            import_froms.append(node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func_defs.append(node)
+        elif isinstance(node, ast.AugAssign):
+            aug_assigns.append(node)
+    return ModuleIndex(tuple(calls), tuple(import_froms),
+                       tuple(func_defs), tuple(aug_assigns))
+
+
+def _check_clock(path: str, index: ModuleIndex) -> List[Violation]:
     norm = _norm(path)
     if norm.endswith(CLOCK_ALLOWED_SUFFIXES):
         return []
@@ -138,20 +184,17 @@ def _check_clock(path: str, tree: ast.AST) -> List[Violation]:
     # Names bound by `from time import time [as alias]` (and the
     # datetime equivalents) so bare calls are caught too.
     bad_names: Set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom):
-            if node.module == "time":
-                bad_names.update(
-                    alias.asname or alias.name
-                    for alias in node.names if alias.name == "time")
-            if node.module == "datetime":
-                bad_names.update(
-                    alias.asname or alias.name
-                    for alias in node.names
-                    if alias.name in ("datetime", "date"))
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
+    for node in index.import_froms:
+        if node.module == "time":
+            bad_names.update(
+                alias.asname or alias.name
+                for alias in node.names if alias.name == "time")
+        if node.module == "datetime":
+            bad_names.update(
+                alias.asname or alias.name
+                for alias in node.names
+                if alias.name in ("datetime", "date"))
+    for node in index.calls:
         func = node.func
         if isinstance(func, ast.Attribute):
             receiver = _dotted(func.value)
@@ -176,16 +219,15 @@ def _check_clock(path: str, tree: ast.AST) -> List[Violation]:
     return violations
 
 
-def _check_graph_events(path: str, tree: ast.AST) -> List[Violation]:
+def _check_graph_events(path: str, index: ModuleIndex) -> List[Violation]:
     norm = _norm(path)
     if any(seg in f"/{norm}" for seg in EVENT_EXEMPT_SEGMENTS) \
             or norm.endswith(EVENT_EXEMPT_SUFFIXES):
         return []
     mutations: List[ast.Call] = []
     publishes = False
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call) \
-                or not isinstance(node.func, ast.Attribute):
+    for node in index.calls:
+        if not isinstance(node.func, ast.Attribute):
             continue
         attr = node.func.attr
         if attr in ("add_delegation", "remove_delegation"):
@@ -207,11 +249,10 @@ def _check_graph_events(path: str, tree: ast.AST) -> List[Violation]:
     return []
 
 
-def _check_mutable_defaults(path: str, tree: ast.AST) -> List[Violation]:
+def _check_mutable_defaults(path: str,
+                            index: ModuleIndex) -> List[Violation]:
     violations: List[Violation] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
+    for node in index.func_defs:
         defaults = list(node.args.defaults) + [
             d for d in node.args.kw_defaults if d is not None]
         for default in defaults:
@@ -228,14 +269,14 @@ def _check_mutable_defaults(path: str, tree: ast.AST) -> List[Violation]:
     return violations
 
 
-def _check_frozen_setattr(path: str, tree: ast.AST) -> List[Violation]:
+def _check_frozen_setattr(path: str,
+                          index: ModuleIndex) -> List[Violation]:
     norm = _norm(path)
     if norm.endswith(SETATTR_ALLOWED_SUFFIXES):
         return []
     violations: List[Violation] = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call) \
-                and isinstance(node.func, ast.Attribute) \
+    for node in index.calls:
+        if isinstance(node.func, ast.Attribute) \
                 and node.func.attr == "__setattr__" \
                 and isinstance(node.func.value, ast.Name) \
                 and node.func.value.id == "object":
@@ -246,14 +287,13 @@ def _check_frozen_setattr(path: str, tree: ast.AST) -> List[Violation]:
     return violations
 
 
-def _check_obs_counters(path: str, tree: ast.AST) -> List[Violation]:
+def _check_obs_counters(path: str, index: ModuleIndex) -> List[Violation]:
     norm = _norm(path)
     if not norm.endswith(OBS_INSTRUMENTED_SUFFIXES):
         return []
     violations: List[Violation] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.AugAssign) \
-                or not isinstance(node.op, (ast.Add, ast.Sub)):
+    for node in index.aug_assigns:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
             continue
         target = node.target
         # Only a plain `self.X` receiver: `self.stats.c_hits.inc()` and
@@ -271,7 +311,8 @@ def _check_obs_counters(path: str, tree: ast.AST) -> List[Violation]:
     return violations
 
 
-def _check_service_injection(path: str, tree: ast.AST) -> List[Violation]:
+def _check_service_injection(path: str,
+                             index: ModuleIndex) -> List[Violation]:
     norm = _norm(path)
     if SERVICE_SEGMENT not in f"/{norm}":
         return []
@@ -279,8 +320,8 @@ def _check_service_injection(path: str, tree: ast.AST) -> List[Violation]:
     # Names bound by `from repro.obs import counter [as c]` and the
     # like, so from-imported global surfaces are caught too.
     from_imported: dict = {}
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.ImportFrom) or not node.module:
+    for node in index.import_froms:
+        if not node.module:
             continue
         tail = node.module.rsplit(".", 1)[-1]
         banned = SERVICE_GLOBAL_SURFACES.get(tail)
@@ -290,9 +331,7 @@ def _check_service_injection(path: str, tree: ast.AST) -> List[Violation]:
             if alias.name in banned:
                 from_imported[alias.asname or alias.name] = \
                     f"{tail}.{alias.name}"
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
+    for node in index.calls:
         func = node.func
         surface = None
         if isinstance(func, ast.Attribute):
@@ -325,10 +364,61 @@ def lint_file(path: str) -> List[Violation]:
     except SyntaxError as exc:
         return [Violation(path, exc.lineno or 0, "syntax",
                           f"cannot parse: {exc.msg}")]
+    index = _index_tree(tree)
     violations: List[Violation] = []
     for check in CHECKS:
-        violations.extend(check(path, tree))
+        violations.extend(check(path, index))
     return violations
+
+
+def lint_files(paths: Sequence[str], jobs: int = 1) -> List[Violation]:
+    """Lint many files, optionally across ``jobs`` worker processes.
+
+    Per-file results are independent and ``map`` preserves input
+    order, so the parallel walk produces exactly the serial output.
+    """
+    paths = list(paths)
+    if jobs <= 1 or len(paths) < 2:
+        batches = [lint_file(path) for path in paths]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+        workers = min(jobs, len(paths))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            batches = list(pool.map(lint_file, paths, chunksize=8))
+    violations: List[Violation] = []
+    for batch in batches:
+        violations.extend(batch)
+    return violations
+
+
+def report_payload(source: str, checked: int,
+                   violations: Sequence[Violation],
+                   elapsed_seconds: float) -> dict:
+    """The ``drbac lint --json`` report shape (docs/LINT_RULES.md).
+
+    ``edges`` counts files checked (the unit this linter walks) and
+    each violation becomes one finding whose ``delegations`` list
+    holds a single ``path:line`` locator.
+    """
+    return {
+        "at": 0.0,
+        "edges": checked,
+        "source": source,
+        "rules_run": list(RULE_IDS),
+        "elapsed_seconds": elapsed_seconds,
+        "counts": {"error": len(violations), "warn": 0, "info": 0},
+        "findings": [
+            {
+                "rule": violation.rule,
+                "severity": "error",
+                "message": violation.message,
+                "delegations": [f"{_norm(violation.path)}:"
+                                f"{violation.line}"],
+                "fix_hint": None,
+            }
+            for violation in violations
+        ],
+    }
 
 
 def iter_python_files(targets: Sequence[str]):
@@ -346,16 +436,34 @@ def iter_python_files(targets: Sequence[str]):
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    targets = list(argv if argv is not None else sys.argv[1:]) or ["src"]
-    violations: List[Violation] = []
-    checked = 0
-    for path in iter_python_files(targets):
-        checked += 1
-        violations.extend(lint_file(path))
-    for violation in sorted(violations):
-        print(violation)
-    print(f"reprolint: {checked} file(s), {len(violations)} violation(s)",
-          file=sys.stderr)
+    parser = argparse.ArgumentParser(
+        description="repo invariant linter (AST checks the test suite "
+                    "can't express)")
+    parser.add_argument("targets", nargs="*", default=["src"],
+                        help="files or directories to lint "
+                             "(default: src)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="lint files across N worker processes "
+                             "(default: serial; output is identical)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the drbac lint --json report shape "
+                             "on stdout instead of one line per "
+                             "violation")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    files = list(iter_python_files(args.targets))
+    violations = sorted(lint_files(files, jobs=args.jobs))
+    elapsed = time.perf_counter() - started
+    if args.as_json:
+        payload = report_payload(",".join(args.targets), len(files),
+                                 violations, elapsed)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for violation in violations:
+            print(violation)
+    print(f"reprolint: {len(files)} file(s), "
+          f"{len(violations)} violation(s)", file=sys.stderr)
     return 1 if violations else 0
 
 
