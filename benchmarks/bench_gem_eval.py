@@ -1,0 +1,234 @@
+"""Benchmark GEM distributed goal evaluation (PR 9).
+
+Phases, on the cross-home coalition families (see docs/PERFORMANCE.md,
+"Distributed goal evaluation"):
+
+* **families** -- one cold authorization per topology family (ring,
+  mesh, SCC-heavy, deep mutual trust) under each protocol arm (seed
+  walkthrough, PR-4 fast path, GEM): cross-home messages, payload
+  bytes, wall time, and proof bytes;
+* **SCC gate** -- the fast-path-vs-GEM ratios on the SCC-heavy family,
+  where the batch enumeration re-walks strongly connected components
+  while GEM tables each goal once;
+* **termination** -- SCC-heavy at fixed domain count with growing
+  component size: GEM's message count must not grow with the revisit
+  count while the seed protocol re-expands;
+* **federation** -- GEM vs seed on the PR-4 federation scenario, as a
+  byte-identity cross-check outside the coalition generators.
+
+Emits ``BENCH_gem_eval.json`` and exits nonzero unless (a) GEM moves
+``REQUIRED_MESSAGE_RATIO``x fewer cross-home messages and
+``REQUIRED_BYTE_RATIO``x fewer bytes than the fast path on the gating
+SCC-heavy topology, (b) the discovered proofs are byte-identical across
+all three arms on every family, and (c) GEM's message count is flat
+across the termination series while the seed's strictly grows.
+
+Run standalone (``python benchmarks/bench_gem_eval.py [--quick]``) or
+under pytest.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import _emit                                          # noqa: E402
+
+from repro.crypto.encoding import canonical_encode      # noqa: E402
+from repro.discovery.engine import DiscoveryStats       # noqa: E402
+from repro.workloads import topology                    # noqa: E402
+from repro.workloads.scenarios import (                 # noqa: E402
+    build_distributed_federation,
+    deploy_coalition,
+)
+
+OUTPUT = "BENCH_gem_eval.json"
+REQUIRED_MESSAGE_RATIO = 3.0
+REQUIRED_BYTE_RATIO = 2.0
+SEED = 1903
+# The seed/fast arms need a high remote-query budget: the termination
+# series is exactly the regime where their frontier re-expansion grows.
+SEED_ARM_BUDGET = 2048
+
+ARMS = ("seed", "fast", "gem")
+
+
+def _cold_run(workload, arm):
+    """One cold authorization on a fresh deployment; counters reset
+    after the build so only the evaluation's own traffic is counted."""
+    dep = deploy_coalition(workload, fastpath=(arm == "fast"),
+                           gem=(arm == "gem"))
+    try:
+        dep.network.reset_counters()
+        stats = DiscoveryStats()
+        started = time.perf_counter()
+        proof = dep.authorize(stats=stats,
+                              max_remote_queries=SEED_ARM_BUDGET)
+        elapsed = (time.perf_counter() - started) * 1e3
+        assert proof is not None, f"{arm} arm found no proof"
+        return {
+            "arm": arm,
+            "ms": elapsed,
+            "messages": dep.network.totals.messages,
+            "bytes": dep.network.totals.bytes,
+            "rounds": stats.rounds,
+            "proof_bytes": canonical_encode(proof.to_dict()),
+        }
+    finally:
+        dep.close()
+
+
+def _family_rows(families):
+    rows = []
+    identical = True
+    for name, workload in families:
+        runs = {arm: _cold_run(workload, arm) for arm in ARMS}
+        blobs = {arm: runs[arm].pop("proof_bytes") for arm in ARMS}
+        same = blobs["seed"] == blobs["fast"] == blobs["gem"]
+        identical = identical and same
+        rows.append({
+            "family": name,
+            "byte_identical": same,
+            **{arm: runs[arm] for arm in ARMS},
+        })
+    return rows, identical
+
+
+def _termination_series(domains, sizes):
+    """SCC-heavy with growing component size m: every revisit of a
+    component is a tabled no-op for GEM but a re-expansion for the
+    seed protocol."""
+    rows = []
+    for m in sizes:
+        workload = topology.make_scc_heavy(domains, m, seed=SEED)
+        seed_run = _cold_run(workload, "seed")
+        gem_run = _cold_run(workload, "gem")
+        rows.append({
+            "roles_per_domain": m,
+            "seed_messages": seed_run["messages"],
+            "gem_messages": gem_run["messages"],
+            "byte_identical":
+                seed_run["proof_bytes"] == gem_run["proof_bytes"],
+        })
+    return rows
+
+
+def _federation_identity(domains):
+    """GEM vs seed on the PR-4 federation: same proof bytes."""
+    blobs = {}
+    for arm in ("seed", "gem"):
+        fed = build_distributed_federation(domains=domains, seed=SEED,
+                                           fastpath=False,
+                                           gem=(arm == "gem"))
+        target, source = fed.domains[0], fed.domains[domains - 1]
+        target.server.wallet.publish(source.credentials[0])
+        proof = target.engine.discover(source.users[0].entity,
+                                       target.access)
+        assert proof is not None
+        blobs[arm] = canonical_encode(proof.to_dict())
+    return blobs["seed"] == blobs["gem"]
+
+
+def run(quick: bool, output: str, metrics_out=None) -> int:
+    started = time.perf_counter()
+    if quick:
+        families = [
+            ("ring", topology.make_ring_coalition(6, seed=SEED)),
+            ("mesh", topology.make_mesh_coalition(6, seed=SEED)),
+            ("scc", topology.make_scc_heavy(6, 6, seed=SEED)),
+            ("deep", topology.make_deep_mutual_trust(5, seed=SEED)),
+        ]
+        term_sizes = (2, 4, 6)
+        federation_domains = 3
+    else:
+        families = [
+            ("ring", topology.make_ring_coalition(8, seed=SEED)),
+            ("mesh", topology.make_mesh_coalition(8, seed=SEED)),
+            ("scc", topology.make_scc_heavy(6, 6, seed=SEED)),
+            ("scc_large", topology.make_scc_heavy(8, 8, seed=SEED)),
+            ("deep", topology.make_deep_mutual_trust(8, seed=SEED)),
+        ]
+        term_sizes = (2, 4, 6, 8)
+        federation_domains = 4
+
+    family_rows, byte_identical = _family_rows(families)
+
+    gate = next(r for r in family_rows if r["family"] == "scc")
+    message_ratio = gate["fast"]["messages"] / gate["gem"]["messages"]
+    byte_ratio = gate["fast"]["bytes"] / gate["gem"]["bytes"]
+
+    termination = _termination_series(4, term_sizes)
+    gem_series = [r["gem_messages"] for r in termination]
+    seed_series = [r["seed_messages"] for r in termination]
+    gem_flat = len(set(gem_series)) == 1
+    seed_grows = all(a < b for a, b in zip(seed_series, seed_series[1:]))
+    term_identical = all(r["byte_identical"] for r in termination)
+
+    federation_identical = _federation_identity(federation_domains)
+
+    for row in family_rows:
+        print(f"{row['family']:<10}"
+              + " | ".join(
+                  f"{arm}: {row[arm]['messages']} msgs "
+                  f"{row[arm]['bytes']} B {row[arm]['ms']:.1f} ms"
+                  for arm in ARMS)
+              + f" | byte-identical={row['byte_identical']}")
+    print(f"scc gate: messages {message_ratio:.2f}x (required "
+          f"{REQUIRED_MESSAGE_RATIO:.1f}x), bytes {byte_ratio:.2f}x "
+          f"(required {REQUIRED_BYTE_RATIO:.1f}x)")
+    print("termination (scc n=4): "
+          + ", ".join(f"m={r['roles_per_domain']} seed="
+                      f"{r['seed_messages']} gem={r['gem_messages']}"
+                      for r in termination)
+          + f" -> gem flat={gem_flat}, seed grows={seed_grows}")
+    print(f"federation n={federation_domains}: "
+          f"byte-identical={federation_identical}")
+
+    ok = (byte_identical and term_identical and federation_identical
+          and message_ratio >= REQUIRED_MESSAGE_RATIO
+          and byte_ratio >= REQUIRED_BYTE_RATIO
+          and gem_flat and seed_grows)
+
+    _emit.emit(output, "gem_eval", {
+        "required_message_ratio": REQUIRED_MESSAGE_RATIO,
+        "required_byte_ratio": REQUIRED_BYTE_RATIO,
+        "scc_message_ratio": message_ratio,
+        "scc_byte_ratio": byte_ratio,
+        "proofs_byte_identical": bool(
+            byte_identical and term_identical and federation_identical),
+        "gem_messages_flat": gem_flat,
+        "seed_messages_grow": seed_grows,
+        "pass": ok,
+        "families": family_rows,
+        "termination": termination,
+    }, quick=quick, seed=SEED, started=started, metrics_out=metrics_out)
+    print(f"wrote {output}; messages {message_ratio:.2f}x, bytes "
+          f"{byte_ratio:.2f}x, byte-identical={byte_identical}, "
+          f"termination flat={gem_flat} -> {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+# -- pytest entry points -----------------------------------------------------
+
+def test_gem_eval_gates(tmp_path):
+    """Shape claim: 3x+ fewer cross-home messages and 2x+ fewer bytes
+    than the fast path on SCC-heavy topologies, byte-identical proofs,
+    and a message count that does not grow with the revisit count."""
+    assert run(quick=True, output=str(tmp_path / OUTPUT)) == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    _emit.add_common_args(parser, OUTPUT)
+    args = parser.parse_args(argv)
+    return run(quick=args.quick, output=args.output,
+               metrics_out=args.metrics_out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

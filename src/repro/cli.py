@@ -310,9 +310,29 @@ def _build_distributed_workload(spec: Optional[str]):
         return (target.engine, fed.network, fed.clock,
                 target.server.wallet, source.users[0].entity,
                 target.access)
+    if kind in ("ring", "mesh", "scc", "deep"):
+        from repro.workloads import topology
+        from repro.workloads.scenarios import deploy_coalition
+        size = int(parts[1]) if len(parts) > 1 else None
+        seed = int(parts[2]) if len(parts) > 2 else None
+        if kind == "ring":
+            workload = topology.make_ring_coalition(size or 6, seed=seed)
+        elif kind == "mesh":
+            workload = topology.make_mesh_coalition(size or 6, seed=seed)
+        elif kind == "scc":
+            workload = topology.make_scc_heavy(size or 4, size or 4,
+                                               seed=seed)
+        else:
+            workload = topology.make_deep_mutual_trust(size or 6,
+                                                       seed=seed)
+        dep = deploy_coalition(workload)
+        dep.server.wallet.publish(dep.entry)
+        return (dep.engine, dep.network, dep.clock, dep.server.wallet,
+                workload.subject, workload.obj)
     raise DRBACError(
-        f"unknown workload {spec!r} (expected case-study[:SEED] or "
-        f"federation[:DOMAINS[:SEED]])"
+        f"unknown workload {spec!r} (expected case-study[:SEED], "
+        f"federation[:DOMAINS[:SEED]], or a coalition family "
+        f"ring|mesh|scc|deep[:SIZE[:SEED]])"
     )
 
 
@@ -325,13 +345,15 @@ def cmd_discover(_workspace: Workspace, args) -> int:
     network, reporting the wire traffic and the fast-path breakdown.
     """
     from repro.crypto import verify_cache
-    from repro.discovery import fastpath
+    from repro.discovery import fastpath, gem
     from repro.discovery.engine import DiscoveryStats
 
     if args.no_crypto_cache:
         verify_cache.set_enabled(False)
     if args.no_discovery_cache:
         fastpath.set_enabled(False)
+    if args.gem:
+        gem.set_enabled(True)
     repeat = max(1, args.repeat)
 
     engine, network, _clock, _wallet, subject, obj = \
@@ -366,6 +388,18 @@ def cmd_discover(_workspace: Workspace, args) -> int:
             f"sessions_reused={s['sessions_reused']}",
             file=sys.stderr,
         )
+        if engine.gem_active:
+            g = engine.gem_info()
+            print(
+                "# gem: "
+                f"roots={g['roots']} "
+                f"evals_issued={g['evals_issued']} "
+                f"answers_received={g['answers_received']} "
+                f"loops_detected={g['loops_detected']} "
+                f"terminates_sent={g['terminates_sent']} "
+                f"tables={g['tables']}",
+                file=sys.stderr,
+            )
     if proof is None:
         print("NO PROOF")
         return 2
@@ -544,30 +578,45 @@ def cmd_dot(workspace: Workspace, args) -> int:
 def _lint_workload(spec: str):
     """Build the workload named by a ``--workload`` spec.
 
-    ``defective[:SEED[:WIDTHxDEPTH]]`` -- the defective-policy generator,
-    optionally scaled with clean layered-DAG filler.
+    ``defective[:SEED[:WIDTHxDEPTH[:FAMILY]]]`` -- the defective-policy
+    generator, optionally scaled with clean filler: the layered DAG
+    (default) or one of the coalition topology families (``ring``/
+    ``mesh``/``scc``/``deep``, where WIDTH is the domain count and
+    DEPTH the roles per domain).
     """
-    from repro.workloads.defects import make_defective_workload
+    from repro.workloads.defects import (
+        FILLER_FAMILIES,
+        make_defective_workload,
+    )
+    grammar = "defective[:SEED[:WIDTHxDEPTH[:FAMILY]]]"
     name, _, rest = spec.partition(":")
     if name != "defective":
         raise DRBACError(
-            f"unknown lint workload {name!r} "
-            f"(expected defective[:SEED[:WIDTHxDEPTH]])"
+            f"unknown lint workload {name!r} (expected {grammar})"
         )
     seed_text, _, filler = rest.partition(":")
     try:
         seed = int(seed_text) if seed_text else None
         width = depth = 0
+        family = "layered"
         if filler:
-            width_text, _, depth_text = filler.partition("x")
+            size_text, _, family_text = filler.partition(":")
+            width_text, _, depth_text = size_text.partition("x")
             width, depth = int(width_text), int(depth_text)
+            if family_text:
+                family = family_text
     except ValueError:
         raise DRBACError(
-            f"bad lint workload spec {spec!r} "
-            f"(expected defective[:SEED[:WIDTHxDEPTH]])"
+            f"bad lint workload spec {spec!r} (expected {grammar})"
         ) from None
+    if family not in FILLER_FAMILIES:
+        raise DRBACError(
+            f"bad lint workload spec {spec!r}: unknown filler family "
+            f"{family!r} (expected one of {', '.join(FILLER_FAMILIES)})"
+        )
     return make_defective_workload(seed=seed, filler_width=width,
-                                   filler_depth=depth)
+                                   filler_depth=depth,
+                                   filler_family=family)
 
 
 def _lint_code_workload(spec: str):
@@ -846,8 +895,16 @@ def build_parser() -> argparse.ArgumentParser:
              "coalition deployment")
     discover.add_argument(
         "--workload", default="case-study", metavar="SPEC",
-        help="case-study[:SEED] (the Figure 2 walkthrough) or "
-             "federation[:DOMAINS[:SEED]] (a ring coalition)")
+        help="case-study[:SEED] (the Figure 2 walkthrough), "
+             "federation[:DOMAINS[:SEED]], or a coalition family "
+             "ring|mesh|scc|deep[:SIZE[:SEED]] (cyclic cross-home "
+             "topologies)")
+    discover.add_argument(
+        "--gem", action="store_true",
+        help="evaluate with GEM distributed tabling (per-home goal "
+             "tables, origin-coordinated loop detection, incremental "
+             "answer push) instead of frontier expansion; DRBAC_GEM=1 "
+             "does the same")
     discover.add_argument(
         "--no-discovery-cache", action="store_true",
         help="disable the discovery fast path (coalesced batch RPCs, "

@@ -44,6 +44,7 @@ from repro.core.proof import Proof
 from repro.core.roles import Role, Subject, subject_key
 from repro.core.tags import DiscoveryTag
 from repro.discovery import fastpath as fastpath_mod
+from repro.discovery import gem as gem_mod
 from repro.discovery import wire
 from repro.discovery.fastpath import DiscoveryCache, make_discovery_key
 from repro.discovery.resolver import WalletServer
@@ -155,7 +156,8 @@ class DiscoveryEngine:
                  fastpath: Optional[bool] = None,
                  negative_ttl: float = 5.0,
                  session_idle_ttl: float = 300.0,
-                 result_cache_size: int = 2048) -> None:
+                 result_cache_size: int = 2048,
+                 gem: Optional[bool] = None) -> None:
         """``verify_home_authority`` enables the Section 4.2.1 check that
         a contacted wallet's host holds the tag's authorizing role
         before its answers are trusted; role names in tags are resolved
@@ -170,6 +172,11 @@ class DiscoveryEngine:
         discovery-tag leases. ``session_idle_ttl`` evicts authenticated
         Switchboard channels idle longer than that many simulated
         seconds.
+
+        ``gem`` pins GEM tabled evaluation (see
+        :mod:`repro.discovery.gem`) on/off for this engine; None defers
+        to the global ``DRBAC_GEM`` switch, and ``discover(gem=...)``
+        overrides per query.
         """
         self.server = server
         self.default_ttl = default_ttl
@@ -195,6 +202,17 @@ class DiscoveryEngine:
         # exactly like graph/proof_cache.py.
         self._cache_subscription = server.wallet.hub.subscribe_all(
             self._on_hub_event)
+        # GEM tabled evaluation (PR 9): the per-engine pin, the live
+        # evaluation roots (answer pushes land here via the server's
+        # sink), and the shared drbac_gem_* counters (the server's
+        # table store already registered one set; reuse it so engine-
+        # and home-side tallies of this host read as one surface).
+        self._gem = gem
+        self._gem_ids = itertools.count()
+        self._gem_runs: Dict[str, dict] = {}
+        self.gem_stats = server.gem_tables.stats
+        server.gem_answer_sink = self._on_gem_answers
+        server.wallet.gem_info = self.gem_info
         server.wallet.discovery_info = self.discovery_info
         # Distributed discovery falls back through this hook from
         # Wallet.authorize when the local graph has no proof, so one
@@ -230,6 +248,13 @@ class DiscoveryEngine:
             return self._fastpath
         return fastpath_mod.enabled()
 
+    @property
+    def gem_active(self) -> bool:
+        """Is GEM tabled evaluation in effect for this engine?"""
+        if self._gem is not None:
+            return self._gem
+        return gem_mod.enabled()
+
     def _on_hub_event(self, event) -> None:
         from repro.pubsub.events import EventKind
         kind = event.kind
@@ -259,6 +284,16 @@ class DiscoveryEngine:
             }
         return info
 
+    def gem_info(self) -> dict:
+        """GEM breakdown for ``Wallet.cache_info()["gem"]`` (contract
+        pinned by ``tests/obs/test_contracts.py``): the shared
+        ``drbac_gem_*`` counters plus the switch state and this host's
+        live goal-table count."""
+        info = self.gem_stats.to_dict()
+        info["active"] = self.gem_active
+        info["tables"] = len(self.server.gem_tables)
+        return info
+
     @contextmanager
     def coalesced(self):
         """Scope in which identical remote sub-queries are issued once
@@ -279,7 +314,8 @@ class DiscoveryEngine:
                  bases: Optional[Mapping[AttributeRef, float]] = None,
                  hints: Optional[Mapping[tuple, DiscoveryTag]] = None,
                  max_remote_queries: int = 64,
-                 stats: Optional[DiscoveryStats] = None) -> Optional[Proof]:
+                 stats: Optional[DiscoveryStats] = None,
+                 gem: Optional[bool] = None) -> Optional[Proof]:
         """Find a proof for ``subject => obj``, fetching remote credentials
         as directed by discovery tags. Returns None when the search space
         is exhausted without a satisfying proof.
@@ -288,11 +324,18 @@ class DiscoveryEngine:
         the same search runs over coalesced per-home batch RPCs, the
         per-home result cache, and reusable authenticated sessions; the
         proofs found are byte-identical either way.
+
+        ``gem`` selects GEM tabled evaluation per query (None defers to
+        the engine pin, then the global switch); with it on, cyclic
+        cross-home delegation graphs evaluate with per-home goal tables
+        instead of frontier re-expansion -- same proofs, a flat message
+        count on cycles (see :mod:`repro.discovery.gem`).
         """
         stats = stats if stats is not None else DiscoveryStats()
         run = DiscoveryStats()
         network = self.server.network
         switchboard = self.server.switchboard
+        use_gem = self.gem_active if gem is None else bool(gem)
         fast = self.fastpath_active
         messages_before = network.totals.messages
         bytes_before = network.totals.bytes
@@ -306,6 +349,11 @@ class DiscoveryEngine:
         with obs.span("discovery.discover", engine=self.server.address,
                       subject=subject, object=obj) as span:
             try:
+                if use_gem:
+                    with self.coalesced():
+                        return self._discover_gem(
+                            subject, obj, tuple(constraints), bases,
+                            hints, run)
                 if fast:
                     with self.coalesced():
                         return self._discover_fast(
@@ -697,7 +745,15 @@ class DiscoveryEngine:
         return False, None
 
     def _remember(self, key: tuple, value: object, now: float, ttl: float,
-                  delegation_ids: Iterable[str] = ()) -> None:
+                  delegation_ids: Iterable[str] = (),
+                  pending: bool = False) -> None:
+        if pending:
+            # "No answer yet (looping)" is not "definitively no path":
+            # a result observed while the home was still part of an
+            # unresolved cycle may be incomplete, so it must neither be
+            # negative-cached for ``negative_ttl`` nor shared through
+            # the in-flight ledger.
+            return
         self.result_cache.store(key, value, now, ttl,
                                 delegation_ids=delegation_ids)
         if self._inflight is not None:
@@ -800,6 +856,265 @@ class DiscoveryEngine:
                 stats.delegations_rejected += 1
                 if cancel is not None:
                     cancel()
+
+    # ------------------------------------------------------------------
+    # GEM tabled evaluation (PR 9)
+    # ------------------------------------------------------------------
+
+    def _discover_gem(self, subject: Subject, obj: Role,
+                      constraints: Tuple[Constraint, ...],
+                      bases: Optional[Mapping[AttributeRef, float]],
+                      hints: Optional[Mapping[tuple, DiscoveryTag]],
+                      stats: DiscoveryStats) -> Optional[Proof]:
+        """Distributed tabled evaluation (Trivellato/Zannone/Etalle's
+        GEM, adapted to tag-directed discovery).
+
+        The initiator coordinates the whole evaluation: each goal is a
+        single one-way ``gem_eval`` notify, each home evaluates its
+        local closure once and answers with one ``gem_answers`` notify
+        carrying the closure *and its continuation requests* (the
+        homes its harvested tags name). This origin dedups goals
+        coalition-wide against the root's issued-set -- a continuation
+        naming an already-issued goal is a detected **loop**, recorded
+        but never re-evaluated, so mutual recursion terminates with a
+        bounded message count. Explicit terminate notifications go to
+        the homes participating in detected cycles (the ones holding
+        waiter entries); every other table is pure memo state that
+        expires by TTL sweep. Proofs are byte-identical to the seed
+        path's -- only the wire pattern changes.
+        """
+        wallet = self.server.wallet
+        tags: Dict[tuple, DiscoveryTag] = dict(hints or {})
+        self._harvest_store_tags(tags)
+
+        proof = wallet.query_direct(subject, obj, constraints=constraints,
+                                    bases=bases)
+        if proof is not None:
+            stats.local_hit = True
+            return proof
+
+        root_id = f"{self.server.address}#gem{next(self._gem_ids)}"
+        run = {"received": {}, "answers": []}
+        self._gem_runs[root_id] = run
+        self.gem_stats.c_roots.inc()
+        contacted: Set[str] = set()
+        loop_homes: Set[str] = set()
+        issued: Set[tuple] = set()
+        queue: deque = deque()
+
+        def seed(node: Subject, direction: str) -> None:
+            home = self._home_for(node, tags, stats, direction == "fwd")
+            if home is None:
+                return
+            key = (home, (direction, subject_key(node)))
+            if key in issued:
+                return
+            issued.add(key)
+            queue.append((home, direction, node, 0))
+
+        try:
+            with obs.span("discovery.gem", root=root_id,
+                          engine=self.server.address):
+                seed(subject, "fwd")
+                for sub_proof in wallet.query_subject(subject):
+                    seed(sub_proof.obj, "fwd")
+                self._gem_pump(root_id, queue, issued, tags, constraints,
+                               bases, stats, contacted, loop_homes, run)
+                done = self._finish(subject, obj, constraints, bases)
+                if done is not None:
+                    return done
+                # The bidirectional analog: one reverse root from the
+                # object side, when its tag announces an object-flagged
+                # home. The issued-set keeps even this extra root from
+                # re-evaluating a goal the forward wave covered at the
+                # same home.
+                seed(obj, "rev")
+                self._gem_pump(root_id, queue, issued, tags, constraints,
+                               bases, stats, contacted, loop_homes, run)
+                return self._finish(subject, obj, constraints, bases)
+        finally:
+            loop_homes &= contacted
+            loop_homes.discard(self.server.address)
+            for home in sorted(loop_homes):
+                self.server.send_gem_terminate(home, root_id)
+                self.gem_stats.c_terminates_sent.inc()
+            self._gem_runs.pop(root_id, None)
+
+    def _gem_pump(self, root_id: str, queue: deque, issued: Set[tuple],
+                  tags: Dict[tuple, DiscoveryTag],
+                  constraints: Tuple[Constraint, ...],
+                  bases: Optional[Mapping[AttributeRef, float]],
+                  stats: DiscoveryStats, contacted: Set[str],
+                  loop_homes: Set[str], run: dict) -> None:
+        """Drive one root's evaluation to quiescence: pop a goal, send
+        its one-way eval, absorb whatever answers have landed, enqueue
+        the fresh continuations they request. Answers arrive
+        synchronously on this simulated transport, so the pump drains
+        ``run["answers"]`` after every send; a real deployment would
+        block on the answer stream instead -- the control flow is
+        identical either way because each notify begets exactly one
+        answer."""
+        while queue:
+            home, direction, node, depth = queue.popleft()
+            self.gem_stats.c_evals_issued.inc()
+            stats.rounds += 1
+            try:
+                with obs.span("discovery.gem_eval", home=home,
+                              root=root_id):
+                    self.server.remote_gem_eval(
+                        home, root_id, self.server.address, direction,
+                        node, constraints=constraints, bases=bases,
+                        subscribe=self.subscribe)
+            except (RpcError, NetworkError, DiscoveryError):
+                stats.wallets_rejected.add(home)
+                continue
+            stats.wallets_contacted.add(home)
+            contacted.add(home)
+            while run["answers"]:
+                record = run["answers"].pop(0)
+                self._gem_absorb(record, tags, stats, constraints)
+                for c_home, goal_wire in record.get("continuations", ()):
+                    c_dir, c_node = wire.gem_goal_from_wire(goal_wire)
+                    key = (c_home, (c_dir, subject_key(c_node)))
+                    if key in issued:
+                        # Coalition-wide loop: this goal identifier was
+                        # already issued for this root. Record both
+                        # ends of the back edge for the terminate wave.
+                        self.gem_stats.c_loops_detected.inc()
+                        loop_homes.add(record["home"])
+                        loop_homes.add(c_home)
+                        continue
+                    if depth + 1 > gem_mod.MAX_DEPTH \
+                            or c_home == self.server.address:
+                        continue
+                    issued.add(key)
+                    queue.append((c_home, c_dir, c_node, depth + 1))
+
+    def _on_gem_answers(self, params: dict) -> None:
+        """The server's ``gem_answers`` sink: decode one home's pushed
+        closure against the per-root received-store. Refs only ever
+        name certificates the same home already shipped in full for
+        this root, so decoding never pulls."""
+        run = self._gem_runs.get(params.get("root"))
+        if run is None:
+            return
+        self.gem_stats.c_answers_received.inc()
+        received: Dict[str, Delegation] = run["received"]
+        store = self.server.wallet.store
+        memo: Dict[int, Delegation] = {}
+        payloads = params.get("answers", ())
+        for payload in payloads:
+            for delegation in wire.proof_full_delegations(
+                    payload, memo=memo):
+                received[delegation.id] = delegation
+
+        def resolve(delegation_id: str) -> Delegation:
+            delegation = received.get(delegation_id)
+            if delegation is None:
+                delegation = store.get_delegation(delegation_id)
+            if delegation is None:
+                raise DiscoveryError(
+                    f"unresolvable GEM answer ref {delegation_id!r}")
+            return delegation
+
+        def record(delegation: Delegation) -> None:
+            received[delegation.id] = delegation
+
+        proofs = [wire.proof_from_wire_session(payload, resolve, record,
+                                               memo=memo)
+                  for payload in payloads]
+        self.gem_stats.c_answer_records.inc(len(proofs))
+        run["answers"].append({
+            "home": params.get("home"),
+            "goal": params.get("goal"),
+            "status": params.get("status", "done"),
+            "proofs": proofs,
+            "subs": params.get("subs", {}),
+            "continuations": params.get("continuations", ()),
+        })
+
+    def _gem_absorb(self, record: dict, tags: Dict[tuple, DiscoveryTag],
+                    stats: DiscoveryStats,
+                    constraints: Tuple[Constraint, ...]) -> None:
+        """Absorb one pushed answer record: insert the credentials and
+        feed the (home, goal) closure to the PR-4 result cache -- the
+        same entry a ``discover_batch`` enumeration would have stored,
+        so later fast-path queries are served without re-contacting the
+        home. A ``"duplicate"`` record carries an empty closure for a
+        goal still tabled elsewhere -- "no answer *yet*", stored as
+        pending so it can never masquerade as "definitively no path"
+        (the cyclic-topology negative-cache hazard)."""
+        ck = _constraints_key(constraints)
+        now = self.server.wallet.clock.now()
+        home = record["home"]
+        proofs = tuple(record["proofs"])
+        direction, node = wire.gem_goal_from_wire(record["goal"])
+        stats.wallets_contacted.add(home)
+        if direction == "fwd":
+            key = make_discovery_key(home, "subject",
+                                     subject_key(node), None, ck, ())
+        else:
+            key = make_discovery_key(home, "object", None,
+                                     subject_key(node), ck, ())
+        self._remember(key, proofs, now, self._result_ttl(proofs),
+                       delegation_ids=[d.id for p in proofs
+                                       for d in p.all_delegations()],
+                       pending=record.get("status") == "duplicate")
+        self._gem_insert(proofs, home, record["subs"], tags, stats)
+
+    def _gem_insert(self, proofs: Tuple[Proof, ...], home: str,
+                    subs: Mapping[str, str],
+                    tags: Dict[tuple, DiscoveryTag],
+                    stats: DiscoveryStats) -> None:
+        """The GEM-side :meth:`_absorb_fast`: same coherent-cache
+        inserts and tag harvest, but validation subscriptions already
+        exist -- the home established them server-side when it shipped
+        each certificate, so only the cancel closures are built here."""
+        wallet = self.server.wallet
+        self._prefetch_batch_signatures([{"proofs": list(proofs)}])
+        stats.subscriptions_established += len(subs)
+        server = self.server
+
+        def cancel_for(delegation_id: str):
+            sub_id = subs.get(delegation_id)
+            if sub_id is None:
+                return None
+
+            def cancel() -> None:
+                try:
+                    server.rpc.call(home, "unsubscribe",
+                                    {"subscription": sub_id})
+                except (RpcError, Exception):  # noqa: BLE001
+                    pass
+
+            return cancel
+
+        seen_ids: Set[str] = set()
+        for proof in proofs:
+            chain_ids = {d.id for d in proof.chain}
+            for delegation in proof.chain:
+                self._harvest_delegation_tags(delegation, tags)
+                if delegation.id in seen_ids:
+                    continue
+                seen_ids.add(delegation.id)
+                if wallet.store.get_delegation(delegation.id) is not None:
+                    continue
+                cancel = cancel_for(delegation.id) if self.subscribe \
+                    else None
+                try:
+                    self.server.cache.insert(
+                        delegation, proof.supports_for(delegation),
+                        home=home, ttl=self._ttl_for(delegation),
+                        cancel_remote=cancel,
+                    )
+                    stats.delegations_cached += 1
+                except DRBACError:
+                    stats.delegations_rejected += 1
+                    if cancel is not None:
+                        cancel()
+            for delegation in proof.all_delegations():
+                if delegation.id not in chain_ids:
+                    self._harvest_delegation_tags(delegation, tags)
 
     # ------------------------------------------------------------------
 

@@ -257,11 +257,19 @@ class DiscoveryCache:
         return True, entry.value
 
     def store(self, key: DiscoveryKey, value: object, now: float,
-              ttl: float, delegation_ids=()) -> None:
+              ttl: float, delegation_ids=(), pending: bool = False) -> None:
         """Memoize one remote result observed at ``now`` for ``ttl``
         seconds (the discovery-tag lease for positives, the negative
-        TTL for misses and unreachable homes)."""
-        if ttl <= 0:
+        TTL for misses and unreachable homes).
+
+        ``pending=True`` refuses the store outright: a home still
+        participating in an unresolved cycle has "no answer *yet*",
+        which must not be conflated with "definitively no path" -- a
+        negative entry written then would mask the real answer for
+        ``negative_ttl`` seconds after the cycle resolves (the cyclic-
+        topology hazard; GEM marks looping-goal results this way).
+        """
+        if ttl <= 0 or pending:
             return
         if key in self._entries:
             self._drop(key)

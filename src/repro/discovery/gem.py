@@ -1,0 +1,302 @@
+"""GEM-style distributed tabled goal evaluation (PR 9).
+
+The seed discovery protocol is frontier expansion: every home a query
+visits answers from its local closure, and the engine re-issues
+subqueries for each continuation node. On tree-shaped coalitions (the
+paper's Figure 2) that is fine; on *cyclic* ones -- A trusts B trusts C
+trusts A -- the frontier revisits homes and re-expands the same
+subgoals, so the cross-home message count grows with the cycle's size
+even though the answer set does not.
+
+This module holds the machinery for the tabled alternative, after
+Trivellato, Zannone & Etalle's GEM (see PAPERS.md): each home keeps a
+*goal table* per evaluation root recording which goals are ACTIVE or
+DONE, evaluates each goal's local closure once and pushes the answers
+*once* directly to the evaluation's origin together with its
+continuation requests. The coalition-wide goal identifiers (root id +
+direction + node key) travel on the wire, so the origin detects loops
+by dedup -- a continuation naming an already-issued goal is a cycle,
+recorded but never re-evaluated -- and sends explicit termination
+notifications to the homes participating in detected cycles. The
+evaluation of mutually-recursive cross-home delegations completes
+without centralizing the graph: no home ever evaluates the same goal
+twice for one root, so the message count is flat in the number of
+in-home revisits.
+
+Layout mirrors :mod:`repro.discovery.fastpath`:
+
+* the **global switch** (``DRBAC_GEM`` / ``--gem`` / :func:`set_enabled`
+  / :func:`scoped`) -- off by default, the seed and PR-4 fast paths are
+  the reference arms;
+* :class:`GemStats` -- registry-backed ``drbac_gem_*`` counters;
+* :class:`GoalTable` / :class:`GemTableStore` -- the per-home tables,
+  owned by each :class:`~repro.discovery.resolver.WalletServer` and
+  flushed by terminate notifications, hub events, and channel eviction
+  (see docs/PROTOCOL.md, "Goal-table invalidation").
+"""
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro import obs
+
+# A goal, locally keyed: (direction, subject_key(node)). Direction is
+# "fwd" (everything reachable from node) or "rev" (everything that
+# reaches node); the node key is the engine's canonical node encoding.
+GoalKey = Tuple[str, tuple]
+
+ACTIVE = "active"
+DONE = "done"
+
+DEFAULT_MAX_ROOTS = 256
+DEFAULT_TABLE_TTL = 60.0
+
+# The origin stops chasing continuation chains past this depth: a
+# belt-and-braces bound on pathological tag graphs on top of the
+# issued-set dedup (which already guarantees termination).
+MAX_DEPTH = 64
+
+
+# ---------------------------------------------------------------------------
+# Global toggle (the shape of fastpath's switch, default OFF)
+# ---------------------------------------------------------------------------
+
+_ENABLED = bool(os.environ.get("DRBAC_GEM"))
+
+_SCOPED: "ContextVar[Optional[bool]]" = ContextVar(
+    "drbac_discovery_gem", default=None)
+
+
+def enabled() -> bool:
+    """Is GEM evaluation enabled in this context?"""
+    override = _SCOPED.get()
+    return _ENABLED if override is None else override
+
+
+@contextmanager
+def scoped(value: bool = True):
+    """Pin the GEM switch for this context, ignoring the global."""
+    token = _SCOPED.set(bool(value))
+    try:
+        yield
+    finally:
+        _SCOPED.reset(token)
+
+
+def set_enabled(value: bool) -> None:
+    """Globally enable/disable GEM evaluation (CLI ``--gem``).
+
+    Engines constructed with an explicit ``gem=`` argument ignore the
+    global switch, and ``discover(gem=...)`` overrides per query.
+    """
+    global _ENABLED
+    _ENABLED = bool(value)
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class GemStats:
+    """Registry-backed ``drbac_gem_*`` tallies.
+
+    One instance serves both protocol sides: an engine increments the
+    initiator-side counters (roots/evals issued/answers received), a
+    :class:`GemTableStore` the home-side ones (evals served/loops
+    detected/answers pushed/table flushes). ``cache_info()["gem"]``
+    surfaces :meth:`to_dict` (pinned by ``tests/obs/test_contracts.py``).
+    """
+
+    __slots__ = ("c_roots", "c_evals_issued", "c_answers_received",
+                 "c_answer_records", "c_terminates_sent",
+                 "c_evals_served", "c_loops_detected",
+                 "c_answers_pushed", "c_table_flushes")
+
+    def __init__(self) -> None:
+        instance = obs.next_instance()
+        reg = obs.registry()
+        self.c_roots = reg.counter(
+            "drbac_gem_roots_total", instance=instance)
+        self.c_evals_issued = reg.counter(
+            "drbac_gem_evals_issued_total", instance=instance)
+        self.c_answers_received = reg.counter(
+            "drbac_gem_answers_received_total", instance=instance)
+        self.c_answer_records = reg.counter(
+            "drbac_gem_answer_records_total", instance=instance)
+        self.c_terminates_sent = reg.counter(
+            "drbac_gem_terminates_sent_total", instance=instance)
+        self.c_evals_served = reg.counter(
+            "drbac_gem_evals_served_total", instance=instance)
+        self.c_loops_detected = reg.counter(
+            "drbac_gem_loops_detected_total", instance=instance)
+        self.c_answers_pushed = reg.counter(
+            "drbac_gem_answers_pushed_total", instance=instance)
+        self.c_table_flushes = reg.counter(
+            "drbac_gem_table_flushes_total", instance=instance)
+
+    @property
+    def roots(self) -> int:
+        return self.c_roots.value
+
+    @property
+    def evals_issued(self) -> int:
+        return self.c_evals_issued.value
+
+    @property
+    def answers_received(self) -> int:
+        return self.c_answers_received.value
+
+    @property
+    def answer_records(self) -> int:
+        return self.c_answer_records.value
+
+    @property
+    def terminates_sent(self) -> int:
+        return self.c_terminates_sent.value
+
+    @property
+    def evals_served(self) -> int:
+        return self.c_evals_served.value
+
+    @property
+    def loops_detected(self) -> int:
+        return self.c_loops_detected.value
+
+    @property
+    def answers_pushed(self) -> int:
+        return self.c_answers_pushed.value
+
+    @property
+    def table_flushes(self) -> int:
+        return self.c_table_flushes.value
+
+    def to_dict(self) -> dict:
+        return {
+            "roots": self.roots,
+            "evals_issued": self.evals_issued,
+            "answers_received": self.answers_received,
+            "answer_records": self.answer_records,
+            "terminates_sent": self.terminates_sent,
+            "evals_served": self.evals_served,
+            "loops_detected": self.loops_detected,
+            "answers_pushed": self.answers_pushed,
+            "table_flushes": self.table_flushes,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Per-home goal tables
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GoalTable:
+    """One home's tabled state for one evaluation root.
+
+    ``goals`` maps goal keys to ACTIVE (evaluation in flight somewhere
+    below this home -- an arriving duplicate is a *loop*) or DONE
+    (answers already pushed to the origin; a duplicate is a no-op).
+    ``issued`` dedups the continuation evaluations this home has
+    forwarded; ``sent_ids`` is the per-root credential dedup set, so
+    each certificate crosses the wire to the origin at most once per
+    evaluation no matter how many goals its proofs support.
+    """
+
+    root_id: str
+    origin: str
+    created_at: float
+    deadline: float
+    goals: Dict[GoalKey, str] = field(default_factory=dict)
+    issued: Set[Tuple[str, GoalKey]] = field(default_factory=set)
+    sent_ids: Set[str] = field(default_factory=set, repr=False)
+    waiters: Dict[GoalKey, List[str]] = field(default_factory=dict)
+    channel_id: Optional[str] = None
+
+    def status(self, goal: GoalKey) -> Optional[str]:
+        return self.goals.get(goal)
+
+    def activate(self, goal: GoalKey) -> None:
+        self.goals[goal] = ACTIVE
+
+    def finish(self, goal: GoalKey) -> None:
+        self.goals[goal] = DONE
+
+    def add_waiter(self, goal: GoalKey, home: str) -> None:
+        self.waiters.setdefault(goal, []).append(home)
+
+
+class GemTableStore:
+    """All of one home's goal tables, keyed by evaluation root.
+
+    Tables are bounded (``max_roots``, oldest-first eviction) and
+    TTL-swept, because a crashed initiator never sends its terminate
+    wave; the explicit flush channels are the terminate notification,
+    local hub events (``flush_all`` -- a mutation makes every tabled
+    DONE state stale), and Switchboard channel eviction.
+    """
+
+    def __init__(self, max_roots: int = DEFAULT_MAX_ROOTS,
+                 ttl: float = DEFAULT_TABLE_TTL,
+                 stats: Optional[GemStats] = None) -> None:
+        if max_roots < 1:
+            raise ValueError("max_roots must be positive")
+        self.max_roots = max_roots
+        self.ttl = ttl
+        self.stats = stats or GemStats()
+        self._tables: Dict[str, GoalTable] = {}
+
+    def get(self, root_id: str) -> Optional[GoalTable]:
+        return self._tables.get(root_id)
+
+    def get_or_create(self, root_id: str, origin: str,
+                      now: float) -> GoalTable:
+        table = self._tables.get(root_id)
+        if table is not None:
+            return table
+        while len(self._tables) >= self.max_roots:
+            oldest = min(self._tables, key=lambda r:
+                         self._tables[r].created_at)
+            self.flush_root(oldest)
+        table = GoalTable(root_id=root_id, origin=origin,
+                          created_at=now, deadline=now + self.ttl)
+        self._tables[root_id] = table
+        return table
+
+    def flush_root(self, root_id: str) -> bool:
+        """Drop one root's table (terminate notification). Idempotent."""
+        if self._tables.pop(root_id, None) is None:
+            return False
+        self.stats.c_table_flushes.inc()
+        return True
+
+    def flush_all(self) -> int:
+        """Drop every table (a local hub event changed the closure)."""
+        count = len(self._tables)
+        if count:
+            self._tables.clear()
+            self.stats.c_table_flushes.inc(count)
+        return count
+
+    def sweep(self, now: float) -> int:
+        """Expire tables whose initiator never terminated them."""
+        stale = [root for root, table in self._tables.items()
+                 if now >= table.deadline]
+        for root in stale:
+            self.flush_root(root)
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, root_id: str) -> bool:
+        return root_id in self._tables
+
+    def info(self) -> dict:
+        data = self.stats.to_dict()
+        data["tables"] = len(self._tables)
+        data["max_roots"] = self.max_roots
+        return data

@@ -18,7 +18,10 @@ from repro.core.delegation import Delegation, Revocation
 from repro.core.errors import DiscoveryError
 from repro.core.identity import Principal
 from repro.core.proof import Proof
+from repro.core.roles import Role, subject_key
+from repro.discovery import gem as gem_mod
 from repro.discovery import wire
+from repro.discovery.gem import MAX_DEPTH, GemTableStore, GoalTable
 from repro.net.rpc import RpcError, RpcNode
 from repro.net.switchboard import Channel, HandshakeError, Switchboard
 from repro.net.transport import Network, NetworkError
@@ -52,6 +55,16 @@ class WalletServer:
                 self.switchboard = None
         self._remote_subs: Dict[str, Tuple[str, Any]] = {}
         self._sub_ids = itertools.count()
+        # GEM tabled evaluation (PR 9): per-root goal tables, the
+        # answer sink a local DiscoveryEngine installs, and a hub
+        # subscription flushing tabled DONE states on any local
+        # mutation (they summarize the closure that just changed).
+        self.gem_tables = GemTableStore()
+        self.gem_answer_sink: Optional[Callable[[dict], None]] = None
+        self._gem_hub_sub = wallet.hub.subscribe_all(
+            self._on_gem_local_event)
+        if self.switchboard is not None:
+            self.switchboard.on_evict = self._on_channel_evicted
         self._expose_all()
         # Counters surfaced in benchmark reports.
         self.queries_served = 0
@@ -75,6 +88,9 @@ class WalletServer:
         self.rpc.expose("get_delegation", self._rpc_get_delegation)
         self.rpc.expose("delegation_event", self._rpc_delegation_event)
         self.rpc.expose("discover_batch", self._rpc_discover_batch)
+        self.rpc.expose("gem_eval", self._rpc_gem_eval)
+        self.rpc.expose("gem_answers", self._rpc_gem_answers)
+        self.rpc.expose("gem_terminate", self._rpc_gem_terminate)
 
     # ------------------------------------------------------------------
     # Server-side RPC handlers
@@ -264,6 +280,165 @@ class WalletServer:
         if getattr(channel, "_peer_address", None) != src:
             return None
         return channel
+
+    # ------------------------------------------------------------------
+    # GEM tabled evaluation (PR 9)
+    # ------------------------------------------------------------------
+
+    def _rpc_gem_eval(self, src: str, params: dict) -> None:
+        """Evaluate one tabled goal for a coalition-wide root.
+
+        Arrives as a one-message *notify* from the evaluation's origin
+        (the coordinating engine); nothing rides back on this exchange.
+        The home tables the goal, computes its local closure **once**,
+        and pushes a single ``gem_answers`` notify straight to the
+        origin carrying the closure (session-encoded against the
+        per-root sent-set), the validation subscriptions it established
+        server-side, and the *continuation requests* its harvested tags
+        name -- the origin re-issues only goals it has never seen for
+        this root, which is the coalition-wide loop detection. A goal
+        already tabled (a duplicate the origin's dedup let through, or
+        a replay) answers ``"duplicate"`` with an empty closure instead
+        of re-evaluating.
+        """
+        root_id, origin = wire.gem_root_from_wire(params["root"])
+        direction, node = wire.gem_goal_from_wire(params["goal"])
+        now = self.wallet.clock.now()
+        self.gem_tables.sweep(now)
+        table = self.gem_tables.get_or_create(root_id, origin, now)
+        stats = self.gem_tables.stats
+        stats.c_evals_served.inc()
+        channel = self._session_channel(params.get("session"), src)
+        if channel is not None:
+            channel.last_used = now
+            channel.gem_roots.add(root_id)
+            table.channel_id = channel.channel_id
+        goal = (direction, subject_key(node))
+        status = table.status(goal)
+        if status is not None:
+            if status == gem_mod.ACTIVE:
+                table.add_waiter(goal, src)
+            stats.c_loops_detected.inc()
+            self._gem_push_answers(table, params["goal"], [], False, [],
+                                   "duplicate")
+            return
+        table.activate(goal)
+        constraints = wire.constraints_from_wire(
+            params.get("constraints", ()))
+        bases = wire.bases_from_wire(params.get("bases", ()))
+        self.queries_served += 1
+        if direction == "rev":
+            proofs = self.wallet.query_object(
+                node, constraints=constraints, bases=bases)
+        else:
+            proofs = self.wallet.query_subject(
+                node, constraints=constraints, bases=bases)
+        subscribe = bool(params.get("subscribe", True))
+        continuations = [
+            [next_home, wire.gem_goal_to_wire(direction, next_node)]
+            for next_home, next_node in self._gem_continuations(
+                direction, proofs)
+        ]
+        table.finish(goal)
+        self._gem_push_answers(table, params["goal"], proofs, subscribe,
+                               continuations, "done")
+
+    def _gem_push_answers(self, table: GoalTable, goal: dict,
+                          proofs: List[Proof], subscribe: bool,
+                          continuations: List[list],
+                          status: str) -> None:
+        """Ship this home's local closure for one goal straight to the
+        evaluation origin: one notify, session-encoded against the
+        per-root sent-set (each certificate crosses the wire at most
+        once per root). The notify doubles as the goal's completion
+        signal, so it is sent even for an empty closure. Newly shipped
+        certificates get their validation subscriptions established
+        *here*, server-side, with the origin as subscriber -- no
+        subscribe round trips."""
+        before = set(table.sent_ids)
+        answers = wire.gem_answers_to_wire(proofs, table.sent_ids)
+        subs: Dict[str, str] = {}
+        if subscribe:
+            for delegation_id in sorted(table.sent_ids - before):
+                granted = self._rpc_subscribe(table.origin, {
+                    "delegation_id": delegation_id,
+                    "subscriber": table.origin,
+                })
+                subs[delegation_id] = granted["subscription"]
+        try:
+            self.rpc.notify(table.origin, "gem_answers", {
+                "root": table.root_id,
+                "home": self.address,
+                "goal": goal,
+                "status": status,
+                "answers": answers,
+                "subs": subs,
+                "continuations": continuations,
+            })
+        except NetworkError:
+            return
+        self.gem_tables.stats.c_answers_pushed.inc(len(answers))
+
+    def _gem_continuations(self, direction: str, proofs: List[Proof]
+                           ) -> List[Tuple[str, Any]]:
+        """Continuation goals for one local closure: each proof's head
+        (its object going forward, its subject in reverse) whose
+        harvested discovery tag stores it at some *other* home."""
+        tags: Dict[tuple, Any] = {}
+        for proof in proofs:
+            for delegation in proof.all_delegations():
+                if delegation.subject_tag is not None:
+                    tags.setdefault(delegation.subject_node,
+                                    delegation.subject_tag)
+                if delegation.object_tag is not None:
+                    tags.setdefault(delegation.object_node,
+                                    delegation.object_tag)
+        out: List[Tuple[str, Any]] = []
+        seen: set = set()
+        for proof in proofs:
+            head = proof.obj if direction == "fwd" else proof.subject
+            key = subject_key(head)
+            if key in seen:
+                continue
+            seen.add(key)
+            tag = tags.get(key)
+            if tag is None:
+                continue
+            flag = tag.subject_flag if direction == "fwd" \
+                else tag.object_flag
+            if not flag.stores_at_home:
+                continue
+            if direction == "rev" and not isinstance(head, Role):
+                continue
+            if not tag.home or tag.home == self.address:
+                continue
+            out.append((tag.home, head))
+        return out
+
+    def _rpc_gem_answers(self, _src: str, params: dict) -> None:
+        """Answer push arriving at an evaluation's origin; handed to
+        the engine-installed sink. Unknown roots (terminated, or no
+        engine) are dropped -- the terminate wave races late pushes."""
+        sink = self.gem_answer_sink
+        if sink is not None:
+            sink(params)
+
+    def _rpc_gem_terminate(self, _src: str, params: dict) -> None:
+        """Explicit termination: the origin is done with this root.
+        Idempotent -- a root this home never tabled is a no-op."""
+        self.gem_tables.flush_root(params.get("root"))
+
+    def _on_gem_local_event(self, _event) -> None:
+        """Any local mutation invalidates every tabled DONE state (the
+        tables summarize the local closure that just changed)."""
+        if len(self.gem_tables):
+            self.gem_tables.flush_all()
+
+    def _on_channel_evicted(self, channel: Channel) -> None:
+        """A Switchboard session died; the table handles scoped to it
+        go with it (the initiator can no longer be assumed live)."""
+        for root_id in list(getattr(channel, "gem_roots", ())):
+            self.gem_tables.flush_root(root_id)
 
     def _rpc_delegation_event(self, src: str, params: dict) -> None:
         """Inbound push from a wallet we subscribed at (client side)."""
@@ -509,6 +684,36 @@ class WalletServer:
             cancels.append(cancel)
         return cancels
 
+    def remote_gem_eval(self, remote: str, root_id: str, origin: str,
+                        direction: str, node, constraints=(), bases=None,
+                        subscribe: bool = True) -> None:
+        """Issue one tabled evaluation at ``remote`` -- a single notify,
+        no reply; the home's answer arrives as its own ``gem_answers``
+        notify addressed to the root's origin. Rides an *already-open*
+        Switchboard channel when one exists, so the home can scope its
+        table handle to the session; a cold evaluation never pays a
+        handshake for it."""
+        params: Dict[str, Any] = {
+            "root": wire.gem_root_to_wire(root_id, origin),
+            "goal": wire.gem_goal_to_wire(direction, node),
+            "constraints": wire.constraints_to_wire(constraints),
+            "bases": wire.bases_to_wire(bases),
+            "subscribe": subscribe,
+        }
+        if self.switchboard is not None:
+            channel = self.switchboard.open_channel_to(remote)
+            if channel is not None:
+                params["session"] = channel.channel_id
+        self.rpc.notify(remote, "gem_eval", params)
+
+    def send_gem_terminate(self, remote: str, root_id: str) -> None:
+        """Best-effort terminate notification (one message); a home
+        that never hears it expires the table by TTL sweep instead."""
+        try:
+            self.rpc.notify(remote, "gem_terminate", {"root": root_id})
+        except NetworkError:
+            pass
+
     def remote_prove_role(self, remote: str, role) -> Optional[Proof]:
         data = self.rpc.call(remote, "prove_role",
                              {"role": wire.role_to_wire(role)})
@@ -550,6 +755,8 @@ class WalletServer:
         for _delegation_id, subscription in self._remote_subs.values():
             subscription.cancel()
         self._remote_subs.clear()
+        self._gem_hub_sub.cancel()
+        self.gem_tables.flush_all()
         if self.switchboard is not None:
             self.switchboard.close()
         self.rpc.close()

@@ -131,6 +131,45 @@ def delegation_from_wire(data: dict) -> Delegation:
 
 
 # ---------------------------------------------------------------------------
+# GEM tabled-evaluation framing (PR 9)
+# ---------------------------------------------------------------------------
+#
+# Three message kinds ride the existing RPC/notify transport:
+#
+# * ``gem_eval``      -- request/reply; the reply is control-only
+#   (loop/done status + contacted homes), never answers;
+# * ``gem_answers``   -- one-way notify, evaluating home -> origin,
+#   carrying the home's local closure as *session-encoded* proofs
+#   deduplicated against a per-root sent-set;
+# * ``gem_terminate`` -- one-way notify, origin -> each contacted home,
+#   flushing that root's goal table.
+
+
+def gem_root_to_wire(root_id: str, origin: str) -> dict:
+    return {"id": root_id, "origin": origin}
+
+
+def gem_root_from_wire(data: Mapping) -> Tuple[str, str]:
+    return data["id"], data["origin"]
+
+
+def gem_goal_to_wire(direction: str, node: Subject) -> dict:
+    return {"dir": direction, "node": _subject_to_dict(node)}
+
+
+def gem_goal_from_wire(data: Mapping) -> Tuple[str, Subject]:
+    return data["dir"], _subject_from_dict(data["node"])
+
+
+def gem_answers_to_wire(proofs: Iterable[Proof],
+                        sent_ids: Set[str]) -> List[dict]:
+    """Session-encode one answer batch against the root's sent-set
+    (mutated), so each certificate crosses the wire to the origin at
+    most once per evaluation root."""
+    return [proof_to_wire_session(proof, sent_ids) for proof in proofs]
+
+
+# ---------------------------------------------------------------------------
 # Session-deduplicated proof encoding
 # ---------------------------------------------------------------------------
 #

@@ -59,6 +59,10 @@ class Channel:
     sent_ids: Set[str] = field(default_factory=set, repr=False)
     received: Dict[str, Any] = field(default_factory=dict, repr=False)
     last_used: float = 0.0
+    # GEM evaluation roots scoped to this session: a home records each
+    # root whose gem_eval rode this channel, so eviction can flush the
+    # matching goal tables (see WalletServer._on_channel_evicted).
+    gem_roots: Set[str] = field(default_factory=set, repr=False)
 
     def send(self, payload: Any) -> None:
         """Send a MAC'd frame to the peer."""
@@ -130,6 +134,10 @@ class Switchboard:
         self._c_sessions_reused = reg.counter(
             "drbac_switchboard_sessions_reused_total",
             address=address, instance=instance)
+        # Invoked with each channel closed by evict_idle, before the
+        # channel is forgotten (hosts hang session-scoped state -- GEM
+        # goal-table handles -- off channels and must hear about it).
+        self.on_evict: Optional[Callable[[Channel], None]] = None
 
     @property
     def handshakes_completed(self) -> int:
@@ -254,6 +262,8 @@ class Switchboard:
             if now - channel.last_used > idle_ttl:
                 channel.close()
                 del self._channels[channel_id]
+                if self.on_evict is not None:
+                    self.on_evict(channel)
                 evicted += 1
         self._by_peer = {
             peer: cid for peer, cid in self._by_peer.items()
@@ -358,6 +368,20 @@ class Switchboard:
 
     def channel(self, channel_id: str) -> Optional[Channel]:
         return self._channels.get(channel_id)
+
+    def open_channel_to(self, remote_address: str) -> Optional[Channel]:
+        """The open channel to ``remote_address`` if one already exists,
+        else None -- never a handshake. Callers that merely *benefit*
+        from a session (GEM table handles scoped to it) peek with this
+        instead of :meth:`session_to`, which would pay two messages to
+        establish one."""
+        channel_id = self._by_peer.get(remote_address)
+        if channel_id is None:
+            return None
+        channel = self._channels.get(channel_id)
+        if channel is None or not channel.open:
+            return None
+        return channel
 
     def close(self) -> None:
         self.network.unregister(self._net_address(self.address))

@@ -90,6 +90,10 @@ class Wallet:
         # to this hook when the local graph yields no proof, so one call
         # covers the paper's full local-then-distributed query contract.
         self.discover: Optional[Callable] = None
+        # Set by an attached DiscoveryEngine: a zero-arg callable
+        # returning the GEM tabled-evaluation breakdown (surfaced under
+        # cache_info()["gem"]).
+        self.gem_info: Optional[Callable[[], dict]] = None
         # Wallet-level observability. Counters sit off the warm query
         # path (the proof cache's own hits/misses already count those);
         # the histogram times cold graph searches only.
@@ -504,6 +508,8 @@ class Wallet:
             info["lint_gate"] = self.lint_gate_info()
         if self.discovery_info is not None:
             info["discovery"] = self.discovery_info()
+        if self.gem_info is not None:
+            info["gem"] = self.gem_info()
         return info
 
     # ------------------------------------------------------------------

@@ -92,15 +92,47 @@ class DefectiveWorkload:
         return len(self.delegations)
 
 
+FILLER_FAMILIES = ("layered", "ring", "mesh", "scc", "deep")
+
+
+def _make_filler(family: str, width: int, depth: int, seed: int):
+    """A clean filler workload: the layered DAG, or one of the
+    cross-home coalition families (PR 9) -- cyclic substrates that
+    still contribute zero findings (every delegation is self-certified,
+    reachable, tagged with a live lease, and never duplicated)."""
+    from repro.workloads import topology
+    if family == "layered":
+        return make_layered_dag(width, depth, seed=seed)
+    if family == "ring":
+        return topology.make_ring_coalition(max(2, width), seed=seed)
+    if family == "mesh":
+        return topology.make_mesh_coalition(max(4, width), seed=seed)
+    if family == "scc":
+        return topology.make_scc_heavy(max(2, width), max(2, depth),
+                                       seed=seed)
+    if family == "deep":
+        return topology.make_deep_mutual_trust(max(2, width), seed=seed)
+    raise ValueError(
+        f"unknown filler family {family!r} "
+        f"(expected one of {', '.join(FILLER_FAMILIES)})")
+
+
 def make_defective_workload(seed: Optional[int] = None,
                             filler_width: int = 0,
-                            filler_depth: int = 0) -> DefectiveWorkload:
+                            filler_depth: int = 0,
+                            filler_family: str = "layered"
+                            ) -> DefectiveWorkload:
     """Case-study base + one planted defect per rule (+ optional filler).
 
     ``filler_width``/``filler_depth`` add a clean layered DAG
     (:func:`make_layered_dag`) to scale the graph toward benchmark
     sizes; the filler is acyclic, unmodulated, and fully reachable, so
-    it contributes zero findings.
+    it contributes zero findings. ``filler_family`` swaps the filler's
+    shape for one of the coalition topologies (``ring``/``mesh``/
+    ``scc``/``deep``) -- cyclic cross-home substrates that must *also*
+    contribute zero findings, which is exactly what CI asserts. For
+    those families ``filler_width`` is the domain count and
+    ``filler_depth`` the roles per domain (SCC only).
     """
     # Entity identity is the key fingerprint and seeded keygen streams
     # are deterministic, so each principal pool (case study, plants,
@@ -242,11 +274,12 @@ def make_defective_workload(seed: Optional[int] = None,
         # Offset the filler's seed so its deterministic keygen stream
         # does not duplicate the case study's (same-seed streams mint
         # identical keypairs, which would alias entity fingerprints).
-        filler = make_layered_dag(filler_width, filler_depth,
-                                  seed=(seed or 0) + 7919)
+        filler = _make_filler(filler_family, filler_width, filler_depth,
+                              seed=(seed or 0) + 7919)
         delegations += filler.delegations
         principals.update(filler.principals)
         extras["filler_edges"] = len(filler.delegations)
+        extras["filler_family"] = filler_family
 
     return DefectiveWorkload(
         principals=principals,
@@ -255,6 +288,7 @@ def make_defective_workload(seed: Optional[int] = None,
         bases=bases,
         expected=expected,
         description=(f"defective(seed={seed}, "
-                     f"filler={filler_width}x{filler_depth})"),
+                     f"filler={filler_width}x{filler_depth}, "
+                     f"family={filler_family})"),
         extras=extras,
     )

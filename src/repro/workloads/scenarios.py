@@ -325,15 +325,16 @@ def build_distributed_federation(domains: int = 4,
                                  users_per_domain: int = 2,
                                  ttl: float = 300.0,
                                  seed: Optional[int] = None,
-                                 fastpath: Optional[bool] = None
+                                 fastpath: Optional[bool] = None,
+                                 gem: Optional[bool] = None
                                  ) -> DistributedFederation:
     """Build an n-domain federation over one simulated network.
 
     Per domain: a principal, roles ``member``/``access``, a home wallet
     (holding the member->access grant and the inbound bridge), an empty
     access server with a discovery engine, and tagged user credentials.
-    ``fastpath`` pins the engines' discovery fast path on/off (None
-    defers to the global switch).
+    ``fastpath``/``gem`` pin the engines' discovery fast path / GEM
+    evaluation mode on/off (None defers to the global switches).
     """
     from repro.workloads.topology import _rng
     from repro.discovery.engine import DiscoveryStats  # noqa: F401
@@ -365,7 +366,7 @@ def build_distributed_federation(domains: int = 4,
         server = WalletServer(network, server_wallet,
                               principal=principals[k])
         engine = DiscoveryEngine(server, default_ttl=ttl,
-                                 fastpath=fastpath)
+                                 fastpath=fastpath, gem=gem)
         users = [create_principal(f"D{k}-u{u}", rng=rng)
                  for u in range(users_per_domain)]
         credentials = [
@@ -445,6 +446,129 @@ def build_distributed_case_study(seed: Optional[int] = None,
         bigisp_home=bigisp_home, airnet_home=airnet_home,
         wallets=directory, engine=engine,
     )
+
+
+# ---------------------------------------------------------------------------
+# Placed-topology deployment: one wallet per coalition domain
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DeployedCoalition:
+    """A placed topology live on one simulated network.
+
+    One home :class:`WalletServer` per coalition domain (holding the
+    delegations whose tags name it), plus the resource server of the
+    object's domain running the discovery engine. Built by
+    :func:`deploy_coalition` from any of the coalition families in
+    :mod:`repro.workloads.topology` (ring, mesh, scc-heavy, deep
+    mutual trust).
+    """
+
+    network: Network
+    clock: SimClock
+    workload: "GeneratedWorkload"
+    homes: Dict[str, WalletServer]      # home address -> server
+    server: WalletServer                # the initiator (resource) server
+    engine: DiscoveryEngine
+    entry: Delegation                   # the user's credential
+    ttl: float
+
+    def authorize(self, stats: Optional[DiscoveryStats] = None,
+                  gem: Optional[bool] = None,
+                  max_remote_queries: int = 64):
+        """Present the user credential and run discovery at the server."""
+        if self.server.wallet.store.get_delegation(self.entry.id) is None:
+            self.server.wallet.publish(self.entry)
+        return self.engine.discover(
+            self.workload.subject, self.workload.obj, stats=stats,
+            gem=gem, max_remote_queries=max_remote_queries)
+
+    def close(self) -> None:
+        self.server.close()
+        for home in self.homes.values():
+            home.close()
+
+
+def deploy_coalition(workload: "GeneratedWorkload",
+                     ttl: Optional[float] = None,
+                     fastpath: Optional[bool] = None,
+                     gem: Optional[bool] = None) -> DeployedCoalition:
+    """Deploy a coalition-family workload across per-domain wallets.
+
+    Placement follows the delegations' own discovery tags: a
+    delegation is published at its subject tag's home when the subject
+    flag stores (``s``/``S``) and at its object tag's home when the
+    object flag stores (``o``/``O``) -- dual-flagged bridges land in
+    both wallets. The user's entry credential (the delegation whose
+    subject is the workload's designated subject) is held out and
+    presented at the resource server by :meth:`DeployedCoalition.authorize`,
+    mirroring :meth:`DistributedFederation.authorize`.
+
+    The resource server belongs to the object role's domain and hosts
+    the :class:`DiscoveryEngine`; ``fastpath``/``gem`` pin its
+    discovery modes (None defers to the global switches).
+    """
+    addresses = workload.extras.get("home_addresses")
+    if not addresses:
+        raise ValueError(
+            "deploy_coalition needs a coalition-family workload "
+            "(extras['home_addresses'] missing); build one with "
+            "make_ring_coalition / make_mesh_coalition / make_scc_heavy "
+            "/ make_deep_mutual_trust")
+    clock = SimClock()
+    network = Network(clock=clock)
+    owners = [workload.principals[f"D{k}"] for k in range(len(addresses))]
+    if ttl is None:
+        ttl = next(
+            (tag.ttl for delegation, _s in workload.delegations
+             for tag in (delegation.subject_tag, delegation.object_tag)
+             if tag is not None and tag.ttl > 0), 300.0)
+
+    homes: Dict[str, WalletServer] = {}
+    for k, address in enumerate(addresses):
+        wallet = Wallet(owner=owners[k], address=address, clock=clock)
+        homes[address] = WalletServer(network, wallet,
+                                      principal=owners[k])
+
+    entry: Optional[Delegation] = None
+    for delegation, supports in workload.delegations:
+        if delegation.subject == workload.subject and entry is None:
+            entry = delegation
+            continue
+        for home in _tag_homes(delegation):
+            homes[home].wallet.publish(delegation, supports)
+    if entry is None:
+        raise ValueError("workload has no credential for its subject")
+
+    target = next(k for k, owner in enumerate(owners)
+                  if owner.entity == workload.obj.entity)
+    server_wallet = Wallet(owner=owners[target],
+                           address=f"server.d{target}.example",
+                           clock=clock)
+    server = WalletServer(network, server_wallet,
+                          principal=owners[target])
+    engine = DiscoveryEngine(server, default_ttl=ttl, fastpath=fastpath,
+                             gem=gem)
+    return DeployedCoalition(
+        network=network, clock=clock, workload=workload, homes=homes,
+        server=server, engine=engine, entry=entry, ttl=ttl,
+    )
+
+
+def _tag_homes(delegation: Delegation) -> List[str]:
+    """Home addresses the delegation's own tags direct storage to."""
+    placed: List[str] = []
+    subject_tag = delegation.subject_tag
+    if subject_tag is not None and subject_tag.home \
+            and subject_tag.subject_flag.stores_at_home:
+        placed.append(subject_tag.home)
+    object_tag = delegation.object_tag
+    if object_tag is not None and object_tag.home \
+            and object_tag.object_flag.stores_at_home \
+            and object_tag.home not in placed:
+        placed.append(object_tag.home)
+    return placed
 
 
 # ---------------------------------------------------------------------------

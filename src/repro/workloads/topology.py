@@ -19,6 +19,7 @@ from repro.core.delegation import Delegation, issue
 from repro.core.identity import Principal, create_principal
 from repro.core.proof import Proof
 from repro.core.roles import Role, Subject
+from repro.core.tags import DiscoveryTag, ObjectFlag, SubjectFlag
 from repro.graph.delegation_graph import DelegationGraph
 
 
@@ -398,4 +399,240 @@ def make_coalition(domains: int, roles_per_domain: int,
             "roles_per_domain": roles_per_domain,
             "users_per_domain": users_per_domain,
         },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cross-home coalition families (distributed goal evaluation workloads)
+# ---------------------------------------------------------------------------
+#
+# Each generator below describes a *placed* topology: every delegation
+# carries discovery tags naming the home wallet that stores it, so
+# ``scenarios.deploy_coalition`` can publish the set across one wallet
+# per domain and run seed / fast-path / GEM discovery against it. The
+# families are chosen for the evaluation-mode benchmark:
+#
+# * every role is reachable from the single user entity (no
+#   dead-credential findings), all delegations are self-certified by
+#   the object role's namespace owner, and no edge carries a modifier,
+#   so the static analyzer reports zero findings on any of them;
+# * the subject-to-object proof path is the *unique shortest* chain, so
+#   seed, fast-path, and GEM discovery assemble byte-identical proofs;
+# * every family contains cross-home cycles, the case that makes the
+#   seed expansion re-visit homes.
+
+
+def _coalition_domains(domains: int, ttl: float, rng,
+                       roles_per_domain: int = 1,
+                       dual_home: bool = False):
+    """Principals, role grid, and per-domain discovery tags.
+
+    One frozen tag per domain describes every node of that domain: it
+    names the domain's home wallet and is authorized by the domain's
+    ``r0`` role (a role present in the generated set, so the tag never
+    orphans). ``dual_home`` sets the object flag to ``O`` as well, so
+    cross-domain bridges are stored at *both* endpoint homes and a
+    reverse (object-side) search can walk them.
+    """
+    if ttl <= 0:
+        raise ValueError("coalition tags must carry a positive ttl")
+    owners = [create_principal(f"D{k}", rng=rng) for k in range(domains)]
+    grid = [[Role(owners[k].entity, f"r{i}")
+             for i in range(roles_per_domain)] for k in range(domains)]
+    object_flag = ObjectFlag.SEARCH if dual_home else ObjectFlag.NONE
+    tags = [
+        DiscoveryTag(home=f"wallet.d{k}.example",
+                     auth_role_name=grid[k][0].qualified_name,
+                     ttl=ttl, subject_flag=SubjectFlag.SEARCH,
+                     object_flag=object_flag)
+        for k in range(domains)
+    ]
+    return owners, grid, tags
+
+
+def _coalition_extras(family: str, tags, **counts) -> dict:
+    extras = {
+        "family": family,
+        "home_addresses": [tag.home for tag in tags],
+    }
+    extras.update(counts)
+    return extras
+
+
+def make_ring_coalition(domains: int, ttl: float = 300.0,
+                        seed: Optional[int] = None) -> GeneratedWorkload:
+    """A directed ring of single-role domains, closed into one cycle.
+
+    ``user -> R_0 -> R_1 -> ... -> R_{n-1} -> R_0``: each bridge
+    ``R_k -> R_{k+1}`` is issued by the successor domain (the object
+    role's owner) and stored at the subject's home. The closing edge
+    makes the whole coalition one cycle, so a forward search that
+    reaches the last home is offered a continuation back into the
+    first -- the minimal loop-detection workload. The designated query
+    ``user => R_{n-1}`` has exactly one simple proof path (n links).
+    """
+    if domains < 2:
+        raise ValueError("a ring needs at least 2 domains")
+    rng = _rng(seed)
+    owners, grid, tags = _coalition_domains(domains, ttl, rng)
+    user = create_principal("user", rng=rng)
+    delegations: List[Tuple[Delegation, Tuple[Proof, ...]]] = [
+        (issue(owners[0], user.entity, grid[0][0],
+               object_tag=tags[0]), ()),
+    ]
+    for k in range(domains):
+        successor = (k + 1) % domains
+        delegations.append(
+            (issue(owners[successor], grid[k][0], grid[successor][0],
+                   subject_tag=tags[k], object_tag=tags[successor]), ())
+        )
+    principals = {p.nickname: p for p in [user, *owners]}
+    return GeneratedWorkload(
+        principals=principals, delegations=delegations,
+        subject=user.entity, obj=grid[domains - 1][0],
+        description=f"ring_coalition(domains={domains})",
+        extras=_coalition_extras("ring", tags, domains=domains,
+                                 proof_links=domains),
+    )
+
+
+def make_mesh_coalition(domains: int, ttl: float = 300.0,
+                        seed: Optional[int] = None) -> GeneratedWorkload:
+    """The ring plus backward chords: a dense strongly-connected mesh.
+
+    On top of :func:`make_ring_coalition`'s closed ring, every domain
+    ``k >= 2`` also re-admits domain ``k-2``'s role (``R_k -> R_{k-2}``),
+    so consecutive triples form 3-cycles and the coalition graph is one
+    dense SCC. The chords all point *backward* along the ring, so the
+    unique shortest proof of ``user => R_{n-1}`` is still the forward
+    chain -- byte-identity across discovery modes survives -- while
+    every home's answer set offers looping continuations.
+    """
+    if domains < 4:
+        raise ValueError("a mesh needs at least 4 domains "
+                         "(shorter chords duplicate the ring bridges)")
+    rng = _rng(seed)
+    owners, grid, tags = _coalition_domains(domains, ttl, rng)
+    user = create_principal("user", rng=rng)
+    delegations: List[Tuple[Delegation, Tuple[Proof, ...]]] = [
+        (issue(owners[0], user.entity, grid[0][0],
+               object_tag=tags[0]), ()),
+    ]
+    for k in range(domains):
+        successor = (k + 1) % domains
+        delegations.append(
+            (issue(owners[successor], grid[k][0], grid[successor][0],
+                   subject_tag=tags[k], object_tag=tags[successor]), ())
+        )
+    for k in range(2, domains):
+        target = k - 2
+        delegations.append(
+            (issue(owners[target], grid[k][0], grid[target][0],
+                   subject_tag=tags[k], object_tag=tags[target]), ())
+        )
+    principals = {p.nickname: p for p in [user, *owners]}
+    return GeneratedWorkload(
+        principals=principals, delegations=delegations,
+        subject=user.entity, obj=grid[domains - 1][0],
+        description=f"mesh_coalition(domains={domains})",
+        extras=_coalition_extras("mesh", tags, domains=domains,
+                                 chords=domains - 2,
+                                 proof_links=domains),
+    )
+
+
+def make_scc_heavy(domains: int, roles_per_domain: int,
+                   ttl: float = 300.0,
+                   seed: Optional[int] = None) -> GeneratedWorkload:
+    """Nested cycles: an in-home SCC per domain, ring-closed across homes.
+
+    Each domain owns a role chain ``R_{k,0} -> ... -> R_{k,m-1}`` plus
+    a back edge ``R_{k,m-1} -> R_{k,0}`` (an m-cycle entirely inside
+    one home). Bridges ``R_{k,m-1} -> R_{k+1,0}`` close the domains
+    into an outer ring, so the whole coalition is one SCC containing a
+    nested SCC per home. Bridges are tagged dual-home (``S``/``O``):
+    stored at both endpoint wallets, which a bidirectional seed search
+    walks from both ends while a forward-only tabled evaluation visits
+    each home exactly once. Query: ``user => R_{t,m-1}`` for the last
+    domain t -- unique shortest path of ``n * m`` links.
+    """
+    if domains < 2:
+        raise ValueError("scc_heavy needs at least 2 domains")
+    if roles_per_domain < 2:
+        raise ValueError("scc_heavy needs at least 2 roles per domain "
+                         "(the in-home back edge would self-loop)")
+    rng = _rng(seed)
+    owners, grid, tags = _coalition_domains(
+        domains, ttl, rng, roles_per_domain=roles_per_domain,
+        dual_home=True)
+    user = create_principal("user", rng=rng)
+    delegations: List[Tuple[Delegation, Tuple[Proof, ...]]] = [
+        (issue(owners[0], user.entity, grid[0][0],
+               object_tag=tags[0]), ()),
+    ]
+    for k in range(domains):
+        for i in range(roles_per_domain - 1):
+            delegations.append(
+                (issue(owners[k], grid[k][i], grid[k][i + 1],
+                       subject_tag=tags[k], object_tag=tags[k]), ())
+            )
+        delegations.append(
+            (issue(owners[k], grid[k][roles_per_domain - 1], grid[k][0],
+                   subject_tag=tags[k], object_tag=tags[k]), ())
+        )
+    for k in range(domains):
+        successor = (k + 1) % domains
+        delegations.append(
+            (issue(owners[successor], grid[k][roles_per_domain - 1],
+                   grid[successor][0],
+                   subject_tag=tags[k], object_tag=tags[successor]), ())
+        )
+    principals = {p.nickname: p for p in [user, *owners]}
+    return GeneratedWorkload(
+        principals=principals, delegations=delegations,
+        subject=user.entity, obj=grid[domains - 1][roles_per_domain - 1],
+        description=(f"scc_heavy(domains={domains}, "
+                     f"roles={roles_per_domain})"),
+        extras=_coalition_extras("scc", tags, domains=domains,
+                                 roles_per_domain=roles_per_domain,
+                                 proof_links=domains * roles_per_domain),
+    )
+
+
+def make_deep_mutual_trust(depth: int, ttl: float = 300.0,
+                           seed: Optional[int] = None) -> GeneratedWorkload:
+    """A chain of domains where every consecutive pair trusts both ways.
+
+    ``R_k -> R_{k+1}`` and ``R_{k+1} -> R_k`` for every k: mutual
+    coalition agreements forming a 2-cycle at each link -- the
+    recursive cross-home trust pattern that makes untabled forward
+    expansion bounce between neighbouring homes. No closing edge: the
+    spine is a chain, so ``user => R_{depth-1}`` again has a unique
+    shortest proof (the forward spine).
+    """
+    if depth < 2:
+        raise ValueError("deep mutual trust needs at least 2 domains")
+    rng = _rng(seed)
+    owners, grid, tags = _coalition_domains(depth, ttl, rng)
+    user = create_principal("user", rng=rng)
+    delegations: List[Tuple[Delegation, Tuple[Proof, ...]]] = [
+        (issue(owners[0], user.entity, grid[0][0],
+               object_tag=tags[0]), ()),
+    ]
+    for k in range(depth - 1):
+        delegations.append(
+            (issue(owners[k + 1], grid[k][0], grid[k + 1][0],
+                   subject_tag=tags[k], object_tag=tags[k + 1]), ())
+        )
+        delegations.append(
+            (issue(owners[k], grid[k + 1][0], grid[k][0],
+                   subject_tag=tags[k + 1], object_tag=tags[k]), ())
+        )
+    principals = {p.nickname: p for p in [user, *owners]}
+    return GeneratedWorkload(
+        principals=principals, delegations=delegations,
+        subject=user.entity, obj=grid[depth - 1][0],
+        description=f"deep_mutual_trust(depth={depth})",
+        extras=_coalition_extras("deep", tags, domains=depth,
+                                 proof_links=depth),
     )

@@ -1,0 +1,251 @@
+"""GEM distributed tabled evaluation: coherence with the seed
+protocol, loop detection and termination on cyclic coalitions, the
+goal-table lifecycle, and the mode switches.
+
+The load-bearing invariants: (1) GEM may change the wire pattern but
+never the *answer* -- discovered proofs are byte-identical with GEM on
+or off; (2) on cyclic topologies its cross-home message count is flat
+in the cycle's revisit count, where the seed protocol re-expands.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.crypto.encoding import canonical_encode
+from repro.discovery import gem
+from repro.discovery.engine import DiscoveryStats
+from repro.workloads import topology
+from repro.workloads.scenarios import deploy_coalition
+
+
+def _proof_bytes(proof):
+    return canonical_encode(proof.to_dict())
+
+
+def _cold(workload, *, gem_on, fastpath=False, stats=None):
+    """Fresh deployment, one cold authorization, message count."""
+    dep = deploy_coalition(workload, fastpath=fastpath, gem=gem_on)
+    try:
+        dep.network.reset_counters()
+        proof = dep.authorize(stats=stats, max_remote_queries=1024)
+        return dep, proof, dep.network.totals.messages
+    finally:
+        dep.close()
+
+
+FAMILIES = [
+    ("ring", lambda: topology.make_ring_coalition(4, seed=41)),
+    ("mesh", lambda: topology.make_mesh_coalition(4, seed=42)),
+    ("scc", lambda: topology.make_scc_heavy(3, 2, seed=43)),
+    ("deep", lambda: topology.make_deep_mutual_trust(3, seed=44)),
+]
+
+
+class TestCoherence:
+    @pytest.mark.parametrize("name,make", FAMILIES,
+                             ids=[f[0] for f in FAMILIES])
+    def test_proofs_byte_identical_across_arms(self, name, make):
+        """Same workload, all three protocols: the exact same proof
+        bytes, on every topology family."""
+        workload = make()
+        _d, seed_proof, _m = _cold(workload, gem_on=False)
+        _d, fast_proof, _m = _cold(workload, gem_on=False, fastpath=True)
+        _d, gem_proof, _m = _cold(workload, gem_on=True)
+        assert seed_proof is not None
+        assert _proof_bytes(seed_proof) == _proof_bytes(fast_proof) \
+            == _proof_bytes(gem_proof)
+
+    def test_absorbed_wallet_contents_cover_seed(self):
+        """GEM ships each home's whole tabled closure, so the absorbed
+        credentials are a superset of the seed frontier's (the ring's
+        closing bridge is fetched even though no proof needs it) --
+        but every delegation the seed proof uses arrives too."""
+        workload = topology.make_ring_coalition(4, seed=45)
+        d_seed = deploy_coalition(workload, fastpath=False, gem=False)
+        d_gem = deploy_coalition(workload, fastpath=False, gem=True)
+        try:
+            seed_proof = d_seed.authorize()
+            assert seed_proof is not None
+            assert d_gem.authorize() is not None
+            seed_ids = {d.id for d in
+                        d_seed.server.wallet.store.delegations()}
+            gem_ids = {d.id for d in
+                       d_gem.server.wallet.store.delegations()}
+            assert seed_ids <= gem_ids
+            assert {d.id for d in seed_proof.all_delegations()} \
+                <= gem_ids
+        finally:
+            d_seed.close()
+            d_gem.close()
+
+
+class TestTermination:
+    def test_messages_flat_in_revisit_count(self):
+        """Growing the SCC components grows the number of times the
+        seed frontier revisits each home; GEM tables every goal once,
+        so its cross-home message count must not move at all."""
+        gem_msgs, seed_msgs = [], []
+        for m in (2, 4):
+            workload = topology.make_scc_heavy(3, m, seed=46)
+            _d, proof, msgs = _cold(workload, gem_on=True)
+            assert proof is not None
+            gem_msgs.append(msgs)
+            _d, proof, msgs = _cold(workload, gem_on=False)
+            assert proof is not None
+            seed_msgs.append(msgs)
+        assert gem_msgs[0] == gem_msgs[1]
+        assert seed_msgs[0] < seed_msgs[1]
+
+    def test_loops_detected_at_origin(self):
+        """The ring's closing bridge makes the continuation chain come
+        back around to an already-issued goal: the origin's issued-set
+        catches it and the terminate wave covers the loop ends."""
+        workload = topology.make_ring_coalition(4, seed=47)
+        dep = deploy_coalition(workload, fastpath=False, gem=True)
+        try:
+            assert dep.authorize() is not None
+            info = dep.engine.gem_info()
+            assert info["loops_detected"] >= 1
+            assert info["terminates_sent"] >= 1
+        finally:
+            dep.close()
+
+    def test_each_home_evaluates_each_goal_once(self):
+        """No goal is ever re-evaluated: evals served across the
+        coalition equals evals issued by the origin (every one-way
+        eval lands on a fresh table slot)."""
+        workload = topology.make_scc_heavy(3, 3, seed=48)
+        dep = deploy_coalition(workload, fastpath=False, gem=True)
+        try:
+            before = dep.engine.gem_stats.to_dict()
+            assert dep.authorize() is not None
+            after = dep.engine.gem_stats.to_dict()
+            issued = after["evals_issued"] - before["evals_issued"]
+            answers = after["answers_received"] - \
+                before["answers_received"]
+            assert issued == answers > 0
+        finally:
+            dep.close()
+
+
+class TestGoalTables:
+    def test_tables_flushed_after_run(self):
+        """Loop participants are flushed by the terminate wave; the
+        rest expire by TTL sweep -- nothing outlives the table TTL."""
+        workload = topology.make_ring_coalition(4, seed=49)
+        dep = deploy_coalition(workload, fastpath=False, gem=True)
+        try:
+            assert dep.authorize() is not None
+            dep.clock.advance(gem.DEFAULT_TABLE_TTL + 1.0)
+            now = dep.clock.now()
+            for home in dep.homes.values():
+                home.gem_tables.sweep(now)
+                assert len(home.gem_tables) == 0
+        finally:
+            dep.close()
+
+    def test_hub_event_flushes_tables(self):
+        """A local mutation makes every tabled DONE state stale: the
+        hub wildcard subscription flushes the whole store."""
+        workload = topology.make_ring_coalition(4, seed=50)
+        dep = deploy_coalition(workload, fastpath=False, gem=True)
+        try:
+            assert dep.authorize() is not None
+            home = next(h for h in dep.homes.values()
+                        if len(h.gem_tables))
+            issuers = {p.entity.id: p
+                       for p in dep.workload.principals.values()}
+            delegation, principal = next(
+                (d, issuers[d.issuer.id])
+                for d in home.wallet.store.delegations()
+                if d.issuer.id in issuers)
+            home.wallet.revoke(principal, delegation.id)
+            assert len(home.gem_tables) == 0
+        finally:
+            dep.close()
+
+    def test_duplicate_answer_never_caches_negative(self):
+        """A "duplicate" record is "no answer *yet*", not "no path":
+        it must not plant a negative entry in the PR-4 result cache
+        (the cyclic-topology negative-cache hazard)."""
+        workload = topology.make_ring_coalition(4, seed=51)
+        dep = deploy_coalition(workload, fastpath=True, gem=True)
+        try:
+            assert dep.authorize() is not None
+            cache = dep.engine.result_cache
+            assert not cache._negatives
+        finally:
+            dep.close()
+
+    def test_gem_feeds_discovery_cache(self):
+        """Tabled answers land in the PR-4 result cache: a warm repeat
+        is answered locally, zero wire traffic."""
+        workload = topology.make_ring_coalition(4, seed=52)
+        dep = deploy_coalition(workload, fastpath=True, gem=True)
+        try:
+            assert dep.authorize() is not None
+            assert len(dep.engine.result_cache) > 0
+            before = dep.network.totals.messages
+            assert dep.authorize() is not None
+            assert dep.network.totals.messages == before
+        finally:
+            dep.close()
+
+
+class TestSwitches:
+    def test_global_switch_off_by_default(self):
+        workload = topology.make_ring_coalition(4, seed=53)
+        dep = deploy_coalition(workload, fastpath=False)
+        try:
+            assert not dep.engine.gem_active
+            stats = DiscoveryStats()
+            assert dep.authorize(stats=stats) is not None
+            assert dep.engine.gem_stats.to_dict()["roots"] == 0
+        finally:
+            dep.close()
+
+    def test_scoped_enables(self):
+        workload = topology.make_ring_coalition(4, seed=54)
+        dep = deploy_coalition(workload, fastpath=False)
+        try:
+            with gem.scoped(True):
+                assert dep.engine.gem_active
+                assert dep.authorize() is not None
+            assert dep.engine.gem_stats.to_dict()["roots"] == 1
+            assert not dep.engine.gem_active
+        finally:
+            dep.close()
+
+    def test_engine_pin_overrides_global(self):
+        workload = topology.make_ring_coalition(4, seed=55)
+        dep = deploy_coalition(workload, fastpath=False, gem=True)
+        try:
+            assert dep.engine.gem_active
+            with gem.scoped(False):
+                assert dep.engine.gem_active
+        finally:
+            dep.close()
+
+    def test_per_query_override(self):
+        workload = topology.make_ring_coalition(4, seed=56)
+        dep = deploy_coalition(workload, fastpath=False, gem=False)
+        try:
+            assert dep.authorize(gem=True) is not None
+            assert dep.engine.gem_stats.to_dict()["roots"] == 1
+        finally:
+            dep.close()
+
+    def test_env_variable_enables(self):
+        """DRBAC_GEM flips the module default in a fresh interpreter."""
+        code = ("from repro.discovery import gem; "
+                "import sys; sys.exit(0 if gem.enabled() else 1)")
+        env = dict(os.environ, DRBAC_GEM="1",
+                   PYTHONPATH=os.pathsep.join(sys.path))
+        assert subprocess.run([sys.executable, "-c", code],
+                              env=env).returncode == 0
+        env.pop("DRBAC_GEM")
+        assert subprocess.run([sys.executable, "-c", code],
+                              env=env).returncode == 1

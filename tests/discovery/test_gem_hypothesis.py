@@ -1,0 +1,112 @@
+"""Property-based GEM/seed agreement on random cross-home digraphs.
+
+The generated coalitions are adversarial for tabled evaluation: random
+role-to-role edges across a handful of domains, with intra-domain
+cycles, mutual edges, and nested strongly connected components all
+arising freely. Whatever the shape, (1) GEM and the seed protocol must
+agree on *reachability* -- for every role, either both discover a
+proof or neither does -- and (2) GEM's cross-home message count must
+stay under the static tabling bound (two messages per distinct
+``(home, goal)`` pair plus the terminate wave), no matter how many
+times a cycle would be revisited.
+
+Byte-identity of the proofs themselves is asserted on the curated
+unique-path families in ``test_gem.py``; random multi-path graphs can
+legitimately admit several minimal proofs.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DiscoveryTag, ObjectFlag, Role, SubjectFlag
+from repro.core.delegation import issue
+from repro.core.identity import create_principal
+from repro.workloads.scenarios import deploy_coalition
+from repro.workloads.topology import GeneratedWorkload
+
+# Key generation dominates example cost; the pool is immutable and
+# shared across examples (the wire-properties tests set the pattern).
+MAX_DOMAINS = 4
+ROLES_PER_DOMAIN = 2
+OWNERS = [create_principal(f"D{k}") for k in range(MAX_DOMAINS)]
+USER = create_principal("user")
+TTL = 300.0
+
+
+@st.composite
+def coalition_digraphs(draw):
+    """(domains, edges, obj_index): a random role-level digraph."""
+    domains = draw(st.integers(min_value=2, max_value=MAX_DOMAINS))
+    nodes = domains * ROLES_PER_DOMAIN
+    edges = draw(st.sets(
+        st.tuples(st.integers(0, nodes - 1), st.integers(0, nodes - 1))
+        .filter(lambda e: e[0] != e[1]),
+        min_size=domains, max_size=3 * nodes))
+    obj_index = draw(st.integers(0, nodes - 1))
+    return domains, sorted(edges), obj_index
+
+
+def _build(domains, edges, obj_index):
+    grid = [[Role(OWNERS[k].entity, f"r{i}")
+             for i in range(ROLES_PER_DOMAIN)] for k in range(domains)]
+    tags = [
+        DiscoveryTag(home=f"wallet.d{k}.example",
+                     auth_role_name=grid[k][0].qualified_name,
+                     ttl=TTL, subject_flag=SubjectFlag.SEARCH,
+                     object_flag=ObjectFlag.SEARCH)
+        for k in range(domains)
+    ]
+
+    def node(index):
+        return grid[index // ROLES_PER_DOMAIN][index % ROLES_PER_DOMAIN]
+
+    delegations = [(issue(OWNERS[0], USER.entity, grid[0][0],
+                          object_tag=tags[0]), ())]
+    for a, b in edges:
+        da, db = a // ROLES_PER_DOMAIN, b // ROLES_PER_DOMAIN
+        delegations.append((issue(OWNERS[db], node(a), node(b),
+                                  subject_tag=tags[da],
+                                  object_tag=tags[db]), ()))
+    principals = {p.nickname: p
+                  for p in [USER, *OWNERS[:domains]]}
+    return GeneratedWorkload(
+        principals=principals, delegations=delegations,
+        subject=USER.entity, obj=node(obj_index),
+        description=f"random digraph n={domains} edges={len(edges)}",
+        extras={"family": "random",
+                "home_addresses": [tag.home for tag in tags]},
+    ), grid
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(coalition_digraphs())
+def test_gem_agrees_with_seed_and_stays_bounded(graph):
+    domains, edges, obj_index = graph
+    workload, grid = _build(domains, edges, obj_index)
+    roles = [role for row in grid for role in row]
+
+    d_seed = deploy_coalition(workload, fastpath=False, gem=False)
+    d_gem = deploy_coalition(workload, fastpath=False, gem=True)
+    try:
+        d_gem.network.reset_counters()
+        reachable_seed, reachable_gem = set(), set()
+        for role in roles:
+            if d_seed.engine.discover(USER.entity, role,
+                                      max_remote_queries=1024):
+                reachable_seed.add(role.qualified_name)
+            if d_gem.engine.discover(USER.entity, role,
+                                     max_remote_queries=1024):
+                reachable_gem.add(role.qualified_name)
+        assert reachable_seed == reachable_gem
+
+        # The static tabling bound: each distinct (home, direction,
+        # node) goal costs one eval notify plus one answer notify, and
+        # each root may add a terminate wave -- independent of how
+        # often the digraph's cycles would re-expand.
+        goals = domains * 2 * (len(roles) + 1)
+        bound = len(roles) * (2 * goals + domains)
+        assert d_gem.network.totals.messages <= bound
+    finally:
+        d_seed.close()
+        d_gem.close()

@@ -63,6 +63,14 @@ DISCOVERY_CACHE_KEYS = {
     "entries": int, "maxsize": int,
 }
 
+# Contract v1 -- DiscoveryEngine.gem_info() / cache_info()["gem"].
+GEM_INFO_KEYS = {
+    "roots": int, "evals_issued": int, "answers_received": int,
+    "answer_records": int, "terminates_sent": int, "evals_served": int,
+    "loops_detected": int, "answers_pushed": int, "table_flushes": int,
+    "active": bool, "tables": int,
+}
+
 
 def _assert_contract(payload: dict, contract: dict, surface: str):
     assert set(payload) == set(contract), (
@@ -182,6 +190,32 @@ class TestDiscoveryCacheContract:
         _assert_contract(info, DISCOVERY_CACHE_KEYS,
                          "DiscoveryCache.info()")
         assert info["misses"] == 1
+
+
+class TestGemInfoContract:
+    def test_shape(self):
+        """An engine-backed wallet surfaces the GEM breakdown under
+        cache_info()["gem"] -- keys and types pinned."""
+        from repro.workloads.scenarios import deploy_coalition
+        from repro.workloads.topology import make_ring_coalition
+        dep = deploy_coalition(make_ring_coalition(2, seed=61),
+                               fastpath=False, gem=True)
+        try:
+            assert dep.authorize() is not None
+            info = dep.server.wallet.cache_info()["gem"]
+            _assert_contract(info, GEM_INFO_KEYS,
+                             'cache_info()["gem"]')
+            assert info == dep.engine.gem_info()
+        finally:
+            dep.close()
+
+    def test_info_is_a_pure_read(self):
+        from repro.discovery.gem import GemTableStore
+        store = GemTableStore()
+        store.get_or_create("root", "origin", now=0.0)
+        first = store.info()
+        for _ in range(5):
+            assert store.info() == first
 
     def test_info_is_a_pure_read(self):
         cache = DiscoveryCache()
